@@ -1,0 +1,196 @@
+(* crdb_sim: command-line explorer for the simulated multi-region CRDB.
+
+   Subcommands:
+     ycsb     run a YCSB workload against a chosen table locality
+     tpcc     run TPC-C across N regions
+     ddl      print the DDL statement lists (Table 2 machinery)
+     regions  print the latency profiles
+
+   Examples:
+     dune exec bin/crdb_sim.exe -- ycsb --variant global --workload a
+     dune exec bin/crdb_sim.exe -- tpcc --regions 4 --duration 20
+     dune exec bin/crdb_sim.exe -- ddl --schema movr --op convert *)
+
+module Crdb = Crdb_core.Crdb
+module Ddl = Crdb.Ddl
+module Engine = Crdb.Engine
+module Hist = Crdb_stats.Hist
+module Ycsb = Crdb_workload.Ycsb
+module Tpcc = Crdb_workload.Tpcc
+module Movr = Crdb_workload.Movr
+open Cmdliner
+
+let regions5 = Crdb.Latency.table1_regions
+
+(* ---------------- ycsb ---------------- *)
+
+let variant_of_string = function
+  | "rbr" -> Ok Ycsb.Rbr_default
+  | "computed" -> Ok Ycsb.Rbr_computed
+  | "rehoming" -> Ok Ycsb.Rbr_rehoming
+  | "regional" -> Ok Ycsb.Regional_table
+  | "global" -> Ok Ycsb.Global_table
+  | "dup" -> Ok Ycsb.Dup_indexes
+  | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+
+let variant_conv =
+  Arg.conv
+    ( variant_of_string,
+      fun ppf v ->
+        Format.pp_print_string ppf
+          (match v with
+          | Ycsb.Rbr_default -> "rbr"
+          | Ycsb.Rbr_computed -> "computed"
+          | Ycsb.Rbr_rehoming -> "rehoming"
+          | Ycsb.Regional_table -> "regional"
+          | Ycsb.Global_table -> "global"
+          | Ycsb.Dup_indexes -> "dup") )
+
+let workload_conv =
+  Arg.conv
+    ( (function
+      | "a" | "A" -> Ok Ycsb.A
+      | "b" | "B" -> Ok Ycsb.B
+      | "d" | "D" -> Ok Ycsb.D
+      | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))),
+      fun ppf w ->
+        Format.pp_print_string ppf
+          (match w with Ycsb.A -> "a" | Ycsb.B -> "b" | Ycsb.D -> "d") )
+
+let run_ycsb variant workload nregions clients ops keyspace locality stale =
+  let regions = List.filteri (fun i _ -> i < nregions) regions5 in
+  let t = Crdb.start ~regions () in
+  Crdb.exec t
+    (Ddl.N_create_database
+       { db = "ycsb"; primary = List.hd regions; regions = List.tl regions });
+  Crdb.exec_all t (Ycsb.ddl variant ~db:"ycsb" ~regions);
+  let db = Crdb.database t "ycsb" in
+  Ycsb.load t db variant ~keyspace;
+  let read_mode =
+    if stale then Ycsb.Bounded_stale 10_000_000 else Ycsb.Latest
+  in
+  let r =
+    Ycsb.run t db ~clients_per_region:clients ~ops_per_client:ops ~locality
+      ~workload ~keyspace ~read_mode ()
+  in
+  Format.printf "%d ops, %d errors, %d ms simulated@." r.Ycsb.ops r.Ycsb.errors
+    (r.Ycsb.elapsed / 1000);
+  Format.printf "%a@." (Hist.pp_row ~label:"read  local") r.Ycsb.read_local;
+  Format.printf "%a@." (Hist.pp_row ~label:"read  remote") r.Ycsb.read_remote;
+  Format.printf "%a@." (Hist.pp_row ~label:"write local") r.Ycsb.write_local;
+  Format.printf "%a@." (Hist.pp_row ~label:"write remote") r.Ycsb.write_remote
+
+let ycsb_cmd =
+  let variant =
+    Arg.(value & opt variant_conv Ycsb.Rbr_default
+         & info [ "variant" ] ~doc:"Table locality: rbr|computed|rehoming|regional|global|dup")
+  in
+  let workload =
+    Arg.(value & opt workload_conv Ycsb.A & info [ "workload" ] ~doc:"a|b|d")
+  in
+  let nregions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Regions (2-5)") in
+  let clients = Arg.(value & opt int 10 & info [ "clients" ] ~doc:"Clients per region") in
+  let ops = Arg.(value & opt int 100 & info [ "ops" ] ~doc:"Ops per client") in
+  let keyspace = Arg.(value & opt int 3000 & info [ "keys" ] ~doc:"Loaded keyspace") in
+  let locality =
+    Arg.(value & opt float 1.0 & info [ "locality" ] ~doc:"Locality of access (0-1)")
+  in
+  let stale = Arg.(value & flag & info [ "stale" ] ~doc:"Bounded-staleness reads") in
+  Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
+    Term.(
+      const run_ycsb $ variant $ workload $ nregions $ clients $ ops $ keyspace
+      $ locality $ stale)
+
+(* ---------------- tpcc ---------------- *)
+
+let run_tpcc nregions warehouses duration =
+  let regions = List.filteri (fun i _ -> i < nregions) Crdb.Latency.gcp_region_names in
+  let t = Crdb.start ~regions () in
+  Crdb.exec_all t (Tpcc.ddl ~db:"tpcc" ~regions ~warehouses_per_region:warehouses);
+  let db = Crdb.database t "tpcc" in
+  Tpcc.load t db ~warehouses_per_region:warehouses ~districts_per_warehouse:10
+    ~customers_per_district:20 ();
+  let r =
+    Tpcc.run t db ~warehouses_per_region:warehouses
+      ~duration:(duration * 1_000_000) ~districts_per_warehouse:10
+      ~customers_per_district:20 ()
+  in
+  Format.printf "tpmC = %.1f  efficiency = %.1f%%  errors = %d@." (Tpcc.tpmc r)
+    (100.0 *. Tpcc.efficiency r ~warehouses:(warehouses * nregions))
+    r.Tpcc.errors;
+  Format.printf "%a@." (Hist.pp_row ~label:"new_order") r.Tpcc.new_order;
+  Format.printf "%a@." (Hist.pp_row ~label:"payment") r.Tpcc.payment
+
+let tpcc_cmd =
+  let nregions = Arg.(value & opt int 4 & info [ "regions" ] ~doc:"Number of regions") in
+  let warehouses =
+    Arg.(value & opt int 2 & info [ "warehouses" ] ~doc:"Warehouses per region")
+  in
+  let duration = Arg.(value & opt int 20 & info [ "duration" ] ~doc:"Seconds (simulated)") in
+  Cmd.v (Cmd.info "tpcc" ~doc:"Run TPC-C")
+    Term.(const run_tpcc $ nregions $ warehouses $ duration)
+
+(* ---------------- ddl ---------------- *)
+
+let run_ddl schema op =
+  let regions = [ "us-east1"; "us-west1"; "europe-west2" ] in
+  let movr_op =
+    match op with
+    | "new" -> Movr.New_schema
+    | "convert" -> Movr.Convert_schema
+    | "add" -> Movr.Add_region "asia-northeast1"
+    | "drop" -> Movr.Drop_region "europe-west2"
+    | other -> failwith ("unknown op " ^ other)
+  in
+  let stmts, legacy =
+    match schema with
+    | "movr" ->
+        ( Movr.ddl ~db:"movr" ~regions movr_op,
+          Movr.legacy_ddl ~db:"movr" ~regions movr_op )
+    | "tpcc" ->
+        let tables = Tpcc.tables ~regions ~warehouses_per_region:10 in
+        let lop =
+          match movr_op with
+          | Movr.New_schema -> Crdb.Legacy.New_schema
+          | Movr.Convert_schema -> Crdb.Legacy.Convert_schema
+          | Movr.Add_region r -> Crdb.Legacy.Add_region r
+          | Movr.Drop_region r -> Crdb.Legacy.Drop_region r
+        in
+        ( Tpcc.ddl ~db:"tpcc" ~regions ~warehouses_per_region:10,
+          Crdb.Legacy.statements ~db:"tpcc" ~regions ~tables lop )
+    | other -> failwith ("unknown schema " ^ other)
+  in
+  Format.printf "--- new declarative syntax (%d statements) ---@."
+    (List.length stmts);
+  List.iter (fun s -> Format.printf "%s;@." (Ddl.to_sql s)) stmts;
+  Format.printf "@.--- legacy imperative equivalent (%d statements) ---@."
+    (List.length legacy);
+  List.iter (fun s -> Format.printf "%s;@." (Ddl.to_sql s)) legacy
+
+let ddl_cmd =
+  let schema = Arg.(value & opt string "movr" & info [ "schema" ] ~doc:"movr|tpcc") in
+  let op = Arg.(value & opt string "new" & info [ "op" ] ~doc:"new|convert|add|drop") in
+  Cmd.v (Cmd.info "ddl" ~doc:"Print DDL statement lists (Table 2)")
+    Term.(const run_ddl $ schema $ op)
+
+(* ---------------- regions ---------------- *)
+
+let run_regions () =
+  Format.printf "@[<v>%a@]@."
+    (fun ppf () -> Crdb.Latency.pp_matrix Crdb.Latency.table1 regions5 ppf ())
+    ();
+  Format.printf "@.known GCP regions: %s@."
+    (String.concat ", " Crdb.Latency.gcp_region_names)
+
+let regions_cmd =
+  Cmd.v (Cmd.info "regions" ~doc:"Print latency profiles")
+    Term.(const run_regions $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "crdb_sim" ~version:Crdb.version
+             ~doc:"Simulated multi-region CockroachDB explorer")
+          [ ycsb_cmd; tpcc_cmd; ddl_cmd; regions_cmd ]))

@@ -1,0 +1,1 @@
+examples/failover.ml: Crdb_core Format List Option

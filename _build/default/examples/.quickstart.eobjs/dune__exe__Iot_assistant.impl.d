@@ -1,0 +1,1 @@
+examples/iot_assistant.ml: Crdb_core Crdb_sim Crdb_stats Format List Printf

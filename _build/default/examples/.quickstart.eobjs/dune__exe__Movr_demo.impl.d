@@ -1,0 +1,1 @@
+examples/movr_demo.ml: Crdb_core Crdb_stdx Crdb_workload Format List

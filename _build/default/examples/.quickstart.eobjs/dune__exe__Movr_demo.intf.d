@@ -1,0 +1,1 @@
+examples/movr_demo.mli:

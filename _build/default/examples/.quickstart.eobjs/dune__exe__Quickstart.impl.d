@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crdb_core Format String

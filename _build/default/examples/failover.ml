@@ -1,0 +1,115 @@
+(* Survivability goals under failure (§2.2, §3.3).
+
+   A database with SURVIVE ZONE FAILURE keeps all voters in each range's
+   home region: it rides out a zone outage but loses write availability for
+   rows homed in a failed region. SURVIVE REGION FAILURE spreads 5 voters
+   across regions: writes keep working through a whole-region outage, at
+   the cost of cross-region write latency. Stale reads survive in both
+   cases from non-voting replicas.
+
+   Run with:  dune exec examples/failover.exe *)
+
+module Crdb = Crdb_core.Crdb
+module Value = Crdb.Value
+module Schema = Crdb.Schema
+module Ddl = Crdb.Ddl
+module Engine = Crdb.Engine
+module Cluster = Crdb.Cluster
+module Transport = Crdb.Transport
+module Zoneconfig = Crdb.Zoneconfig
+
+let regions = [ "us-east1"; "us-west1"; "europe-west2" ]
+let svec s = Value.V_string s
+
+let make ~survival =
+  let t = Crdb.start ~regions () in
+  Crdb.exec t
+    (Ddl.N_create_database
+       { db = "bank"; primary = "us-east1"; regions = List.tl regions });
+  if survival = Zoneconfig.Region then
+    Crdb.exec t (Ddl.N_survive { db = "bank"; survival });
+  Crdb.exec t
+    (Ddl.N_create_table
+       {
+         db = "bank";
+         table =
+           Schema.table ~name:"accounts"
+             ~columns:
+               [ Schema.column "id" Schema.T_string; Schema.column "balance" Schema.T_string ]
+             ~pkey:[ "id" ]
+             ~locality:(Schema.Regional_by_table None)
+             ()
+       });
+  (t, Crdb.database t "bank")
+
+let try_write t db ~gateway ~label =
+  Crdb.run t (fun () ->
+      let t0 = Crdb.sim_now t in
+      match
+        Engine.upsert db ~gateway ~table:"accounts"
+          [ ("id", svec "acct-1"); ("balance", svec label) ]
+      with
+      | Ok () ->
+          Format.printf "  write %-28s OK   (%.1f ms)@." label
+            (float_of_int (Crdb.sim_now t - t0) /. 1000.0)
+      | Error e ->
+          Format.printf "  write %-28s FAIL (%a)@." label Engine.pp_exec_error e)
+
+let try_stale_read t db ~gateway =
+  Crdb.run t (fun () ->
+      let t0 = Crdb.sim_now t in
+      match
+        (* A generous staleness bound: after a long outage, only timestamps
+           the dead leaseholder had closed before failing remain servable. *)
+        Engine.select_by_pk_stale db ~gateway ~table:"accounts"
+          ~max_staleness:60_000_000 [ svec "acct-1" ]
+      with
+      | Ok (Some row) ->
+          Format.printf "  stale read from us-west           OK   (%.1f ms, balance=%s)@."
+            (float_of_int (Crdb.sim_now t - t0) /. 1000.0)
+            (Value.to_display (List.assoc "balance" row))
+      | Ok None -> Format.printf "  stale read: row missing@."
+      | Error e -> Format.printf "  stale read FAIL (%a)@." Engine.pp_exec_error e)
+
+let () =
+  let west t = Crdb.gateway t ~region:"us-west1" () in
+
+  Format.printf "=== SURVIVE ZONE FAILURE (default) ===@.";
+  let t, db = make ~survival:Zoneconfig.Zone in
+  try_write t db ~gateway:(west t) ~label:"before-failure";
+  Crdb.run_for t 6_000_000;
+  (* A zone outage in the home region: the range stays available. *)
+  Transport.kill_zone (Cluster.net (Crdb.cluster t)) ~region:"us-east1" ~zone:"us-east1-a"
+;
+  Crdb.run_for t 15_000_000;
+  Format.printf "after losing zone us-east1-a:@.";
+  try_write t db ~gateway:(west t) ~label:"after-zone-loss";
+  (* Now the whole primary region goes down: writes stall, stale reads
+     survive from the non-voting replicas. *)
+  Transport.kill_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  Crdb.run_for t 15_000_000;
+  Format.printf "after losing region us-east1 (zone survival cannot):@.";
+  Crdb.run t (fun () ->
+      let rid = List.hd (Engine.ranges_of_table db "accounts") in
+      match Cluster.leaseholder (Crdb.cluster t) rid with
+      | None -> Format.printf "  no leaseholder: fresh writes unavailable (as expected)@."
+      | Some _ -> Format.printf "  unexpectedly still available@.");
+  try_stale_read t db ~gateway:(west t);
+
+  Format.printf "@.=== SURVIVE REGION FAILURE ===@.";
+  let t, db = make ~survival:Zoneconfig.Region in
+  try_write t db ~gateway:(west t) ~label:"before-failure";
+  Crdb.run_for t 6_000_000;
+  Transport.kill_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  Crdb.run_for t 20_000_000;
+  Format.printf "after losing region us-east1 (region survival):@.";
+  try_write t db ~gateway:(west t) ~label:"after-region-loss";
+  try_stale_read t db ~gateway:(west t);
+  (* Heal: the lease migrates back to the preferred region. *)
+  Transport.revive_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  Crdb.run_for t 3_000_000;
+  Cluster.rebalance_leases (Crdb.cluster t);
+  Crdb.run_for t 5_000_000;
+  let rid = List.hd (Engine.ranges_of_table db "accounts") in
+  Format.printf "after healing, leaseholder is back in: %s@."
+    (Option.value ~default:"?" (Cluster.leaseholder_region (Crdb.cluster t) rid))

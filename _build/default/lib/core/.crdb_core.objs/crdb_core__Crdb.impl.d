@@ -1,0 +1,1 @@
+lib/core/crdb.ml: Crdb_hlc Crdb_kv Crdb_net Crdb_sim Crdb_sql Crdb_txn List Printf

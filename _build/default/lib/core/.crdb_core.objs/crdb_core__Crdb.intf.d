@@ -1,0 +1,1 @@
+lib/core/crdb.mli: Crdb_hlc Crdb_kv Crdb_net Crdb_sql Crdb_txn

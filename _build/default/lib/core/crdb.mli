@@ -1,0 +1,68 @@
+(** Public façade: a simulated multi-region CockroachDB cluster.
+
+    This module ties the substrates together and re-exports the layers a
+    user programs against. A typical session:
+
+    {[
+      let t =
+        Crdb.start ~regions:[ "us-east1"; "us-west1"; "europe-west2" ] ()
+      in
+      Crdb.exec t
+        (Ddl.N_create_database
+           { db = "movr"; primary = "us-east1";
+             regions = [ "us-west1"; "europe-west2" ] });
+      Crdb.exec t (Ddl.N_create_table { db = "movr"; table = users_schema });
+      let db = Crdb.database t "movr" in
+      let gw = Crdb.gateway t ~region:"us-west1" () in
+      Crdb.run t (fun () ->
+          Engine.insert db ~gateway:gw ~table:"users" row |> Result.get_ok)
+    ]} *)
+
+module Value = Crdb_sql.Value
+module Schema = Crdb_sql.Schema
+module Ddl = Crdb_sql.Ddl
+module Legacy = Crdb_sql.Legacy
+module Engine = Crdb_sql.Engine
+module Txn = Crdb_txn.Txn
+module Cluster = Crdb_kv.Cluster
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Transport = Crdb_net.Transport
+module Timestamp = Crdb_hlc.Timestamp
+
+val version : string
+
+type t
+
+val start :
+  ?config:Cluster.config ->
+  ?latency:Latency.t ->
+  ?nodes_per_region:int ->
+  regions:string list ->
+  unit ->
+  t
+(** Boot a cluster with [nodes_per_region] (default 3) nodes per region.
+    The default latency profile is the paper's Table 1 matrix when every
+    region appears in it, otherwise the distance-derived GCP profile. *)
+
+val cluster : t -> Cluster.t
+val engine : t -> Engine.t
+val topology : t -> Topology.t
+val sim_now : t -> int
+
+val exec : t -> Ddl.stmt -> unit
+val exec_all : t -> Ddl.stmt list -> unit
+val database : t -> string -> Engine.db
+
+val gateway : t -> region:string -> ?index:int -> unit -> Topology.node_id
+(** The [index]-th node (default 0) of a region, to use as a client
+    gateway. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Run a client workload (a {!Crdb_sim.Proc} process) to completion. *)
+
+val run_for : t -> int -> unit
+(** Advance simulated time (microseconds). *)
+
+val settle : t -> unit

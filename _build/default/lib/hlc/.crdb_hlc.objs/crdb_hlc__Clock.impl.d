@@ -1,0 +1,1 @@
+lib/hlc/clock.ml: Timestamp

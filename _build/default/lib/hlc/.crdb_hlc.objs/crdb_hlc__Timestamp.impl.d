@@ -1,0 +1,1 @@
+lib/hlc/timestamp.ml: Format Int

@@ -1,0 +1,1 @@
+lib/hlc/timestamp.mli: Format

@@ -1,0 +1,26 @@
+type t = {
+  now_micros : unit -> int;
+  mutable skew_micros : int;
+  mutable last : Timestamp.t;
+}
+
+let create ?(skew_micros = 0) ~now_micros () =
+  { now_micros; skew_micros; last = Timestamp.zero }
+
+let set_skew t skew = t.skew_micros <- skew
+let skew t = t.skew_micros
+
+let physical_now t =
+  let p = t.now_micros () + t.skew_micros in
+  if p < 0 then 0 else p
+
+let now t =
+  let phys = Timestamp.of_wall (physical_now t) in
+  let ts =
+    if Timestamp.(phys > t.last) then phys else Timestamp.next t.last
+  in
+  t.last <- ts;
+  ts
+
+let update t ts = if Timestamp.(ts > t.last) then t.last <- ts
+let last t = t.last

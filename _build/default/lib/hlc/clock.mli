@@ -1,0 +1,34 @@
+(** Per-node hybrid logical clocks.
+
+    Each node owns one clock. The physical component is derived from an
+    external time source (the simulator's global clock) plus a per-node skew,
+    so that tests can exercise behaviour under bounded and unbounded clock
+    skew. The HLC update rules guarantee that timestamps handed out by one
+    clock are monotonically increasing and never behind any timestamp the
+    node has observed from its peers. *)
+
+type t
+
+val create : ?skew_micros:int -> now_micros:(unit -> int) -> unit -> t
+(** [create ~now_micros ()] is a clock reading physical time from
+    [now_micros]. [skew_micros] (default 0, may be negative) offsets the
+    physical reading to model imperfect clock synchronization. *)
+
+val set_skew : t -> int -> unit
+(** Change the skew at runtime (models clock drift or misconfiguration). *)
+
+val skew : t -> int
+
+val physical_now : t -> int
+(** Skewed physical reading in microseconds, clamped at 0. *)
+
+val now : t -> Timestamp.t
+(** HLC read: the maximum of physical time and the last timestamp issued or
+    observed, with the logical counter incremented on ties. *)
+
+val update : t -> Timestamp.t -> unit
+(** [update t ts] ratchets the clock forward upon observing a remote
+    timestamp [ts], per the HLC receive rule. *)
+
+val last : t -> Timestamp.t
+(** The most recent timestamp issued or observed. *)

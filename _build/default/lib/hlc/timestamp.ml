@@ -1,0 +1,43 @@
+type t = { wall : int; logical : int }
+
+let make ~wall ~logical =
+  if wall < 0 || logical < 0 then invalid_arg "Timestamp.make: negative field";
+  { wall; logical }
+
+let of_wall wall = make ~wall ~logical:0
+let zero = { wall = 0; logical = 0 }
+let max_value = { wall = max_int; logical = max_int }
+
+let compare a b =
+  let c = Int.compare a.wall b.wall in
+  if c <> 0 then c else Int.compare a.logical b.logical
+
+let equal a b = compare a b = 0
+let max a b = if compare a b >= 0 then a else b
+let min a b = if compare a b <= 0 then a else b
+let next t = { t with logical = t.logical + 1 }
+
+let prev t =
+  if t.logical > 0 then { t with logical = t.logical - 1 }
+  else if t.wall > 0 then { wall = t.wall - 1; logical = max_int }
+  else invalid_arg "Timestamp.prev: zero has no predecessor"
+
+let add_wall t d = { wall = t.wall + d; logical = 0 }
+let wall t = t.wall
+let logical t = t.logical
+
+let pp ppf t =
+  if t.logical = 0 then
+    Format.fprintf ppf "%d.%06d" (t.wall / 1_000_000) (t.wall mod 1_000_000)
+  else
+    Format.fprintf ppf "%d.%06d,%d" (t.wall / 1_000_000) (t.wall mod 1_000_000)
+      t.logical
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Comparison operators specialized to [t]; defined last so the integer
+   operators remain in scope above. *)
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+let ( > ) a b = compare a b > 0

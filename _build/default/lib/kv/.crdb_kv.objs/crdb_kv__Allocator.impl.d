@@ -1,0 +1,1 @@
+lib/kv/allocator.ml: Array Crdb_net Crdb_raft Hashtbl List Option String Zoneconfig

@@ -1,0 +1,1 @@
+lib/kv/allocator.mli: Crdb_net Crdb_raft Zoneconfig

@@ -1,0 +1,1 @@
+lib/kv/cluster.ml: Allocator Array Buffer Crdb_hlc Crdb_net Crdb_raft Crdb_sim Crdb_stdx Crdb_storage Hashtbl Int List Liveness Map Option Printf String Zoneconfig

@@ -1,0 +1,1 @@
+lib/kv/cluster.mli: Crdb_hlc Crdb_net Crdb_raft Crdb_sim Crdb_stdx Crdb_storage Liveness Zoneconfig

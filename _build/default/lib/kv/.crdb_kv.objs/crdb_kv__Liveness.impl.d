@@ -1,0 +1,1 @@
+lib/kv/liveness.ml: Crdb_net Crdb_sim

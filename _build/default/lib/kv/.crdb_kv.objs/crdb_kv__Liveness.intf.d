@@ -1,0 +1,1 @@
+lib/kv/liveness.mli: Crdb_net

@@ -1,0 +1,1 @@
+lib/kv/zoneconfig.ml: Format List Printf String

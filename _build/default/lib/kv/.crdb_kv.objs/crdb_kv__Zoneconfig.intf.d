@@ -1,0 +1,1 @@
+lib/kv/zoneconfig.mli: Format

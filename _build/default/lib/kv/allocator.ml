@@ -1,0 +1,229 @@
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Raft = Crdb_raft.Raft
+
+type placement = (Topology.node_id * Raft.peer_kind) list
+
+(* Pick [count] nodes from [candidates], preferring zones not yet used
+   (diversity), then lower load. *)
+let pick_diverse ~count ~load ~used_zones candidates =
+  let rec go count used acc candidates =
+    if count = 0 then List.rev acc
+    else
+      match candidates with
+      | [] -> failwith "Allocator: not enough nodes to satisfy configuration"
+      | _ ->
+          let score (n : Topology.node) =
+            let zone_penalty = if List.mem n.zone used then 1 else 0 in
+            (zone_penalty, load n.id, n.id)
+          in
+          let best =
+            List.fold_left
+              (fun acc n ->
+                match acc with
+                | None -> Some n
+                | Some b -> if score n < score b then Some n else Some b)
+              None candidates
+          in
+          let best = Option.get best in
+          let rest = List.filter (fun (n : Topology.node) -> n.id <> best.id) candidates in
+          go (count - 1) (best.Topology.zone :: used) (best :: acc) rest
+  in
+  go count used_zones [] candidates
+
+let place ~topology ~latency ~load ~zone =
+  let open Zoneconfig in
+  let taken = Hashtbl.create 16 in
+  let adjusted_load id =
+    (* Count replicas of this very range placed so far as infinitely loaded
+       so no node is picked twice. *)
+    if Hashtbl.mem taken id then max_int / 2 else load id
+  in
+  let region_count region placed =
+    List.length
+      (List.filter
+         (fun (id, _) -> String.equal (Topology.region_of topology id) region)
+         placed)
+  in
+  let used_zones placed =
+    List.map (fun (id, _) -> Topology.zone_of topology id) placed
+  in
+  let home =
+    match zone.lease_preferences with
+    | home :: _ -> home
+    | [] -> (
+        match zone.voter_constraints with
+        | (r, _) :: _ -> r
+        | [] -> List.hd (Topology.regions topology))
+  in
+  (* 1. Voters pinned by voter_constraints. *)
+  let placed = ref [] in
+  let add kind (n : Topology.node) =
+    Hashtbl.replace taken n.id ();
+    placed := !placed @ [ (n.id, kind) ]
+  in
+  List.iter
+    (fun (region, count) ->
+      let candidates =
+        Topology.nodes_in_region topology region
+        |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+      in
+      let chosen =
+        pick_diverse ~count ~load:adjusted_load ~used_zones:(used_zones !placed)
+          candidates
+      in
+      List.iter (add Raft.Voter) chosen)
+    zone.voter_constraints;
+  (* 2. Remaining voters: one per region, nearest regions to home first. *)
+  let voters_placed () =
+    List.length (List.filter (fun (_, k) -> k = Raft.Voter) !placed)
+  in
+  let regions_by_proximity =
+    Latency.sort_by_proximity latency home (Topology.regions topology)
+  in
+  let voters_in region =
+    List.length
+      (List.filter
+         (fun (id, k) ->
+           k = Raft.Voter && String.equal (Topology.region_of topology id) region)
+         !placed)
+  in
+  let rec fill_voters regions =
+    if voters_placed () < zone.num_voters then
+      match regions with
+      | [] ->
+          (* Every region already holds a voter: place the remainder one at a
+             time in the regions with the fewest voters (diversity), so no
+             single region can reach a quorum-breaking share. *)
+          let rec top_up_voters () =
+            if voters_placed () < zone.num_voters then begin
+              let region =
+                Topology.regions topology
+                |> List.filter (fun r ->
+                       List.exists
+                         (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+                         (Topology.nodes_in_region topology r))
+                |> List.map (fun r -> (voters_in r, r))
+                |> List.sort compare
+                |> function
+                | [] -> failwith "Allocator: not enough nodes to satisfy configuration"
+                | (_, r) :: _ -> r
+              in
+              let candidates =
+                Topology.nodes_in_region topology region
+                |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+              in
+              let chosen =
+                pick_diverse ~count:1 ~load:adjusted_load
+                  ~used_zones:(used_zones !placed) candidates
+              in
+              List.iter (add Raft.Voter) chosen;
+              top_up_voters ()
+            end
+          in
+          top_up_voters ()
+      | region :: rest ->
+          let has_voter =
+            List.exists
+              (fun (id, k) ->
+                k = Raft.Voter
+                && String.equal (Topology.region_of topology id) region)
+              !placed
+          in
+          if not has_voter then begin
+            let candidates =
+              Topology.nodes_in_region topology region
+              |> List.filter (fun (n : Topology.node) ->
+                     not (Hashtbl.mem taken n.id))
+            in
+            match candidates with
+            | [] -> ()
+            | _ ->
+                let chosen =
+                  pick_diverse ~count:1 ~load:adjusted_load
+                    ~used_zones:(used_zones !placed) candidates
+                in
+                List.iter (add Raft.Voter) chosen
+          end;
+          fill_voters rest
+  in
+  fill_voters regions_by_proximity;
+  if voters_placed () < zone.num_voters then
+    failwith "Allocator: not enough nodes to satisfy configuration";
+  (* 3. Non-voters demanded by constraints. *)
+  List.iter
+    (fun (region, count) ->
+      let missing = count - region_count region !placed in
+      if missing > 0 then begin
+        let candidates =
+          Topology.nodes_in_region topology region
+          |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+        in
+        let chosen =
+          pick_diverse ~count:missing ~load:adjusted_load
+            ~used_zones:(used_zones !placed) candidates
+        in
+        List.iter (add Raft.Learner) chosen
+      end)
+    zone.constraints;
+  (* 4. Any remaining replicas: spread across the emptiest regions. *)
+  let rec top_up () =
+    if List.length !placed < zone.num_replicas then begin
+      let region =
+        Topology.regions topology
+        |> List.map (fun r -> (region_count r !placed, r))
+        |> List.sort compare |> List.hd |> snd
+      in
+      let candidates =
+        Topology.nodes_in_region topology region
+        |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+      in
+      let candidates =
+        match candidates with
+        | [] ->
+            Array.to_list (Topology.nodes topology)
+            |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
+        | cs -> cs
+      in
+      let chosen =
+        pick_diverse ~count:1 ~load:adjusted_load ~used_zones:(used_zones !placed)
+          candidates
+      in
+      List.iter (add Raft.Learner) chosen;
+      top_up ()
+    end
+  in
+  top_up ();
+  !placed
+
+let preferred_leaseholder ~topology ~live ~zone placement =
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  let in_region region =
+    List.find_opt
+      (fun (id, _) ->
+        String.equal (Topology.region_of topology id) region && live id)
+      voters
+  in
+  let rec by_preference = function
+    | [] -> List.find_opt (fun (id, _) -> live id) voters
+    | region :: rest -> (
+        match in_region region with Some v -> Some v | None -> by_preference rest)
+  in
+  Option.map fst (by_preference zone.Zoneconfig.lease_preferences)
+
+let satisfies ~topology ~zone placement =
+  let open Zoneconfig in
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  let in_region region (id, _) =
+    String.equal (Topology.region_of topology id) region
+  in
+  List.length voters = zone.num_voters
+  && List.length placement = zone.num_replicas
+  && List.for_all
+       (fun (region, count) ->
+         List.length (List.filter (in_region region) voters) >= count)
+       zone.voter_constraints
+  && List.for_all
+       (fun (region, count) ->
+         List.length (List.filter (in_region region) placement) >= count)
+       zone.constraints

@@ -1,0 +1,34 @@
+(** Replica placement.
+
+    Turns a {!Zoneconfig.t} into a concrete assignment of replicas to nodes,
+    following CRDB's allocator heuristics (§3.2): satisfy the per-region
+    constraints, spread replicas across distinct failure domains (zones, then
+    regions — the diversity score), and break remaining ties by load (fewest
+    replicas already on the node). Unconstrained voters go to the regions
+    closest to the leaseholder so that quorums are cheap, matching the
+    paper's [L_raft] = "RTT to the nearest quorum". *)
+
+type placement = (Crdb_net.Topology.node_id * Crdb_raft.Raft.peer_kind) list
+
+val place :
+  topology:Crdb_net.Topology.t ->
+  latency:Crdb_net.Latency.t ->
+  load:(Crdb_net.Topology.node_id -> int) ->
+  zone:Zoneconfig.t ->
+  placement
+(** @raise Failure if the topology cannot satisfy the configuration (for
+    example, a voter constraint on a region with no nodes). *)
+
+val preferred_leaseholder :
+  topology:Crdb_net.Topology.t ->
+  live:(Crdb_net.Topology.node_id -> bool) ->
+  zone:Zoneconfig.t ->
+  placement ->
+  Crdb_net.Topology.node_id option
+(** The live voter to pin the lease to: in the first preferred region that
+    has one, otherwise any live voter. *)
+
+val satisfies :
+  topology:Crdb_net.Topology.t -> zone:Zoneconfig.t -> placement -> bool
+(** Check a placement against the configuration (used by tests and by
+    [alter] to decide whether to move replicas). *)

@@ -1,0 +1,1435 @@
+module Sim = Crdb_sim.Sim
+module Ivar = Crdb_sim.Ivar
+module Proc = Crdb_sim.Proc
+module Rng = Crdb_stdx.Rng
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Transport = Crdb_net.Transport
+module Ts = Crdb_hlc.Timestamp
+module Clock = Crdb_hlc.Clock
+module Mvcc = Crdb_storage.Mvcc
+module Tscache = Crdb_storage.Tscache
+module Raft = Crdb_raft.Raft
+module Smap = Map.Make (String)
+
+type policy = Lag of int | Lead
+
+type config = {
+  max_offset : int;
+  close_lag : int;
+  publish_interval : int;
+  raft_election_timeout : int;
+  raft_heartbeat_interval : int;
+  jitter : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    max_offset = 250_000;
+    close_lag = 3_000_000;
+    publish_interval = 100_000;
+    raft_election_timeout = 3_000_000;
+    raft_heartbeat_interval = 1_000_000;
+    jitter = 0.05;
+    seed = 0xC0C;
+  }
+
+type range_id = int
+
+type op =
+  | Op_put of { txn : int; ts : Ts.t; key : string; value : string option }
+  | Op_resolve of { txn : int; keys : string list; commit : Ts.t option }
+
+type cmd = { closed : Ts.t; proposer : int; op : op; done_ : unit Ivar.t }
+type snap = { snap_store : Mvcc.t; snap_closed : Ts.t }
+
+type lock = { l_txn : int; mutable l_ts : Ts.t; mutable l_waiters : unit Ivar.t list }
+
+type replica = {
+  r_node : int;
+  r_range : range;
+  r_store : Mvcc.t;
+  mutable r_raft : (cmd, snap) Raft.t option;
+  mutable r_applied_closed : Ts.t;
+  mutable r_side_closed : Ts.t;
+  mutable r_pending_side : (int * Ts.t) list;
+  r_locks : (string, lock) Hashtbl.t;
+  r_resolve_waiters : (string, unit Ivar.t list ref) Hashtbl.t;
+}
+
+and range = {
+  rg_id : range_id;
+  rg_span : string * string;
+  mutable rg_zone : Zoneconfig.t;
+  mutable rg_policy : policy;
+  rg_replicas : (int, replica) Hashtbl.t;
+  mutable rg_closed_target : Ts.t;
+  rg_tscache : Tscache.t;
+  mutable rg_dropped : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  topo : Topology.t;
+  latency : Latency.t;
+  net : Transport.t;
+  live : Liveness.t;
+  clocks : Clock.t array;
+  rng : Rng.t;
+  ranges_tbl : (range_id, range) Hashtbl.t;
+  mutable routing : range_id Smap.t; (* start_key -> range id *)
+  mutable next_range_id : int;
+  load : int array; (* replicas per node *)
+  diag : diag;
+}
+
+and diag = {
+  mutable d_conflict_timeouts : int;
+  mutable d_lh_misses : int;
+  mutable d_rpc_timeouts : int;
+  mutable d_not_leader : int;
+  mutable d_lock_waits : int;
+  mutable d_intent_waits : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let lease_duration = 4_500_000
+
+let create ?(config = default_config) ~topology ~latency () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:config.seed in
+  let net =
+    Transport.create ~jitter:config.jitter ~rng:(Rng.split rng) ~sim ~topology
+      ~latency ()
+  in
+  let n = Topology.num_nodes topology in
+  let clocks =
+    Array.init n (fun _ ->
+        (* Independent per-node skew. Real deployments keep actual skew well
+           below the configured tolerance; a quarter of max_offset per node
+           (half pairwise) models a healthy NTP/chrony setup. *)
+        let bound = config.max_offset / 4 in
+        let skew = if bound = 0 then 0 else Rng.int rng (2 * bound) - bound in
+        Clock.create ~skew_micros:skew ~now_micros:(fun () -> Sim.now sim) ())
+  in
+  {
+    sim;
+    cfg = config;
+    topo = topology;
+    latency;
+    net;
+    live = Liveness.create net;
+    clocks;
+    rng;
+    ranges_tbl = Hashtbl.create 64;
+    routing = Smap.empty;
+    next_range_id = 1;
+    load = Array.make n 0;
+    diag =
+      {
+        d_conflict_timeouts = 0;
+        d_lh_misses = 0;
+        d_rpc_timeouts = 0;
+        d_not_leader = 0;
+        d_lock_waits = 0;
+        d_intent_waits = 0;
+      };
+  }
+
+let sim t = t.sim
+let net t = t.net
+let topology t = t.topo
+let config t = t.cfg
+let clock t node = t.clocks.(node)
+let liveness t = t.live
+let rng t = t.rng
+let now_ts t node = Clock.now t.clocks.(node)
+let set_clock_skew t node skew = Clock.set_skew t.clocks.(node) skew
+
+let range t rid =
+  match Hashtbl.find_opt t.ranges_tbl rid with
+  | Some rg when not rg.rg_dropped -> rg
+  | Some _ | None -> invalid_arg (Printf.sprintf "Cluster: unknown range %d" rid)
+
+let ranges t =
+  Hashtbl.fold (fun id rg acc -> if rg.rg_dropped then acc else id :: acc) t.ranges_tbl []
+  |> List.sort Int.compare
+
+let span_of t rid = (range t rid).rg_span
+let policy_of t rid = (range t rid).rg_policy
+let zone_of t rid = (range t rid).rg_zone
+
+let range_of_key t key =
+  match Smap.find_last_opt (fun start -> String.compare start key <= 0) t.routing with
+  | Some (_, rid) ->
+      let rg = range t rid in
+      let _, end_key = rg.rg_span in
+      if String.compare key end_key < 0 then rid else raise Not_found
+  | None -> raise Not_found
+
+let replica_at rg node = Hashtbl.find_opt rg.rg_replicas node
+
+let replica_nodes t rid =
+  let rg = range t rid in
+  Hashtbl.fold
+    (fun node r acc ->
+      match r.r_raft with
+      | Some raft -> (
+          match List.assoc_opt node (Raft.peers raft) with
+          | Some kind -> (node, kind) :: acc
+          | None -> acc)
+      | None -> acc)
+    rg.rg_replicas []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Closed timestamps                                                   *)
+
+(* L_raft + L_replicate for the current placement (§6.2.1). *)
+let lead_components t rg =
+  let home =
+    match rg.rg_zone.Zoneconfig.lease_preferences with
+    | h :: _ -> h
+    | [] -> List.hd (Topology.regions t.topo)
+  in
+  let placements =
+    Hashtbl.fold
+      (fun node r acc ->
+        match r.r_raft with
+        | Some raft -> (
+            match List.assoc_opt node (Raft.peers raft) with
+            | Some kind -> (node, kind) :: acc
+            | None -> acc)
+        | None -> acc)
+      rg.rg_replicas []
+  in
+  let rtt_to node = Latency.rtt t.latency home (Topology.region_of t.topo node) in
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placements in
+  let quorum = (List.length voters / 2) + 1 in
+  let voter_rtts = List.sort Int.compare (List.map (fun (n, _) -> rtt_to n) voters) in
+  (* The leader acks itself; it needs [quorum - 1] other acks, and the
+     cheapest ones come from the nearest voters (skip the leader's own 0). *)
+  let l_raft =
+    match voter_rtts with
+    | [] -> Latency.intra_region_rtt t.latency
+    | _ :: rest ->
+        let rec nth i = function
+          | [] -> Latency.intra_region_rtt t.latency
+          | x :: xs -> if i = 0 then x else nth (i - 1) xs
+        in
+        if quorum - 1 = 0 then 0 else nth (quorum - 2) rest
+  in
+  let l_replicate =
+    List.fold_left (fun acc (n, _) -> max acc (rtt_to n / 2)) 0 placements
+  in
+  (l_raft, l_replicate)
+
+(* §6.2.1: the leaseholder must close L_raft + L_replicate + max_offset into
+   the future; on top of the paper's formula we budget for the side-channel
+   publication period and for reader/leaseholder clock skew (half the
+   tolerated maximum), without which skewed readers' uncertainty windows
+   would not be fully closed and reads would redirect. *)
+let lead_duration_of t ~l_raft ~l_replicate =
+  l_raft + l_replicate + t.cfg.max_offset + (t.cfg.max_offset / 2)
+  + t.cfg.publish_interval + 25_000
+
+let closed_lead_duration t rid =
+  let rg = range t rid in
+  let l_raft, l_replicate = lead_components t rg in
+  lead_duration_of t ~l_raft ~l_replicate
+
+(* Compute and ratchet the range's closed-timestamp target, as seen by the
+   leaseholder clock at [node]. *)
+let next_closed_target t rg node =
+  let phys = Clock.physical_now t.clocks.(node) in
+  let target =
+    match rg.rg_policy with
+    | Lag d -> Ts.of_wall (max 0 (phys - d))
+    | Lead ->
+        let l_raft, l_replicate = lead_components t rg in
+        Ts.of_wall (phys + lead_duration_of t ~l_raft ~l_replicate)
+  in
+  rg.rg_closed_target <- Ts.max rg.rg_closed_target target;
+  rg.rg_closed_target
+
+let replica_closed r = Ts.max r.r_applied_closed r.r_side_closed
+
+let promote_side r =
+  match r.r_raft with
+  | None -> ()
+  | Some raft ->
+      let applied = Raft.applied_index raft in
+      let ready, pending =
+        List.partition (fun (lai, _) -> lai <= applied) r.r_pending_side
+      in
+      List.iter
+        (fun (_, ts) -> r.r_side_closed <- Ts.max r.r_side_closed ts)
+        ready;
+      r.r_pending_side <- pending
+
+(* ------------------------------------------------------------------ *)
+(* Lock table and intent waiters                                       *)
+
+let wake_waiters r key =
+  (match Hashtbl.find_opt r.r_resolve_waiters key with
+  | Some ivars ->
+      let ws = !ivars in
+      Hashtbl.remove r.r_resolve_waiters key;
+      List.iter (fun iv -> ignore (Ivar.try_fill iv ())) ws
+  | None -> ());
+  match Hashtbl.find_opt r.r_locks key with
+  | Some _ -> ()
+  | None -> ()
+
+let conflict_wait_timeout = 10_000_000
+
+(* Returns false if the wait timed out (possible abandoned intent or
+   deadlock); callers surface a restartable error. *)
+let wait_for_resolve t r key =
+  t.diag.d_intent_waits <- t.diag.d_intent_waits + 1;
+  let iv = Ivar.create () in
+  (match Hashtbl.find_opt r.r_resolve_waiters key with
+  | Some ivars -> ivars := iv :: !ivars
+  | None -> Hashtbl.replace r.r_resolve_waiters key (ref [ iv ]));
+  match Proc.await_timeout t.sim iv ~timeout:conflict_wait_timeout with
+  | Some () -> true
+  | None -> false
+
+let release_lock r key txn =
+  match Hashtbl.find_opt r.r_locks key with
+  | Some l when l.l_txn = txn ->
+      Hashtbl.remove r.r_locks key;
+      List.iter (fun iv -> ignore (Ivar.try_fill iv ())) l.l_waiters
+  | Some _ | None -> ()
+
+let wait_for_lock t l =
+  t.diag.d_lock_waits <- t.diag.d_lock_waits + 1;
+  let iv = Ivar.create () in
+  l.l_waiters <- iv :: l.l_waiters;
+  match Proc.await_timeout t.sim iv ~timeout:conflict_wait_timeout with
+  | Some () -> true
+  | None ->
+      t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Command application (the replicated state machine)                  *)
+
+let apply_cmd r cmd =
+  r.r_applied_closed <- Ts.max r.r_applied_closed cmd.closed;
+  (match cmd.op with
+  | Op_put { txn; ts; key; value } -> (
+      match Mvcc.put_intent r.r_store ~key ~txn_id:txn ~ts ~value with
+      | Mvcc.Written -> ()
+      | Mvcc.Write_blocked _ ->
+          (* The leaseholder's lock table serializes writers, so a foreign
+             intent here means replay after a lease transfer; drop it. *)
+          ())
+  | Op_resolve { txn; keys; commit } ->
+      List.iter
+        (fun key ->
+          Mvcc.resolve_intent r.r_store ~key ~txn_id:txn ~commit;
+          release_lock r key txn;
+          wake_waiters r key)
+        keys);
+  promote_side r;
+  if cmd.proposer = r.r_node then ignore (Ivar.try_fill cmd.done_ ())
+
+(* ------------------------------------------------------------------ *)
+(* Replica construction and Raft wiring                                *)
+
+let lease_valid t r =
+  match r.r_raft with
+  | None -> false
+  | Some raft ->
+      Raft.is_leader raft
+      && Transport.is_alive t.net r.r_node
+      && (Raft.quiesced raft
+         || Sim.now t.sim - Raft.last_quorum_contact raft < lease_duration)
+
+let leaseholder t rid =
+  let rg = range t rid in
+  Hashtbl.fold
+    (fun node r acc ->
+      match acc with Some _ -> acc | None -> if lease_valid t r then Some node else acc)
+    rg.rg_replicas None
+
+let leaseholder_region t rid =
+  Option.map (Topology.region_of t.topo) (leaseholder t rid)
+
+let preferred_leaseholder_node t rg =
+  let placement =
+    Hashtbl.fold
+      (fun node r acc ->
+        match r.r_raft with
+        | Some raft -> (
+            match List.assoc_opt node (Raft.peers raft) with
+            | Some kind -> (node, kind) :: acc
+            | None -> acc)
+        | None -> acc)
+      rg.rg_replicas []
+  in
+  Allocator.preferred_leaseholder ~topology:t.topo
+    ~live:(Transport.is_alive t.net) ~zone:rg.rg_zone placement
+
+let rec make_replica t rg node =
+  let r =
+    {
+      r_node = node;
+      r_range = rg;
+      r_store = Mvcc.create ();
+      r_raft = None;
+      r_applied_closed = Ts.zero;
+      r_side_closed = Ts.zero;
+      r_pending_side = [];
+      r_locks = Hashtbl.create 16;
+      r_resolve_waiters = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace rg.rg_replicas node r;
+  t.load.(node) <- t.load.(node) + 1;
+  r
+
+and raft_callbacks t rg r =
+  {
+    Raft.send =
+      (fun dst msg ->
+        Transport.send t.net ~src:r.r_node ~dst (fun () ->
+            match replica_at rg dst with
+            | Some peer -> (
+                match peer.r_raft with
+                | Some raft -> Raft.handle raft ~from:r.r_node msg
+                | None -> ())
+            | None -> ()));
+    on_apply = (fun ~index:_ cmd -> apply_cmd r cmd);
+    on_role =
+      (fun role ->
+        match role with
+        | Raft.Leader ->
+            (* New leaseholder: protect reads served by the previous one. *)
+            Tscache.bump_low_water rg.rg_tscache
+              (Ts.of_wall (Clock.physical_now t.clocks.(r.r_node) + t.cfg.max_offset));
+            (* Honor lease preferences. *)
+            let home_ok =
+              match rg.rg_zone.Zoneconfig.lease_preferences with
+              | [] -> true
+              | prefs -> List.mem (Topology.region_of t.topo r.r_node) prefs
+            in
+            let target_in_prefs target =
+              List.mem
+                (Topology.region_of t.topo target)
+                rg.rg_zone.Zoneconfig.lease_preferences
+            in
+            if not home_ok then begin
+              match preferred_leaseholder_node t rg with
+              | Some target when target <> r.r_node && target_in_prefs target -> (
+                  match r.r_raft with
+                  | Some raft ->
+                      (* Defer: transferring synchronously inside the role
+                         callback would re-enter Raft. *)
+                      Sim.schedule t.sim ~after:1_000 (fun () ->
+                          if Raft.is_leader raft then
+                            Raft.transfer_leadership raft target)
+                  | None -> ())
+              | Some _ | None -> ()
+            end
+        | Raft.Follower | Raft.Candidate -> ());
+    on_config =
+      (fun change ->
+        if not (List.mem_assoc r.r_node change) then begin
+          Hashtbl.remove rg.rg_replicas r.r_node;
+          t.load.(r.r_node) <- max 0 (t.load.(r.r_node) - 1)
+        end
+        else begin
+          match r.r_raft with
+          | Some raft when Raft.is_leader raft ->
+              (* Materialize replicas for newly added peers. *)
+              List.iter
+                (fun (node, _) ->
+                  match replica_at rg node with
+                  | Some _ -> ()
+                  | None -> add_replica t rg node ~preferred:(Some r.r_node))
+                change
+          | Some _ | None -> ()
+        end);
+    take_snapshot =
+      (fun () -> { snap_store = Mvcc.copy r.r_store; snap_closed = r.r_applied_closed });
+    install_snapshot =
+      (fun s ->
+        Hashtbl.reset r.r_locks;
+        r.r_applied_closed <- Ts.max r.r_applied_closed s.snap_closed;
+        Mvcc.replace_with r.r_store s.snap_store);
+    is_node_live = (fun node -> Liveness.believed_live t.live node);
+  }
+
+and add_replica t rg node ~preferred =
+  let r = make_replica t rg node in
+  let peers =
+    (* Peer set comes from the leader's current config via snapshot/appends;
+       start with just enough to participate. *)
+    match
+      Hashtbl.fold
+        (fun _ peer acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match peer.r_raft with
+              | Some raft when Raft.is_leader raft -> Some (Raft.peers raft)
+              | Some _ | None -> acc))
+        rg.rg_replicas None
+    with
+    | Some ps -> ps
+    | None -> [ (node, Raft.Learner) ]
+  in
+  let peers =
+    if List.mem_assoc node peers then peers else (node, Raft.Learner) :: peers
+  in
+  let raft =
+    Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers
+      ~callbacks:(raft_callbacks t rg r)
+      ~election_timeout:t.cfg.raft_election_timeout
+      ~heartbeat_interval:t.cfg.raft_heartbeat_interval ()
+  in
+  r.r_raft <- Some raft;
+  match preferred with
+  | Some p -> Raft.start ~preferred:p raft
+  | None -> Raft.start raft
+
+(* ------------------------------------------------------------------ *)
+(* Range administration                                                *)
+
+let add_range t ~span ~zone ~policy =
+  let start_key, end_key = span in
+  if String.compare start_key end_key >= 0 then
+    invalid_arg "Cluster.add_range: empty span";
+  Smap.iter
+    (fun other_start rid ->
+      let rg = Hashtbl.find t.ranges_tbl rid in
+      if not rg.rg_dropped then begin
+        let _, other_end = rg.rg_span in
+        if
+          String.compare other_start end_key < 0
+          && String.compare start_key other_end < 0
+        then invalid_arg "Cluster.add_range: overlapping span"
+      end)
+    t.routing;
+  let rid = t.next_range_id in
+  t.next_range_id <- rid + 1;
+  let rg =
+    {
+      rg_id = rid;
+      rg_span = span;
+      rg_zone = zone;
+      rg_policy = policy;
+      rg_replicas = Hashtbl.create 8;
+      rg_closed_target = Ts.zero;
+      rg_tscache = Tscache.create ~low_water:Ts.zero;
+      rg_dropped = false;
+    }
+  in
+  Hashtbl.replace t.ranges_tbl rid rg;
+  t.routing <- Smap.add start_key rid t.routing;
+  let placement =
+    Allocator.place ~topology:t.topo ~latency:t.latency
+      ~load:(fun n -> t.load.(n))
+      ~zone
+  in
+  let preferred =
+    Allocator.preferred_leaseholder ~topology:t.topo
+      ~live:(Transport.is_alive t.net) ~zone placement
+  in
+  List.iter (fun (node, _) -> ignore (make_replica t rg node : replica)) placement;
+  List.iter
+    (fun (node, _) ->
+      let r = Hashtbl.find rg.rg_replicas node in
+      let raft =
+        Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers:placement
+          ~callbacks:(raft_callbacks t rg r)
+          ~election_timeout:t.cfg.raft_election_timeout
+          ~heartbeat_interval:t.cfg.raft_heartbeat_interval ()
+      in
+      r.r_raft <- Some raft)
+    placement;
+  List.iter
+    (fun (node, _) ->
+      let r = Hashtbl.find rg.rg_replicas node in
+      match r.r_raft with
+      | Some raft -> (
+          match preferred with
+          | Some p -> Raft.start ~preferred:p raft
+          | None -> Raft.start raft)
+      | None -> ())
+    placement;
+  rid
+
+let range_opt t rid =
+  match Hashtbl.find_opt t.ranges_tbl rid with
+  | Some rg when not rg.rg_dropped -> Some rg
+  | Some _ | None -> None
+
+let leader_replica t rid =
+  let rg = range t rid in
+  Hashtbl.fold
+    (fun _ r acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match r.r_raft with
+          | Some raft when Raft.is_leader raft && Transport.is_alive t.net r.r_node ->
+              Some r
+          | Some _ | None -> acc))
+    rg.rg_replicas None
+
+let alter_range t rid ~zone ~policy =
+  let rg = range t rid in
+  rg.rg_zone <- zone;
+  rg.rg_policy <- policy;
+  let current =
+    Hashtbl.fold
+      (fun node r acc ->
+        match r.r_raft with
+        | Some raft -> (
+            match List.assoc_opt node (Raft.peers raft) with
+            | Some kind -> (node, kind) :: acc
+            | None -> acc)
+        | None -> acc)
+      rg.rg_replicas []
+  in
+  let needs_move = not (Allocator.satisfies ~topology:t.topo ~zone current) in
+  if needs_move then begin
+    (* Bias the allocator towards nodes that already host a replica so the
+       reconfiguration moves as little data as possible. *)
+    let load n =
+      if Hashtbl.mem rg.rg_replicas n then t.load.(n) - 1_000_000 else t.load.(n)
+    in
+    let placement =
+      Allocator.place ~topology:t.topo ~latency:t.latency ~load ~zone
+    in
+    let rec try_propose attempts =
+      if range_opt t rid = None then () (* dropped while scheduled *)
+      else
+      match leader_replica t rid with
+      | Some r -> (
+          match r.r_raft with
+          | Some raft ->
+              (* The leader must stay a peer for the handoff; if the new
+                 placement drops it, keep it as a learner and let a later
+                 rebalance remove it. *)
+              let placement =
+                if List.mem_assoc r.r_node placement then placement
+                else (r.r_node, Raft.Learner) :: placement
+              in
+              ignore (Raft.propose_config raft placement : int option)
+          | None -> ())
+      | None ->
+          if attempts > 0 then
+            Sim.schedule t.sim ~after:500_000 (fun () -> try_propose (attempts - 1))
+    in
+    try_propose 20
+  end;
+  (* Move the lease into the (possibly new) preferred region. *)
+  let rec try_lease attempts =
+    if range_opt t rid = None then () (* dropped while scheduled *)
+    else
+    match (leader_replica t rid, preferred_leaseholder_node t rg) with
+    | Some r, Some target when r.r_node <> target -> (
+        match (r.r_raft, replica_at rg target) with
+        | Some raft, Some _ -> Raft.transfer_leadership raft target
+        | (Some _ | None), (Some _ | None) ->
+            if attempts > 0 then
+              Sim.schedule t.sim ~after:500_000 (fun () -> try_lease (attempts - 1)))
+    | (Some _ | None), (Some _ | None) -> ()
+  in
+  Sim.schedule t.sim ~after:1_000_000 (fun () -> try_lease 20)
+
+let drop_range t rid =
+  let rg = range t rid in
+  rg.rg_dropped <- true;
+  Hashtbl.iter
+    (fun node r ->
+      (match r.r_raft with Some raft -> Raft.stop raft | None -> ());
+      t.load.(node) <- max 0 (t.load.(node) - 1))
+    rg.rg_replicas;
+  let start_key, _ = rg.rg_span in
+  t.routing <- Smap.remove start_key t.routing;
+  Hashtbl.remove t.ranges_tbl rid
+
+let rebalance_leases t =
+  Hashtbl.iter
+    (fun _ rg ->
+      if not rg.rg_dropped then
+        match (leader_replica t rg.rg_id, preferred_leaseholder_node t rg) with
+        | Some r, Some target when r.r_node <> target -> (
+            match r.r_raft with
+            | Some raft -> Raft.transfer_leadership raft target
+            | None -> ())
+        | (Some _ | None), (Some _ | None) -> ())
+    t.ranges_tbl
+
+let run_for t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
+
+let settle t =
+  let attempts = ref 0 in
+  let all_have_lease () =
+    List.for_all (fun rid -> leaseholder t rid <> None) (ranges t)
+  in
+  run_for t 200_000;
+  while (not (all_have_lease ())) && !attempts < 40 do
+    incr attempts;
+    run_for t 500_000
+  done;
+  (* Let initial closed timestamps propagate to all replicas. *)
+  run_for t ((3 * t.cfg.publish_interval) + 200_000)
+
+let run t f =
+  let horizon = Sim.now t.sim + 3_600_000_000 in
+  let iv = Proc.async t.sim f in
+  while (not (Ivar.is_full iv)) && Sim.now t.sim < horizon && Sim.step t.sim do
+    ()
+  done;
+  match Ivar.peek iv with
+  | Some v -> v
+  | None -> failwith "Cluster.run: process did not complete (deadlock?)"
+
+let bulk_load t ?ts kvs =
+  (* Install safely in the past so no clock in the cluster can still read
+     below the load timestamp (versions normally acquire their timestamp
+     from the leaseholder clock; this backdoor must not produce "future"
+     values). *)
+  let ts =
+    match ts with
+    | Some ts -> ts
+    | None -> Ts.of_wall (max 1 (Sim.now t.sim - (2 * t.cfg.max_offset)))
+  in
+  List.iter
+    (fun (key, value) ->
+      match range_of_key t key with
+      | rid ->
+          let rg = range t rid in
+          Hashtbl.iter
+            (fun _ r -> Mvcc.put_version r.r_store ~key ~ts ~value:(Some value))
+            rg.rg_replicas
+      | exception Not_found ->
+          invalid_arg (Printf.sprintf "Cluster.bulk_load: no range for %s" key))
+    kvs
+
+let nearest_replica t rid ~from =
+  let rg = range t rid in
+  let from_region = Topology.region_of t.topo from in
+  let score node =
+    if node = from then -1
+    else if Transport.is_alive t.net node then
+      Latency.rtt t.latency from_region (Topology.region_of t.topo node)
+    else max_int
+  in
+  let best =
+    Hashtbl.fold
+      (fun node _ acc ->
+        match acc with
+        | None -> if score node < max_int then Some node else None
+        | Some b -> if score node < score b then Some node else acc)
+      rg.rg_replicas None
+  in
+  best
+
+(* ------------------------------------------------------------------ *)
+(* Closed-timestamp side channel (node-level transport)                *)
+
+let publish t node =
+  let batches : (int, (range * int * Ts.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let add dst item =
+    match Hashtbl.find_opt batches dst with
+    | Some l -> l := item :: !l
+    | None -> Hashtbl.replace batches dst (ref [ item ])
+  in
+  Hashtbl.iter
+    (fun _ rg ->
+      if not rg.rg_dropped then
+        match replica_at rg node with
+        | Some r -> (
+            match r.r_raft with
+            | Some raft when Raft.is_leader raft ->
+                let target = next_closed_target t rg node in
+                let lai = Raft.last_index raft in
+                List.iter
+                  (fun (peer, _) -> if peer <> node then add peer (rg, lai, target))
+                  (Raft.peers raft)
+            | Some _ | None -> ())
+        | None -> ())
+    t.ranges_tbl;
+  Hashtbl.iter
+    (fun dst items ->
+      let items = !items in
+      Transport.send t.net ~src:node ~dst (fun () ->
+          List.iter
+            (fun (rg, lai, ts) ->
+              match replica_at rg dst with
+              | Some r ->
+                  r.r_pending_side <- (lai, ts) :: r.r_pending_side;
+                  promote_side r
+              | None -> ())
+            items))
+    batches
+
+let start_publishers t =
+  for node = 0 to Topology.num_nodes t.topo - 1 do
+    let rec tick () =
+      if Transport.is_alive t.net node then publish t node;
+      Sim.schedule t.sim ~after:t.cfg.publish_interval tick
+    in
+    (* Stagger the first publication per node. *)
+    Sim.schedule t.sim
+      ~after:(1 + (node * 7919 mod t.cfg.publish_interval))
+      tick
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+type read_result =
+  | Read_value of { value : string option; ts : Ts.t }
+  | Read_uncertain of { value_ts : Ts.t }
+  | Read_redirect
+  | Read_err of string
+
+type scan_result =
+  | Scan_rows of (string * string) list
+  | Scan_uncertain of { value_ts : Ts.t }
+  | Scan_redirect
+  | Scan_err of string
+
+let rpc_timeout = 30_000_000
+let op_deadline = 120_000_000
+
+let with_leaseholder t ~gateway rid ~(on_fail : string -> 'a) (eval : replica -> [ `Done of 'a | `Not_leader ]) : 'a =
+  let deadline = Sim.now t.sim + op_deadline in
+  let rec go () =
+    if Sim.now t.sim > deadline then on_fail "range unavailable: no leaseholder"
+    else
+      match leaseholder t rid with
+      | None ->
+          t.diag.d_lh_misses <- t.diag.d_lh_misses + 1;
+          Proc.sleep t.sim 250_000;
+          go ()
+      | Some lh -> (
+          let rg = range t rid in
+          match replica_at rg lh with
+          | None ->
+              Proc.sleep t.sim 250_000;
+              go ()
+          | Some r -> (
+              let reply =
+                Transport.rpc t.net ~src:gateway ~dst:lh (fun out ->
+                    Proc.spawn t.sim (fun () ->
+                        ignore (Ivar.try_fill out (eval r) : bool)))
+              in
+              match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
+              | Some (`Done res) -> res
+              | Some `Not_leader ->
+                  t.diag.d_not_leader <- t.diag.d_not_leader + 1;
+                  Proc.sleep t.sim 100_000;
+                  go ()
+              | None ->
+                  t.diag.d_rpc_timeouts <- t.diag.d_rpc_timeouts + 1;
+                  go ()))
+  in
+  go ()
+
+let is_leader_now r =
+  match r.r_raft with Some raft -> Raft.is_leader raft | None -> false
+
+let foreign_lock r ~txn ~key ~max_ts =
+  match Hashtbl.find_opt r.r_locks key with
+  | Some l
+    when (match txn with Some x -> x <> l.l_txn | None -> true)
+         && Ts.(l.l_ts <= max_ts) ->
+      Some l
+  | Some _ | None -> None
+
+let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
+  if not (is_leader_now r) then `Not_leader
+  else
+    (* Observed timestamps: values above the leaseholder's own clock cannot
+       have committed before this request arrived, so they are outside the
+       real-time ordering obligation and the uncertainty window shrinks to
+       the leaseholder's now. Future-time (Lead) ranges are exempt: their
+       committed writes legitimately sit above every clock (§6.2). *)
+    let max_ts =
+      match r.r_range.rg_policy with
+      | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
+      | Lead -> max_ts
+    in
+    match foreign_lock r ~txn ~key ~max_ts with
+    | Some l ->
+        if wait_for_lock t l then eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
+        else `Done (Read_err "conflict timeout")
+    | None -> (
+        match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
+        | Mvcc.Intent_blocked _ ->
+            if wait_for_resolve t r key then
+              eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
+            else `Done (Read_err "conflict timeout")
+        | Mvcc.Value { value; ts = vts } ->
+            Tscache.record_read r.r_range.rg_tscache ~txn ~key ~ts;
+            `Done (Read_value { value; ts = vts })
+        | Mvcc.Uncertain { value_ts } ->
+            (* Server-side retry: when the transaction has no prior reads to
+               refresh, ratchet the timestamp in place instead of bouncing
+               the uncertainty error back across the network. *)
+            if inline_bump then
+              eval_read t r ~inline_bump ~txn ~key ~ts:value_ts ~max_ts
+            else `Done (Read_uncertain { value_ts }))
+
+let read t ?(inline_bump = false) ~gateway ~txn ~key ~ts ~max_ts () =
+  match range_of_key t key with
+  | rid ->
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun msg -> Read_err msg)
+        (fun r -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
+  | exception Not_found -> Read_err ("no range for key " ^ key)
+
+let read_follower t ~at ~txn ~key ~ts ~max_ts =
+  match range_of_key t key with
+  | exception Not_found -> Read_err ("no range for key " ^ key)
+  | rid -> (
+      let rg = range t rid in
+      let eval r =
+        if Ts.(replica_closed r >= max_ts) then
+          match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
+          | Mvcc.Value { value; ts = vts } -> Read_value { value; ts = vts }
+          | Mvcc.Uncertain { value_ts } -> Read_uncertain { value_ts }
+          | Mvcc.Intent_blocked _ -> Read_redirect
+        else Read_redirect
+      in
+      match replica_at rg at with
+      | Some r ->
+          (* Collocated replica: local storage access. *)
+          Proc.sleep t.sim 50;
+          eval r
+      | None -> (
+          match nearest_replica t rid ~from:at with
+          | None -> Read_err "no live replica"
+          | Some node -> (
+              let rg = range t rid in
+              match replica_at rg node with
+              | None -> Read_err "no live replica"
+              | Some r -> (
+                  let reply =
+                    Transport.rpc t.net ~src:at ~dst:node (fun out ->
+                        Ivar.fill out (eval r))
+                  in
+                  match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
+                  | Some res -> res
+                  | None -> Read_err "follower read timeout"))))
+
+let clamp_span rg ~start_key ~end_key =
+  let s, e = rg.rg_span in
+  let lo = if String.compare start_key s > 0 then start_key else s in
+  let hi = if String.compare end_key e < 0 then end_key else e in
+  (lo, hi)
+
+let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+  if not (is_leader_now r) then `Not_leader
+  else begin
+    let max_ts =
+      match r.r_range.rg_policy with
+      | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
+      | Lead -> max_ts
+    in
+    let rows =
+      Mvcc.scan r.r_store ~start_key ~end_key ~ts ~max_ts ~for_txn:txn ~limit
+    in
+    let blocked =
+      List.find_opt
+        (fun (_, o) -> match o with Mvcc.Intent_blocked _ -> true | _ -> false)
+        rows
+    in
+    let locked =
+      (* A scan must also respect locks on keys it covers. *)
+      Hashtbl.fold
+        (fun key l acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                String.compare key start_key >= 0
+                && String.compare key end_key < 0
+                && (match txn with Some x -> x <> l.l_txn | None -> true)
+                && Ts.(l.l_ts <= max_ts)
+              then Some l
+              else None)
+        r.r_locks None
+    in
+    match (locked, blocked) with
+    | Some l, _ ->
+        if wait_for_lock t l then
+          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
+        else `Done (Scan_err "conflict timeout")
+    | None, Some (key, _) ->
+        if wait_for_resolve t r key then
+          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
+        else `Done (Scan_err "conflict timeout")
+    | None, None -> (
+        let uncertain =
+          List.fold_left
+            (fun acc (_, o) ->
+              match o with
+              | Mvcc.Uncertain { value_ts } -> (
+                  match acc with
+                  | None -> Some value_ts
+                  | Some best -> Some (Ts.max best value_ts))
+              | Mvcc.Value _ | Mvcc.Intent_blocked _ -> acc)
+            None rows
+        in
+        match uncertain with
+        | Some value_ts -> `Done (Scan_uncertain { value_ts })
+        | None ->
+            Tscache.record_read_span r.r_range.rg_tscache ~txn ~start_key
+              ~end_key ~ts;
+            let out =
+              List.filter_map
+                (fun (key, o) ->
+                  match o with
+                  | Mvcc.Value { value = Some v; _ } -> Some (key, v)
+                  | Mvcc.Value { value = None; _ }
+                  | Mvcc.Uncertain _ | Mvcc.Intent_blocked _ -> None)
+                rows
+            in
+            `Done (Scan_rows out))
+  end
+
+let scan t ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+  match range_of_key t start_key with
+  | exception Not_found -> Scan_err ("no range for key " ^ start_key)
+  | rid ->
+      let rg = range t rid in
+      let start_key, end_key = clamp_span rg ~start_key ~end_key in
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun msg -> Scan_err msg)
+        (fun r -> eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit)
+
+let scan_follower t ~at ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+  match range_of_key t start_key with
+  | exception Not_found -> Scan_err ("no range for key " ^ start_key)
+  | rid -> (
+      let rg = range t rid in
+      let start_key, end_key = clamp_span rg ~start_key ~end_key in
+      let eval r =
+        if not Ts.(replica_closed r >= max_ts) then Scan_redirect
+        else begin
+          let rows =
+            Mvcc.scan r.r_store ~start_key ~end_key ~ts ~max_ts ~for_txn:txn
+              ~limit
+          in
+          let has_block =
+            List.exists
+              (fun (_, o) ->
+                match o with Mvcc.Intent_blocked _ -> true | _ -> false)
+              rows
+          in
+          if has_block then Scan_redirect
+          else
+            let uncertain =
+              List.fold_left
+                (fun acc (_, o) ->
+                  match o with
+                  | Mvcc.Uncertain { value_ts } -> (
+                      match acc with
+                      | None -> Some value_ts
+                      | Some best -> Some (Ts.max best value_ts))
+                  | Mvcc.Value _ | Mvcc.Intent_blocked _ -> acc)
+                None rows
+            in
+            match uncertain with
+            | Some value_ts -> Scan_uncertain { value_ts }
+            | None ->
+                Scan_rows
+                  (List.filter_map
+                     (fun (key, o) ->
+                       match o with
+                       | Mvcc.Value { value = Some v; _ } -> Some (key, v)
+                       | Mvcc.Value { value = None; _ }
+                       | Mvcc.Uncertain _ | Mvcc.Intent_blocked _ -> None)
+                     rows)
+        end
+      in
+      match replica_at rg at with
+      | Some r ->
+          Proc.sleep t.sim 50;
+          eval r
+      | None -> (
+          match nearest_replica t rid ~from:at with
+          | None -> Scan_err "no live replica"
+          | Some node -> (
+              match replica_at rg node with
+              | None -> Scan_err "no live replica"
+              | Some r -> (
+                  let reply =
+                    Transport.rpc t.net ~src:at ~dst:node (fun out ->
+                        Ivar.fill out (eval r))
+                  in
+                  match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
+                  | Some res -> res
+                  | None -> Scan_err "follower scan timeout"))))
+
+let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts =
+  if not (is_leader_now r) then `Not_leader
+  else
+    match Hashtbl.find_opt r.r_locks key with
+    | Some l when l.l_txn <> txn ->
+        if wait_for_lock t l then
+          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts
+        else `Done (Error "conflict timeout")
+    | existing -> (
+        match Mvcc.intent_on r.r_store ~key with
+        | Some i when i.Mvcc.txn_id <> txn ->
+            if wait_for_resolve t r key then
+              eval_write t r ~applied ~gateway ~txn ~key ~value ~ts
+            else `Done (Error "conflict timeout")
+        | Some _ | None -> (
+            match r.r_raft with
+            | None -> `Not_leader
+            | Some raft ->
+                let rg = r.r_range in
+                let target = next_closed_target t rg r.r_node in
+                let ts =
+                  Ts.max ts
+                    (Ts.next
+                       (Tscache.max_read rg.rg_tscache ~for_txn:(Some txn) ~key))
+                in
+                let ts =
+                  let latest = Mvcc.latest_ts r.r_store ~key in
+                  if Ts.(latest >= ts) then Ts.next latest else ts
+                in
+                let ts = Ts.max ts (Ts.next target) in
+                let created =
+                  match existing with
+                  | Some l ->
+                      l.l_ts <- Ts.max l.l_ts ts;
+                      false
+                  | None ->
+                      Hashtbl.replace r.r_locks key
+                        { l_txn = txn; l_ts = ts; l_waiters = [] };
+                      true
+                in
+                let done_ = Ivar.create () in
+                let cmd =
+                  {
+                    closed = target;
+                    proposer = r.r_node;
+                    op = Op_put { txn; ts; key; value };
+                    done_;
+                  }
+                in
+                (match Raft.propose raft cmd with
+                | None ->
+                    if created then release_lock r key txn;
+                    `Not_leader
+                | Some _ -> (
+                    match applied with
+                    | Some ack ->
+                        (* Pipelined write (CRDB write pipelining): reply as
+                           soon as the intent is in the log; confirm its
+                           application to the gateway asynchronously. The
+                           transaction awaits all confirmations at commit. *)
+                        Ivar.on_fill done_ (fun () ->
+                            Transport.send t.net ~src:r.r_node ~dst:gateway
+                              (fun () -> ignore (Ivar.try_fill ack () : bool)));
+                        `Done (Ok ts)
+                    | None ->
+                        Proc.await done_;
+                        `Done (Ok ts)))))
+
+(* One-phase commit: evaluate, then propose the intent and its commit
+   resolution back to back in the same Raft log. The lock exists only
+   between the two proposals (no simulated time passes), so concurrent
+   readers never observe it — CRDB's 1PC fast path for transactions whose
+   writes all land on one range. *)
+let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts =
+  match eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value ~ts with
+  | (`Not_leader | `Done (Error _)) as other -> other
+  | `Done (Ok final_ts) -> (
+      match r.r_raft with
+      | None -> `Not_leader
+      | Some raft -> (
+          let rg = r.r_range in
+          let target = next_closed_target t rg r.r_node in
+          let done_ = Ivar.create () in
+          let cmd =
+            {
+              closed = target;
+              proposer = r.r_node;
+              op = Op_resolve { txn; keys = [ key ]; commit = Some final_ts };
+              done_;
+            }
+          in
+          match Raft.propose raft cmd with
+          | None ->
+              release_lock r key txn;
+              `Not_leader
+          | Some _ ->
+              Proc.await done_;
+              `Done (Ok final_ts)))
+
+let write_and_commit t ~gateway ~txn ~key ~value ~ts () =
+  match range_of_key t key with
+  | exception Not_found -> Error ("no range for key " ^ key)
+  | rid ->
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun msg -> Error msg)
+        (fun r -> eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts)
+
+let write t ?applied ~gateway ~txn ~key ~value ~ts () =
+  match range_of_key t key with
+  | exception Not_found -> Error ("no range for key " ^ key)
+  | rid ->
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun msg -> Error msg)
+        (fun r -> eval_write t r ~applied ~gateway ~txn ~key ~value ~ts)
+
+let eval_resolve t r ~txn ~keys ~commit =
+  if not (is_leader_now r) then `Not_leader
+  else
+    match r.r_raft with
+    | None -> `Not_leader
+    | Some raft -> (
+        let rg = r.r_range in
+        let target = next_closed_target t rg r.r_node in
+        let done_ = Ivar.create () in
+        let cmd =
+          {
+            closed = target;
+            proposer = r.r_node;
+            op = Op_resolve { txn; keys; commit };
+            done_;
+          }
+        in
+        match Raft.propose raft cmd with
+        | None -> `Not_leader
+        | Some _ ->
+            Proc.await done_;
+            `Done ())
+
+let resolve t ~gateway ~txn ~commit ~keys ~sync_all =
+  match keys with
+  | [] -> ()
+  | anchor_key :: _ ->
+      (* Group keys by range, preserving the anchor first. *)
+      let groups = Hashtbl.create 4 in
+      let order = ref [] in
+      List.iter
+        (fun key ->
+          match range_of_key t key with
+          | rid -> (
+              match Hashtbl.find_opt groups rid with
+              | Some l -> l := key :: !l
+              | None ->
+                  Hashtbl.replace groups rid (ref [ key ]);
+                  order := rid :: !order)
+          | exception Not_found -> ())
+        keys;
+      let order = List.rev !order in
+      let anchor_rid =
+        match range_of_key t anchor_key with
+        | rid -> rid
+        | exception Not_found -> List.hd order
+      in
+      let results =
+        List.map
+          (fun rid ->
+            let ks = !(Hashtbl.find groups rid) in
+            ( rid,
+              Proc.async t.sim (fun () ->
+                  with_leaseholder t ~gateway rid
+                    ~on_fail:(fun _ -> ())
+                    (fun r -> eval_resolve t r ~txn ~keys:ks ~commit)) ))
+          order
+      in
+      List.iter
+        (fun (rid, iv) ->
+          if rid = anchor_rid || sync_all then ignore (Proc.await iv))
+        results
+
+let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
+  ignore t;
+  if not (is_leader_now r) then `Not_leader
+  else begin
+    let lock_conflict =
+      match Hashtbl.find_opt r.r_locks key with
+      | Some l when l.l_txn <> txn && Ts.(l.l_ts <= to_ts) -> true
+      | Some _ | None -> false
+    in
+    let intent_conflict =
+      match Mvcc.intent_on r.r_store ~key with
+      | Some i when i.Mvcc.txn_id <> txn && Ts.(i.Mvcc.ts <= to_ts) -> true
+      | Some _ | None -> false
+    in
+    if lock_conflict || intent_conflict then `Done false
+    else if Mvcc.has_committed_after r.r_store ~key ~after:from_ts ~upto:to_ts
+    then `Done false
+    else begin
+      Tscache.record_read r.r_range.rg_tscache ~txn:(Some txn) ~key ~ts:to_ts;
+      `Done true
+    end
+  end
+
+let refresh t ~gateway ~txn ~key ~from_ts ~to_ts =
+  match range_of_key t key with
+  | exception Not_found -> false
+  | rid ->
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun _ -> false)
+        (fun r -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
+
+let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
+  ignore t;
+  if not (is_leader_now r) then `Not_leader
+  else begin
+    let lock_conflict =
+      Hashtbl.fold
+        (fun key l acc ->
+          acc
+          || String.compare key start_key >= 0
+             && String.compare key end_key < 0
+             && l.l_txn <> txn
+             && Ts.(l.l_ts <= to_ts))
+        r.r_locks false
+    in
+    let version_conflict =
+      Mvcc.span_has_writes_in_window r.r_store ~start_key ~end_key
+        ~after:from_ts ~upto:to_ts ~ignore_txn:(Some txn)
+    in
+    if lock_conflict || version_conflict then `Done false
+    else begin
+      Tscache.record_read_span r.r_range.rg_tscache ~txn:(Some txn) ~start_key
+        ~end_key ~ts:to_ts;
+      `Done true
+    end
+  end
+
+let refresh_span t ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts =
+  match range_of_key t start_key with
+  | exception Not_found -> false
+  | rid ->
+      let rg = range t rid in
+      let start_key, end_key = clamp_span rg ~start_key ~end_key in
+      with_leaseholder t ~gateway rid
+        ~on_fail:(fun _ -> false)
+        (fun r -> eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts)
+
+let local_closed t ~at rid =
+  let rg = range t rid in
+  match replica_at rg at with
+  | Some r -> replica_closed r
+  | None -> Ts.zero
+
+let negotiate t ~at ~keys =
+  (* Group keys by range and query the nearest replica of each. *)
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun key ->
+      match range_of_key t key with
+      | rid -> (
+          match Hashtbl.find_opt groups rid with
+          | Some l -> l := key :: !l
+          | None -> Hashtbl.replace groups rid (ref [ key ]))
+      | exception Not_found -> ())
+    keys;
+  Hashtbl.fold
+    (fun rid ks acc ->
+      let rg = range t rid in
+      let eval r =
+        (* A valid leaseholder can serve any timestamp up to the present;
+           followers are bounded by their closed timestamp. *)
+        let base =
+          if lease_valid t r then
+            Ts.of_wall (Clock.physical_now t.clocks.(r.r_node))
+          else replica_closed r
+        in
+        List.fold_left
+          (fun safe key ->
+            match Mvcc.intent_on r.r_store ~key with
+            | Some i when Ts.(i.Mvcc.ts <= safe) -> Ts.prev i.Mvcc.ts
+            | Some _ | None -> safe)
+          base !ks
+      in
+      let result =
+        match replica_at rg at with
+        | Some r -> Some (eval r)
+        | None -> (
+            match nearest_replica t rid ~from:at with
+            | None -> None
+            | Some node -> (
+                match replica_at rg node with
+                | None -> None
+                | Some r -> (
+                    let reply =
+                      Transport.rpc t.net ~src:at ~dst:node (fun out ->
+                          Ivar.fill out (eval r))
+                    in
+                    Proc.await_timeout t.sim reply ~timeout:rpc_timeout)))
+      in
+      match result with None -> Ts.zero | Some ts -> Ts.min acc ts)
+    groups Ts.max_value
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let messages_sent t = Transport.messages_sent t.net
+
+let diagnostics t =
+  Printf.sprintf
+    "lock_waits=%d intent_waits=%d conflict_timeouts=%d lh_misses=%d      rpc_timeouts=%d not_leader=%d"
+    t.diag.d_lock_waits t.diag.d_intent_waits t.diag.d_conflict_timeouts
+    t.diag.d_lh_misses t.diag.d_rpc_timeouts t.diag.d_not_leader
+
+let storage_of t rid node =
+  let rg = range t rid in
+  Option.map (fun r -> r.r_store) (replica_at rg node)
+
+let raft_of t rid node =
+  let rg = range t rid in
+  match replica_at rg node with
+  | Some r -> (
+      match r.r_raft with
+      | Some raft -> Some (fun () -> Raft.applied_index raft)
+      | None -> None)
+  | None -> None
+
+(* Shadow [create] so every cluster starts its closed-timestamp publishers. *)
+let create ?config ~topology ~latency () =
+  let t = create ?config ~topology ~latency () in
+  start_publishers t;
+  t
+
+let debug_dump t rid =
+  let rg = range t rid in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "range %d now=%d\n" rid (Sim.now t.sim));
+  Hashtbl.iter
+    (fun node r ->
+      match r.r_raft with
+      | None -> Buffer.add_string buf (Printf.sprintf "  n%d: no raft\n" node)
+      | Some raft ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  n%d(%s) role=%s term=%d quiesced=%b alive=%b contact=%d                 lease_valid=%b commit=%d applied=%d\n"
+               node
+               (Topology.region_of t.topo node)
+               (match Raft.role raft with
+               | Raft.Leader -> "L"
+               | Raft.Follower -> "F"
+               | Raft.Candidate -> "C")
+               (Raft.term raft) (Raft.quiesced raft)
+               (Transport.is_alive t.net node)
+               (Raft.last_quorum_contact raft)
+               (lease_valid t r) (Raft.commit_index raft)
+               (Raft.applied_index raft)))
+    rg.rg_replicas;
+  Buffer.contents buf

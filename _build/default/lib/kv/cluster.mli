@@ -1,0 +1,289 @@
+(** The distributed KV layer: Ranges, replicas, leases and closed timestamps.
+
+    A cluster owns the simulator, one HLC clock per node, the transport, and
+    a set of Ranges. Each Range covers a contiguous key span, is replicated
+    with Raft according to its {!Zoneconfig.t}, and closes timestamps under
+    one of two policies:
+
+    - [Lag d]: the leaseholder closes [now - d] (default 3 s), enabling
+      follower reads of sufficiently stale data (§5);
+    - [Lead]: the leaseholder closes {e future} time
+      [L_raft + L_replicate + max_offset + publication interval] ahead, the
+      GLOBAL-table policy (§6.2.1). Writes are pushed above the closed
+      target, i.e. into the future.
+
+    Closed timestamps travel both inside Raft entries and over a node-level
+    side channel (one batched message per node pair per interval, CRDB's v2
+    closed-timestamp transport); followers only adopt a side-channel update
+    once they have applied the prefix of the log it covers.
+
+    All read/write operations must run inside a {!Crdb_sim.Proc} coroutine;
+    they perform real RPCs over the transport and take simulated time. *)
+
+module Ts = Crdb_hlc.Timestamp
+
+type policy = Lag of int | Lead
+
+type config = {
+  max_offset : int;  (** uncertainty interval / max tolerated clock skew *)
+  close_lag : int;  (** [Lag] policy duration, default 3 s *)
+  publish_interval : int;  (** side-channel period, default 100 ms *)
+  raft_election_timeout : int;
+  raft_heartbeat_interval : int;
+  jitter : float;
+  seed : int;
+}
+
+val default_config : config
+(** 250 ms max offset (CRDB Dedicated's default, §7.1), 3 s close lag,
+    100 ms publication, 3 s / 1 s Raft timers, 5% jitter. *)
+
+type t
+
+val create :
+  ?config:config ->
+  topology:Crdb_net.Topology.t ->
+  latency:Crdb_net.Latency.t ->
+  unit ->
+  t
+
+val sim : t -> Crdb_sim.Sim.t
+val net : t -> Crdb_net.Transport.t
+val topology : t -> Crdb_net.Topology.t
+val config : t -> config
+val clock : t -> Crdb_net.Topology.node_id -> Crdb_hlc.Clock.t
+val liveness : t -> Liveness.t
+val rng : t -> Crdb_stdx.Rng.t
+val now_ts : t -> Crdb_net.Topology.node_id -> Ts.t
+(** Current HLC reading at a node. *)
+
+val set_clock_skew : t -> Crdb_net.Topology.node_id -> int -> unit
+
+(** {2 Range administration} *)
+
+type range_id = int
+
+val add_range :
+  t -> span:string * string -> zone:Zoneconfig.t -> policy:policy -> range_id
+(** Create a Range covering [\[start, end)], place replicas with the
+    allocator and start its Raft group (leaseholder in the preferred
+    region). Spans must not overlap existing ranges. *)
+
+val alter_range : t -> range_id -> zone:Zoneconfig.t -> policy:policy -> unit
+(** Re-derive placement for a new configuration, reconfigure the group and
+    move the lease if needed (online locality/survivability change). *)
+
+val drop_range : t -> range_id -> unit
+(** Remove the range and its replicas (table/partition dropped). *)
+
+val settle : t -> unit
+(** Run the simulation briefly so that elections complete and initial closed
+    timestamps propagate. Call after bulk range creation. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] executes [f] as a process and steps the simulation until it
+    completes (the cluster's periodic publishers keep the event queue
+    non-empty forever, so draining the queue is not a termination
+    condition). @raise Failure on deadlock. *)
+
+val run_for : t -> int -> unit
+(** Advance the simulation by the given number of microseconds. *)
+
+val range_of_key : t -> string -> range_id
+(** @raise Not_found if no range covers the key. *)
+
+val ranges : t -> range_id list
+val span_of : t -> range_id -> string * string
+val policy_of : t -> range_id -> policy
+val zone_of : t -> range_id -> Zoneconfig.t
+val replica_nodes : t -> range_id -> (Crdb_net.Topology.node_id * Crdb_raft.Raft.peer_kind) list
+val leaseholder : t -> range_id -> Crdb_net.Topology.node_id option
+(** Current valid leaseholder, if any (excludes dead nodes and leaders with
+    expired leases). *)
+
+val leaseholder_region : t -> range_id -> string option
+
+val nearest_replica :
+  t -> range_id -> from:Crdb_net.Topology.node_id -> Crdb_net.Topology.node_id option
+(** Replica with the lowest RTT from [from] ([from] itself if it holds
+    one); used for follower reads. Dead nodes are skipped. *)
+
+val rebalance_leases : t -> unit
+(** Transfer leadership of every range back to its preferred region when a
+    live voter exists there (run after failures heal). *)
+
+val bulk_load : t -> ?ts:Ts.t -> (string * string) list -> unit
+(** Install committed versions directly in every replica of the covering
+    ranges. Administrative fast path for benchmark dataset loading. *)
+
+val closed_lead_duration : t -> range_id -> int
+(** The [Lead] policy's lead: [L_raft + L_replicate + max_offset +
+    publish_interval] for this range's current placement (§6.2.1). *)
+
+(** {2 Operations} (call within a process) *)
+
+type read_result =
+  | Read_value of { value : string option; ts : Ts.t }
+  | Read_uncertain of { value_ts : Ts.t }
+      (** caller must ratchet its timestamp to [value_ts] and refresh *)
+  | Read_redirect  (** follower cannot serve; go to the leaseholder *)
+  | Read_err of string  (** unavailable after retries / timeout *)
+
+val read :
+  t ->
+  ?inline_bump:bool ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int option ->
+  key:string ->
+  ts:Ts.t ->
+  max_ts:Ts.t ->
+  unit ->
+  read_result
+(** Consistent read at the leaseholder. Blocks while a conflicting lock or
+    intent (with timestamp [<= max_ts]) is held; records the read in the
+    timestamp cache. With [inline_bump] (CRDB's server-side retry, valid
+    only when the transaction has no earlier reads to refresh), uncertainty
+    restarts are absorbed at the leaseholder instead of being returned. *)
+
+val read_follower :
+  t ->
+  at:Crdb_net.Topology.node_id ->
+  txn:int option ->
+  key:string ->
+  ts:Ts.t ->
+  max_ts:Ts.t ->
+  read_result
+(** Read on [at]'s local replica without contacting the leaseholder.
+    Requires the replica's closed timestamp to cover [max_ts]; otherwise
+    [Read_redirect]. Blocked intents also redirect (§5.1.1). No timestamp
+    cache update is needed: the timestamps are already closed. *)
+
+type scan_result =
+  | Scan_rows of (string * string) list  (** key, value pairs in key order *)
+  | Scan_uncertain of { value_ts : Ts.t }
+  | Scan_redirect
+  | Scan_err of string
+
+val scan :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int option ->
+  start_key:string ->
+  end_key:string ->
+  ts:Ts.t ->
+  max_ts:Ts.t ->
+  limit:int option ->
+  scan_result
+(** Leaseholder scan confined to a single range's span intersection. *)
+
+val scan_follower :
+  t ->
+  at:Crdb_net.Topology.node_id ->
+  txn:int option ->
+  start_key:string ->
+  end_key:string ->
+  ts:Ts.t ->
+  max_ts:Ts.t ->
+  limit:int option ->
+  scan_result
+
+val write :
+  t ->
+  ?applied:unit Crdb_sim.Ivar.t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  value:string option ->
+  ts:Ts.t ->
+  unit ->
+  (Ts.t, string) result
+(** Lay a write intent through consensus. The returned timestamp is the
+    possibly-pushed provisional commit timestamp: above the timestamp cache,
+    above the newest committed version, and above the range's closed
+    timestamp target (for [Lead] ranges this lands in the future). The
+    transaction must commit at or above it, and must hold all its locks
+    until {!resolve}.
+
+    With [applied] (write pipelining), the call returns once the intent is
+    proposed; [applied] fills at the gateway when the intent has been
+    applied on the leaseholder. A transaction must await every outstanding
+    [applied] before (or concurrently with) committing. *)
+
+val write_and_commit :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  value:string option ->
+  ts:Ts.t ->
+  unit ->
+  (Ts.t, string) result
+(** One-phase commit (CRDB's 1PC fast path): lay the intent and resolve it
+    as committed in one consensus round; the intermediate lock is never
+    observable. Only valid for transactions whose entire effect is this
+    single write; commit-wait (if the returned timestamp is in the future)
+    remains the caller's responsibility. *)
+
+val resolve :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  commit:Ts.t option ->
+  keys:string list ->
+  sync_all:bool ->
+  unit
+(** Commit ([Some ts]) or abort ([None]) the transaction's intents on the
+    given keys. The resolution on the range holding the first key — the
+    transaction's commit record — is always awaited (that consensus round is
+    the commit point); the rest are awaited only when [sync_all]. *)
+
+val refresh :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  from_ts:Ts.t ->
+  to_ts:Ts.t ->
+  bool
+(** Read refresh (§5.1): [true] iff no committed version or foreign intent
+    appeared on [key] in [(from_ts, to_ts]]. On success the read is
+    re-recorded at [to_ts] in the timestamp cache. *)
+
+val refresh_span :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  start_key:string ->
+  end_key:string ->
+  from_ts:Ts.t ->
+  to_ts:Ts.t ->
+  bool
+(** Span version of {!refresh}, validating a previous scan (including the
+    absence of phantom rows with live conflicts in the window). *)
+
+val negotiate :
+  t -> at:Crdb_net.Topology.node_id -> keys:string list -> Ts.t
+(** Bounded-staleness negotiation (§5.3.2): the highest timestamp at which
+    all [keys] can be served by [at]'s local replicas without blocking —
+    the minimum over ranges of the local closed timestamp and of any
+    conflicting intent timestamps. *)
+
+val local_closed : t -> at:Crdb_net.Topology.node_id -> range_id -> Ts.t
+(** The closed timestamp of the replica of this range at node [at]
+    ([Ts.zero] if the node holds no replica). *)
+
+(** {2 Introspection for tests and benchmarks} *)
+
+val messages_sent : t -> int
+
+(** Counters of conflict waits/timeouts, leaseholder misses and RPC
+    timeouts, for debugging workloads. *)
+val diagnostics : t -> string
+val storage_of : t -> range_id -> Crdb_net.Topology.node_id -> Crdb_storage.Mvcc.t option
+val debug_dump : t -> range_id -> string
+(** Human-readable per-replica Raft/lease state (debugging aid). *)
+
+val raft_of :
+  t -> range_id -> Crdb_net.Topology.node_id ->
+  (unit -> int) option
+(** Returns a function giving that replica's applied Raft index. *)

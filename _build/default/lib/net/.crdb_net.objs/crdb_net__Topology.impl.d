@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Char Format List Printf String

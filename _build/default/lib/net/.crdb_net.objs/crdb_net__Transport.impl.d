@@ -1,0 +1,1 @@
+lib/net/transport.ml: Crdb_sim Crdb_stdx Hashtbl Latency List String Topology

@@ -1,0 +1,1 @@
+lib/net/transport.mli: Crdb_sim Crdb_stdx Latency Topology

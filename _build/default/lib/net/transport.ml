@@ -1,0 +1,98 @@
+module Sim = Crdb_sim.Sim
+module Ivar = Crdb_sim.Ivar
+module Rng = Crdb_stdx.Rng
+
+type t = {
+  sim : Sim.t;
+  topology : Topology.t;
+  latency : Latency.t;
+  jitter : float;
+  rng : Rng.t;
+  dead_since : (Topology.node_id, int) Hashtbl.t;
+  mutable partitions : (string * string) list;
+  mutable messages_sent : int;
+}
+
+let create ?(jitter = 0.05) ?rng ~sim ~topology ~latency () =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x5eed in
+  {
+    sim;
+    topology;
+    latency;
+    jitter;
+    rng;
+    dead_since = Hashtbl.create 16;
+    partitions = [];
+    messages_sent = 0;
+  }
+
+let sim t = t.sim
+let topology t = t.topology
+let latency t = t.latency
+let is_alive t id = not (Hashtbl.mem t.dead_since id)
+let dead_since t id = Hashtbl.find_opt t.dead_since id
+
+let base_delay t src dst =
+  if src = dst then 25
+  else
+    let a = Topology.node t.topology src and b = Topology.node t.topology dst in
+    if String.equal a.Topology.region b.Topology.region then
+      if String.equal a.Topology.zone b.Topology.zone then
+        Latency.intra_zone_rtt t.latency / 2
+      else Latency.intra_region_rtt t.latency / 2
+    else Latency.one_way t.latency a.Topology.region b.Topology.region
+
+let delay t src dst =
+  let base = base_delay t src dst in
+  if t.jitter <= 0.0 then base
+  else base + int_of_float (Rng.float t.rng (t.jitter *. float_of_int base))
+
+let partitioned t src dst =
+  let ra = Topology.region_of t.topology src
+  and rb = Topology.region_of t.topology dst in
+  List.exists
+    (fun (a, b) ->
+      (String.equal a ra && String.equal b rb)
+      || (String.equal a rb && String.equal b ra))
+    t.partitions
+
+let send t ~src ~dst fn =
+  if is_alive t src && not (partitioned t src dst) then begin
+    t.messages_sent <- t.messages_sent + 1;
+    let d = delay t src dst in
+    Sim.schedule t.sim ~after:d (fun () ->
+        (* Re-check at delivery time: the destination may have died, or a
+           partition may have formed, while the message was in flight. *)
+        if is_alive t dst && not (partitioned t src dst) then fn ())
+  end
+
+let rpc t ~src ~dst handler =
+  let outer = Ivar.create () in
+  send t ~src ~dst (fun () ->
+      let inner = Ivar.create () in
+      Ivar.on_fill inner (fun v ->
+          send t ~src:dst ~dst:src (fun () -> ignore (Ivar.try_fill outer v)));
+      handler inner);
+  outer
+
+let messages_sent t = t.messages_sent
+let kill_node t id = if is_alive t id then Hashtbl.replace t.dead_since id (Sim.now t.sim)
+let revive_node t id = Hashtbl.remove t.dead_since id
+
+let kill_region t region =
+  List.iter
+    (fun n -> kill_node t n.Topology.id)
+    (Topology.nodes_in_region t.topology region)
+
+let revive_region t region =
+  List.iter
+    (fun n -> revive_node t n.Topology.id)
+    (Topology.nodes_in_region t.topology region)
+
+let kill_zone t ~region ~zone =
+  List.iter
+    (fun n -> kill_node t n.Topology.id)
+    (Topology.nodes_in_zone t.topology region zone)
+
+let partition_regions t a b = t.partitions <- (a, b) :: t.partitions
+let heal_partitions t = t.partitions <- []

@@ -1,0 +1,61 @@
+(** Simulated message transport with failure injection.
+
+    Delivery of a message from node [a] to node [b] takes the one-way latency
+    between their localities (plus optional jitter). A message is dropped —
+    silently, as on a real network — when either endpoint is dead or the pair
+    is partitioned at delivery time. RPCs are modeled as a request closure
+    executed at the destination plus a reply ivar whose fill is delayed by
+    the return path; a dropped message simply leaves the reply empty, so
+    callers recover with {!Crdb_sim.Proc.await_timeout}. *)
+
+type t
+
+val create :
+  ?jitter:float ->
+  ?rng:Crdb_stdx.Rng.t ->
+  sim:Crdb_sim.Sim.t ->
+  topology:Topology.t ->
+  latency:Latency.t ->
+  unit ->
+  t
+(** [jitter] (default [0.05]) adds a uniform [0, jitter × delay) component to
+    each one-way delay; pass [0.] for fully deterministic delays. *)
+
+val sim : t -> Crdb_sim.Sim.t
+val topology : t -> Topology.t
+val latency : t -> Latency.t
+
+val delay : t -> Topology.node_id -> Topology.node_id -> int
+(** Sampled one-way delay in microseconds for a message sent now. *)
+
+val send : t -> src:Topology.node_id -> dst:Topology.node_id -> (unit -> unit) -> unit
+(** Deliver the closure at [dst] after the one-way delay, unless dropped. *)
+
+val rpc :
+  t ->
+  src:Topology.node_id ->
+  dst:Topology.node_id ->
+  ('a Crdb_sim.Ivar.t -> unit) ->
+  'a Crdb_sim.Ivar.t
+(** [rpc t ~src ~dst handler] runs [handler reply] at [dst]; when the handler
+    fills [reply], the result travels back and fills the returned ivar. *)
+
+val messages_sent : t -> int
+
+(** {2 Failure injection} *)
+
+val kill_node : t -> Topology.node_id -> unit
+val revive_node : t -> Topology.node_id -> unit
+val is_alive : t -> Topology.node_id -> bool
+val kill_region : t -> string -> unit
+val revive_region : t -> string -> unit
+val kill_zone : t -> region:string -> zone:string -> unit
+
+val partition_regions : t -> string -> string -> unit
+(** Drop all traffic between the two regions (both directions). *)
+
+val heal_partitions : t -> unit
+
+val dead_since : t -> Topology.node_id -> int option
+(** Simulation time at which the node died, if currently dead. Used by the
+    liveness oracle to model failure-detection delay. *)

@@ -1,0 +1,1 @@
+lib/raft/raft.ml: Crdb_sim Crdb_stdx Hashtbl List

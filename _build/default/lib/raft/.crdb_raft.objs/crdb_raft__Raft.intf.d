@@ -1,0 +1,1 @@
+lib/raft/raft.mli: Crdb_sim Crdb_stdx

@@ -1,0 +1,686 @@
+module Sim = Crdb_sim.Sim
+module Rng = Crdb_stdx.Rng
+module Vec = Crdb_stdx.Vec
+
+type peer_kind = Voter | Learner
+type config_change = (int * peer_kind) list
+type 'cmd payload = Command of 'cmd | Config of config_change | Noop
+type 'cmd entry = { term : int; index : int; payload : 'cmd payload }
+
+type ('cmd, 'snap) message =
+  | Pre_vote of { term : int; last_log_index : int; last_log_term : int }
+  | Pre_vote_reply of { term : int; granted : bool }
+  | Request_vote of { term : int; last_log_index : int; last_log_term : int }
+  | Vote of { term : int; granted : bool }
+  | Append of {
+      term : int;
+      prev_index : int;
+      prev_term : int;
+      entries : 'cmd entry list;
+      commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_index : int }
+  | Install_snapshot of {
+      term : int;
+      last_index : int;
+      last_term : int;
+      peers : config_change;
+      snap : 'snap;
+    }
+  | Quiesce of { term : int; commit : int }
+  | Timeout_now of { term : int }
+
+type role = Leader | Follower | Candidate
+
+
+type ('cmd, 'snap) callbacks = {
+  send : int -> ('cmd, 'snap) message -> unit;
+  on_apply : index:int -> 'cmd -> unit;
+  on_role : role -> unit;
+  on_config : config_change -> unit;
+  take_snapshot : unit -> 'snap;
+  install_snapshot : 'snap -> unit;
+  is_node_live : int -> bool;
+}
+
+type ('cmd, 'snap) t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  id : int;
+  cb : ('cmd, 'snap) callbacks;
+  election_timeout : int;
+  heartbeat_interval : int;
+  mutable peers : config_change;
+  mutable term : int;
+  mutable voted_for : int option;
+  (* The log proper starts at [first_index]; entries before it have been
+     folded into the snapshot boundary (snap_index, snap_term). *)
+  log : 'cmd entry Vec.t;
+  mutable snap_index : int;
+  mutable snap_term : int;
+  mutable commit : int;
+  mutable applied : int;
+  mutable role : role;
+  mutable leader : int option;
+  next_index : (int, int) Hashtbl.t;
+  match_index : (int, int) Hashtbl.t;
+  (* Per-peer flow control: at most one append/snapshot in flight. Without
+     it, every proposal would start another self-sustaining append/reply
+     chain to each follower. Heartbeats clear stuck flags (lost replies). *)
+  inflight : (int, unit) Hashtbl.t;
+  (* Last commit index communicated to each peer, to close the window where
+     a fully caught-up follower still lacks the final commit index. *)
+  sent_commit : (int, int) Hashtbl.t;
+  mutable votes : int list;
+  mutable prevotes : int list;
+  mutable election_timer : Sim.timer option;
+  mutable heartbeat_timer : Sim.timer option;
+  mutable quiesced : bool;
+  mutable last_heartbeat : int;
+  mutable last_quorum_contact : int;
+  mutable pending_transfer : int option;
+  mutable stopped : bool;
+}
+
+let create ~sim ~rng ~id ~peers ~callbacks ?(election_timeout = 3_000_000)
+    ?(heartbeat_interval = 1_000_000) () =
+  if not (List.mem_assoc id peers) then
+    invalid_arg "Raft.create: id must be among peers";
+  {
+    sim;
+    rng;
+    id;
+    cb = callbacks;
+    election_timeout;
+    heartbeat_interval;
+    peers;
+    term = 0;
+    voted_for = None;
+    log = Vec.create ();
+    snap_index = 0;
+    snap_term = 0;
+    commit = 0;
+    applied = 0;
+    role = Follower;
+    leader = None;
+    next_index = Hashtbl.create 8;
+    match_index = Hashtbl.create 8;
+    inflight = Hashtbl.create 8;
+    sent_commit = Hashtbl.create 8;
+    votes = [];
+    prevotes = [];
+    election_timer = None;
+    heartbeat_timer = None;
+    quiesced = false;
+    last_heartbeat = 0;
+    last_quorum_contact = 0;
+    pending_transfer = None;
+    stopped = false;
+  }
+
+let id t = t.id
+let role t = t.role
+let is_leader t = match t.role with Leader -> true | Follower | Candidate -> false
+let leader_id t = t.leader
+let term t = t.term
+let commit_index t = t.commit
+let applied_index t = t.applied
+let peers t = t.peers
+let quiesced t = t.quiesced
+let last_quorum_contact t = t.last_quorum_contact
+
+let voters t =
+  List.filter_map
+    (fun (p, kind) -> match kind with Voter -> Some p | Learner -> None)
+    t.peers
+
+let is_voter t node = List.mem node (voters t)
+let other_peers t = List.filter (fun (p, _) -> p <> t.id) t.peers
+let first_index t = t.snap_index + 1
+let last_index t = t.snap_index + Vec.length t.log
+
+let entry_at t i =
+  if i < first_index t || i > last_index t then None
+  else Some (Vec.get t.log (i - first_index t))
+
+let term_at t i =
+  if i = t.snap_index then Some t.snap_term
+  else match entry_at t i with Some e -> Some e.term | None -> None
+
+let last_term t =
+  match Vec.last t.log with Some e -> e.term | None -> t.snap_term
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+
+let cancel_timer = function Some tm -> Sim.cancel tm | None -> ()
+
+let rec arm_election_timer t =
+  cancel_timer t.election_timer;
+  if not t.stopped then begin
+    let timeout =
+      t.election_timeout + Rng.int t.rng t.election_timeout
+    in
+    t.election_timer <- Some (Sim.timer t.sim ~after:timeout (fun () -> election_tick t))
+  end
+
+and election_tick t =
+  if t.stopped then ()
+  else begin
+    match t.role with
+    | Leader -> ()
+    | Follower | Candidate ->
+        let heard_recently =
+          Sim.now t.sim - t.last_heartbeat < t.election_timeout
+        in
+        let leader_alive =
+          match t.leader with
+          | Some l -> l <> t.id && t.cb.is_node_live l
+          | None -> false
+        in
+        (* A quiesced follower trusts the liveness oracle instead of
+           heartbeats (epoch-lease behaviour). *)
+        let suppressed = heard_recently || (t.quiesced && leader_alive) in
+        if suppressed || not (is_voter t t.id) then arm_election_timer t
+        else pre_campaign t
+  end
+
+(* Pre-vote (Raft §9.6 / 4.2.3): probe for electability without bumping any
+   term. A node with a stale log, or one whose peers still hear from a live
+   leader, cannot disrupt the group. *)
+and pre_campaign t =
+  if t.stopped || not (is_voter t t.id) then ()
+  else begin
+    t.prevotes <- [ t.id ];
+    let lli = last_index t and llt = last_term t in
+    List.iter
+      (fun p ->
+        if p <> t.id then
+          t.cb.send p
+            (Pre_vote { term = t.term + 1; last_log_index = lli; last_log_term = llt }))
+      (voters t);
+    arm_election_timer t;
+    maybe_prewin t
+  end
+
+and maybe_prewin t =
+  let quorum = (List.length (voters t) / 2) + 1 in
+  if List.length t.prevotes >= quorum then campaign t
+
+and campaign t =
+  if t.stopped || not (is_voter t t.id) then ()
+  else begin
+    t.term <- t.term + 1;
+    t.role <- Candidate;
+    t.voted_for <- Some t.id;
+    t.leader <- None;
+    t.quiesced <- false;
+    t.votes <- [ t.id ];
+    t.cb.on_role Candidate;
+    let lli = last_index t and llt = last_term t in
+    List.iter
+      (fun p ->
+        if p <> t.id then
+          t.cb.send p (Request_vote { term = t.term; last_log_index = lli; last_log_term = llt }))
+      (voters t);
+    arm_election_timer t;
+    maybe_win t
+  end
+
+and maybe_win t =
+  let quorum = (List.length (voters t) / 2) + 1 in
+  if List.length t.votes >= quorum then become_leader t
+
+and become_leader t =
+  t.role <- Leader;
+  t.pending_transfer <- None;
+  t.leader <- Some t.id;
+  t.quiesced <- false;
+  Hashtbl.reset t.next_index;
+  Hashtbl.reset t.match_index;
+  List.iter
+    (fun (p, _) ->
+      if p <> t.id then begin
+        Hashtbl.replace t.next_index p (last_index t + 1);
+        Hashtbl.replace t.match_index p 0
+      end)
+    t.peers;
+  cancel_timer t.election_timer;
+  t.election_timer <- None;
+  t.last_quorum_contact <- Sim.now t.sim;
+  t.cb.on_role Leader;
+  (* Commit entries from previous terms by committing one of our own. *)
+  ignore (append_local t Noop : int);
+  broadcast t;
+  maybe_advance_commit t;
+  arm_heartbeat t
+
+and arm_heartbeat t =
+  cancel_timer t.heartbeat_timer;
+  if not t.stopped then
+    t.heartbeat_timer <-
+      Some (Sim.timer t.sim ~after:t.heartbeat_interval (fun () -> heartbeat_tick t))
+
+and heartbeat_tick t =
+  match t.role with
+  | Follower | Candidate -> ()
+  | Leader ->
+      let all_caught_up =
+        List.for_all
+          (fun (p, _) ->
+            p = t.id
+            || (match Hashtbl.find_opt t.match_index p with
+               | Some m -> m = last_index t
+               | None -> false))
+          t.peers
+        && t.commit = last_index t
+      in
+      if all_caught_up && not (Vec.is_empty t.log) then begin
+        (* Quiesce: tell followers to stop expecting heartbeats. *)
+        t.quiesced <- true;
+        List.iter
+          (fun (p, _) ->
+            Hashtbl.replace t.sent_commit p t.commit;
+            t.cb.send p (Quiesce { term = t.term; commit = t.commit }))
+          (other_peers t);
+        t.heartbeat_timer <- None
+      end
+      else begin
+        (* Periodic heartbeat: also recover from lost replies by clearing
+           the in-flight flags before resending. *)
+        Hashtbl.reset t.inflight;
+        broadcast t;
+        arm_heartbeat t
+      end
+
+and append_local t payload =
+  let e = { term = t.term; index = last_index t + 1; payload } in
+  Vec.push t.log e;
+  e.index
+
+and broadcast t = List.iter (fun (p, _) -> replicate_to t p) (other_peers t)
+
+and replicate_to t peer =
+  if Hashtbl.mem t.inflight peer then ()
+  else begin
+    Hashtbl.replace t.inflight peer ();
+    replicate_to_now t peer
+  end
+
+and replicate_to_now t peer =
+  let next =
+    match Hashtbl.find_opt t.next_index peer with
+    | Some n -> n
+    | None -> last_index t + 1
+  in
+  if next < first_index t then begin
+    let snap = t.cb.take_snapshot () in
+    t.cb.send peer
+      (Install_snapshot
+         {
+           term = t.term;
+           last_index = last_index t;
+           last_term = last_term t;
+           peers = t.peers;
+           snap;
+         })
+  end
+  else begin
+    let prev_index = next - 1 in
+    let prev_term =
+      match term_at t prev_index with Some tt -> tt | None -> 0
+    in
+    let entries = Vec.sub_list t.log ~pos:(next - first_index t) in
+    Hashtbl.replace t.sent_commit peer t.commit;
+    t.cb.send peer
+      (Append { term = t.term; prev_index; prev_term; entries; commit = t.commit })
+  end
+
+and maybe_advance_commit t =
+  match t.role with
+  | Follower | Candidate -> ()
+  | Leader ->
+      let voters_list = voters t in
+      let quorum = (List.length voters_list / 2) + 1 in
+      let matched v =
+        if v = t.id then last_index t
+        else match Hashtbl.find_opt t.match_index v with Some m -> m | None -> 0
+      in
+      let n = ref t.commit in
+      for candidate = t.commit + 1 to last_index t do
+        let count = List.length (List.filter (fun v -> matched v >= candidate) voters_list) in
+        let current_term =
+          match term_at t candidate with Some tt -> tt = t.term | None -> false
+        in
+        if count >= quorum && current_term then n := candidate
+      done;
+      if !n > t.commit then begin
+        t.commit <- !n;
+        apply_committed t;
+        (* Push the new commit index to followers promptly so closed
+           timestamps and follower reads advance with low latency. *)
+        broadcast t
+      end
+
+and apply_committed t =
+  while t.applied < t.commit do
+    t.applied <- t.applied + 1;
+    match entry_at t t.applied with
+    | None -> () (* covered by a snapshot; state already reflects it *)
+    | Some e -> (
+        match e.payload with
+        | Command c -> t.cb.on_apply ~index:e.index c
+        | Noop -> ()
+        | Config change -> apply_config t change)
+  done
+
+and apply_config t change =
+  let removed =
+    List.filter (fun (p, _) -> not (List.mem_assoc p change)) t.peers
+  in
+  t.peers <- change;
+  (match t.role with
+  | Leader ->
+      List.iter
+        (fun (p, _) ->
+          if p <> t.id && not (Hashtbl.mem t.next_index p) then begin
+            Hashtbl.replace t.next_index p (last_index t + 1);
+            Hashtbl.replace t.match_index p 0;
+            replicate_to t p
+          end)
+        change;
+      (* Removed peers must still learn about their removal: send them the
+         suffix containing the (now committed) configuration entry. *)
+      List.iter (fun (p, _) -> if p <> t.id then replicate_to t p) removed
+  | Follower | Candidate -> ());
+  t.cb.on_config change;
+  if not (List.mem_assoc t.id change) then stop t
+
+and step_down t new_term =
+  t.pending_transfer <- None;
+  let was_leader = is_leader t in
+  t.term <- new_term;
+  t.voted_for <- None;
+  t.role <- Follower;
+  t.quiesced <- false;
+  if was_leader then begin
+    cancel_timer t.heartbeat_timer;
+    t.heartbeat_timer <- None;
+    t.cb.on_role Follower
+  end;
+  arm_election_timer t
+
+and stop t =
+  t.stopped <- true;
+  cancel_timer t.election_timer;
+  cancel_timer t.heartbeat_timer;
+  t.election_timer <- None;
+  t.heartbeat_timer <- None
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+
+let handle_pre_vote t ~from ~pterm ~last_log_index ~last_log_term =
+  let up_to_date =
+    last_log_term > last_term t
+    || (last_log_term = last_term t && last_log_index >= last_index t)
+  in
+  let heard_recently = Sim.now t.sim - t.last_heartbeat < t.election_timeout in
+  let leader_live =
+    match t.leader with
+    | Some l -> l <> t.id && t.cb.is_node_live l
+    | None -> false
+  in
+  let granted =
+    pterm > t.term && up_to_date
+    && (not (is_leader t))
+    && (not heard_recently)
+    && not (t.quiesced && leader_live)
+  in
+  t.cb.send from (Pre_vote_reply { term = pterm; granted })
+
+let handle_pre_vote_reply t ~from ~pterm ~granted =
+  match t.role with
+  | Follower when granted && pterm = t.term + 1 ->
+      if not (List.mem from t.prevotes) then t.prevotes <- from :: t.prevotes;
+      maybe_prewin t
+  | Follower | Candidate | Leader -> ()
+
+let handle_request_vote t ~from ~vterm ~last_log_index ~last_log_term =
+  if vterm > t.term then step_down t vterm;
+  let up_to_date =
+    last_log_term > last_term t
+    || (last_log_term = last_term t && last_log_index >= last_index t)
+  in
+  let granted =
+    vterm = t.term && up_to_date
+    && (match t.voted_for with None -> true | Some v -> v = from)
+    && not (is_leader t)
+  in
+  if granted then begin
+    t.voted_for <- Some from;
+    t.last_heartbeat <- Sim.now t.sim;
+    arm_election_timer t
+  end;
+  t.cb.send from (Vote { term = t.term; granted })
+
+let handle_vote t ~from ~vterm ~granted =
+  if vterm > t.term then step_down t vterm
+  else
+    match t.role with
+    | Candidate when vterm = t.term && granted ->
+        if not (List.mem from t.votes) then t.votes <- from :: t.votes;
+        maybe_win t
+    | Candidate | Leader | Follower -> ()
+
+let truncate_from t index =
+  (* Drop local entries at [index] and beyond. *)
+  if index <= last_index t then begin
+    Vec.truncate t.log (index - first_index t)
+  end
+
+let handle_append t ~from ~aterm ~prev_index ~prev_term ~entries ~commit =
+  if aterm < t.term then
+    t.cb.send from (Append_reply { term = t.term; success = false; match_index = 0 })
+  else begin
+    if aterm > t.term || (match t.role with Candidate -> true | Leader | Follower -> false)
+    then step_down t aterm;
+    t.leader <- Some from;
+    t.last_heartbeat <- Sim.now t.sim;
+    t.quiesced <- false;
+    arm_election_timer t;
+    let log_matches =
+      prev_index <= last_index t
+      &&
+      match term_at t prev_index with
+      | Some tt -> tt = prev_term
+      | None -> prev_index < first_index t (* already snapshotted: matches *)
+    in
+    if not log_matches then
+      t.cb.send from
+        (Append_reply { term = t.term; success = false; match_index = last_index t })
+    else begin
+      List.iter
+        (fun (e : _ entry) ->
+          if e.index <= t.snap_index then ()
+          else
+            match term_at t e.index with
+            | Some tt when tt = e.term -> ()
+            | Some _ ->
+                truncate_from t e.index;
+                Vec.push t.log e
+            | None ->
+                if e.index = last_index t + 1 then Vec.push t.log e)
+        entries;
+      let last_new =
+        match entries with
+        | [] -> prev_index
+        | es -> (List.nth es (List.length es - 1)).index
+      in
+      let new_commit = min commit (max last_new t.commit) in
+      if new_commit > t.commit then begin
+        t.commit <- new_commit;
+        apply_committed t
+      end;
+      t.cb.send from
+        (Append_reply { term = t.term; success = true; match_index = max last_new t.commit })
+    end
+  end
+
+let handle_append_reply t ~from ~rterm ~success ~match_index =
+  Hashtbl.remove t.inflight from;
+  if rterm > t.term then step_down t rterm
+  else
+    match t.role with
+    | Follower | Candidate -> ()
+    | Leader when rterm <> t.term -> ()
+    | Leader ->
+        if success then begin
+          t.last_quorum_contact <- Sim.now t.sim;
+          let old = match Hashtbl.find_opt t.match_index from with Some m -> m | None -> 0 in
+          if match_index > old then Hashtbl.replace t.match_index from match_index;
+          Hashtbl.replace t.next_index from (max (match_index + 1) 1);
+          maybe_advance_commit t;
+          (* Keep pushing until this follower has all entries and knows the
+             final commit index. *)
+          let known_commit =
+            match Hashtbl.find_opt t.sent_commit from with
+            | Some c -> c
+            | None -> 0
+          in
+          if match_index < last_index t || known_commit < t.commit then
+            replicate_to t from
+          else if t.pending_transfer = Some from then begin
+            (* Deferred leadership transfer: the target is now caught up. *)
+            t.pending_transfer <- None;
+            t.cb.send from (Timeout_now { term = t.term })
+          end
+        end
+        else begin
+          let next =
+            match Hashtbl.find_opt t.next_index from with Some n -> n | None -> last_index t + 1
+          in
+          (* [match_index] carries the follower's last index as a hint. *)
+          let new_next = max 1 (min (next - 1) (match_index + 1)) in
+          Hashtbl.replace t.next_index from new_next;
+          replicate_to t from
+        end
+
+let handle_install_snapshot t ~from ~sterm ~slast_index ~slast_term ~speers ~snap =
+  if sterm < t.term then
+    t.cb.send from (Append_reply { term = t.term; success = false; match_index = 0 })
+  else begin
+    if sterm > t.term || (match t.role with Candidate -> true | Leader | Follower -> false)
+    then step_down t sterm;
+    t.leader <- Some from;
+    t.last_heartbeat <- Sim.now t.sim;
+    arm_election_timer t;
+    if slast_index > t.snap_index then begin
+      t.cb.install_snapshot snap;
+      Vec.clear t.log;
+      t.snap_index <- slast_index;
+      t.snap_term <- slast_term;
+      t.commit <- slast_index;
+      t.applied <- slast_index;
+      t.peers <- speers
+    end;
+    t.cb.send from
+      (Append_reply { term = t.term; success = true; match_index = last_index t })
+  end
+
+let handle_quiesce t ~from ~qterm ~commit =
+  if qterm >= t.term then begin
+    if qterm > t.term then step_down t qterm;
+    t.leader <- Some from;
+    t.last_heartbeat <- Sim.now t.sim;
+    t.quiesced <- true;
+    let new_commit = min commit (last_index t) in
+    if new_commit > t.commit then begin
+      t.commit <- new_commit;
+      apply_committed t
+    end
+  end
+
+let handle t ~from msg =
+  if t.stopped then ()
+  else
+    match msg with
+    | Pre_vote { term; last_log_index; last_log_term } ->
+        handle_pre_vote t ~from ~pterm:term ~last_log_index ~last_log_term
+    | Pre_vote_reply { term; granted } ->
+        handle_pre_vote_reply t ~from ~pterm:term ~granted
+    | Request_vote { term; last_log_index; last_log_term } ->
+        handle_request_vote t ~from ~vterm:term ~last_log_index ~last_log_term
+    | Vote { term; granted } -> handle_vote t ~from ~vterm:term ~granted
+    | Append { term; prev_index; prev_term; entries; commit } ->
+        handle_append t ~from ~aterm:term ~prev_index ~prev_term ~entries ~commit
+    | Append_reply { term; success; match_index } ->
+        handle_append_reply t ~from ~rterm:term ~success ~match_index
+    | Install_snapshot { term; last_index; last_term; peers; snap } ->
+        handle_install_snapshot t ~from ~sterm:term ~slast_index:last_index
+          ~slast_term:last_term ~speers:peers ~snap
+    | Quiesce { term; commit } -> handle_quiesce t ~from ~qterm:term ~commit
+    | Timeout_now { term } ->
+        if term >= t.term then begin
+          t.term <- max t.term term;
+          campaign t
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+
+let propose t cmd =
+  match t.role with
+  | Follower | Candidate -> None
+  | Leader ->
+      let index = append_local t (Command cmd) in
+      if t.quiesced then t.quiesced <- false;
+      if t.heartbeat_timer = None then arm_heartbeat t;
+      broadcast t;
+      maybe_advance_commit t;
+      Some index
+
+let propose_config t change =
+  match t.role with
+  | Follower | Candidate -> None
+  | Leader ->
+      if not (List.mem_assoc t.id change) then
+        invalid_arg "Raft.propose_config: leader must remain a peer";
+      let index = append_local t (Config change) in
+      if t.quiesced then t.quiesced <- false;
+      if t.heartbeat_timer = None then arm_heartbeat t;
+      broadcast t;
+      maybe_advance_commit t;
+      Some index
+
+let transfer_leadership t target =
+  match t.role with
+  | Follower | Candidate -> ()
+  | Leader ->
+      if target <> t.id && is_voter t target then begin
+        let caught_up =
+          match Hashtbl.find_opt t.match_index target with
+          | Some m -> m = last_index t
+          | None -> false
+        in
+        if caught_up then t.cb.send target (Timeout_now { term = t.term })
+        else begin
+          (* Transfer once the target's log is complete, per the Raft
+             leadership-transfer extension; otherwise its election would be
+             rejected and would only disrupt the group. *)
+          t.pending_transfer <- Some target;
+          if t.quiesced then begin
+            t.quiesced <- false;
+            if t.heartbeat_timer = None then arm_heartbeat t
+          end;
+          replicate_to t target
+        end
+      end
+
+let start ?preferred t =
+  let first =
+    match preferred with
+    | Some p when is_voter t p -> p
+    | Some _ | None -> List.fold_left min max_int (voters t)
+  in
+  if t.id = first then campaign t else arm_election_timer t

@@ -1,0 +1,139 @@
+(** Raft consensus for one Range replica group.
+
+    Faithful to the Raft paper (leader election with randomized timeouts,
+    log matching, commit rules) with the extensions CRDB's replication layer
+    requires:
+
+    - {b learners} (non-voting replicas, §5.2): receive the log and apply
+      committed entries but are excluded from quorums and elections;
+    - {b quiescence}: an idle leader stops heartbeating after telling its
+      followers, and followers of a quiesced range only campaign if a node
+      liveness oracle reports the leader's node dead — this is what makes
+      simulating hundreds of mostly-idle ranges cheap, and mirrors CRDB's
+      epoch-based leases;
+    - {b pre-vote}: timed-out followers probe for electability before
+      bumping terms, so a rejoining replica with a stale log cannot depose
+      a healthy leader;
+    - {b leadership transfer}: [transfer_leadership] implements lease
+      preference placement (§3.2), deferred until the target's log is
+      caught up;
+    - {b joint-free reconfiguration}: a replicated configuration entry swaps
+      the peer set; new replicas are seeded with a state snapshot.
+
+    The module is network-agnostic: it emits messages through a [send]
+    callback and receives them via {!handle}. One instance exists per
+    (range, node) pair; transport and state-machine wiring live in
+    [Crdb_kv]. *)
+
+type peer_kind = Voter | Learner
+
+type config_change = (int * peer_kind) list
+(** New peer set, replacing the old one wholesale when applied. *)
+
+type 'cmd payload =
+  | Command of 'cmd
+  | Config of config_change
+  | Noop  (** appended by a fresh leader to commit entries from prior terms *)
+
+type 'cmd entry = { term : int; index : int; payload : 'cmd payload }
+
+type ('cmd, 'snap) message =
+  | Pre_vote of { term : int; last_log_index : int; last_log_term : int }
+      (** electability probe; grants change no state (Raft pre-vote) *)
+  | Pre_vote_reply of { term : int; granted : bool }
+  | Request_vote of { term : int; last_log_index : int; last_log_term : int }
+  | Vote of { term : int; granted : bool }
+  | Append of {
+      term : int;
+      prev_index : int;
+      prev_term : int;
+      entries : 'cmd entry list;
+      commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_index : int }
+  | Install_snapshot of {
+      term : int;
+      last_index : int;
+      last_term : int;
+      peers : config_change;
+      snap : 'snap;
+    }
+  | Quiesce of { term : int; commit : int }
+  | Timeout_now of { term : int }
+
+type role = Leader | Follower | Candidate
+
+type ('cmd, 'snap) callbacks = {
+  send : int -> ('cmd, 'snap) message -> unit;
+      (** deliver a message to a peer (asynchronously, may drop) *)
+  on_apply : index:int -> 'cmd -> unit;
+      (** a committed command reached this replica's state machine *)
+  on_role : role -> unit;  (** role transitions, for lease maintenance *)
+  on_config : config_change -> unit;
+      (** a configuration entry was applied on this replica *)
+  take_snapshot : unit -> 'snap;
+      (** leader-side: capture state machine for a lagging/new peer *)
+  install_snapshot : 'snap -> unit;  (** follower-side: replace state *)
+  is_node_live : int -> bool;
+      (** liveness oracle: may this node's leader still be alive? Campaigns
+          are suppressed while the current leader's node is reported live. *)
+}
+
+type ('cmd, 'snap) t
+
+val create :
+  sim:Crdb_sim.Sim.t ->
+  rng:Crdb_stdx.Rng.t ->
+  id:int ->
+  peers:config_change ->
+  callbacks:('cmd, 'snap) callbacks ->
+  ?election_timeout:int ->
+  ?heartbeat_interval:int ->
+  unit ->
+  ('cmd, 'snap) t
+(** [peers] must include [id] itself. Timeouts in microseconds; defaults:
+    election 3s (randomized up to 2x), heartbeat 1s. *)
+
+val id : _ t -> int
+val role : _ t -> role
+val is_leader : _ t -> bool
+val leader_id : _ t -> int option
+val term : _ t -> int
+val commit_index : _ t -> int
+val last_index : _ t -> int
+val applied_index : _ t -> int
+val peers : _ t -> config_change
+val voters : _ t -> int list
+val quiesced : _ t -> bool
+
+val last_quorum_contact : _ t -> int
+(** Simulation time of the last successful contact with a follower (or of
+    assuming leadership). A leader whose contact is stale cannot be sure it
+    still holds the lease; the KV layer refuses to serve consistent reads
+    from it unless the range is quiesced (in which case followers are
+    gated on the liveness oracle instead and cannot have elected another
+    leader). *)
+
+val propose : ('cmd, 'snap) t -> 'cmd -> int option
+(** Append a command (leader only; [None] otherwise). The returned log index
+    is applied on this replica via [on_apply] once committed. *)
+
+val propose_config : ('cmd, 'snap) t -> config_change -> int option
+
+val handle : ('cmd, 'snap) t -> from:int -> ('cmd, 'snap) message -> unit
+
+val campaign : _ t -> unit
+(** Start an election immediately (testing / explicit failover). *)
+
+val transfer_leadership : _ t -> int -> unit
+(** Ask the given voter to take over (no-op if not leader). *)
+
+val start : ?preferred:int -> _ t -> unit
+(** Arm the initial election machinery. Call once after all replicas of the
+    group exist. The replica whose id is [preferred] (default: the smallest
+    voter id) campaigns immediately so groups start with a deterministic
+    leader in the desired locality. *)
+
+val stop : _ t -> unit
+(** Halt all timers (replica removed or node decommissioned). *)
+

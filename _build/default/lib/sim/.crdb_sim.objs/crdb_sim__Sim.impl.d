@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Crdb_stdx Int

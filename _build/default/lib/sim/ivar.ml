@@ -1,0 +1,24 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+      t.state <- Full v;
+      (* Waiters registered first run first. *)
+      List.iter (fun f -> f v) (List.rev waiters);
+      true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already full"
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let on_fill t f =
+  match t.state with
+  | Full v -> f v
+  | Empty waiters -> t.state <- Empty (f :: waiters)

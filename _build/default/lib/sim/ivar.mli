@@ -1,0 +1,22 @@
+(** Single-assignment synchronization variables.
+
+    An ivar is either empty or holds a value forever. Coroutines block on
+    empty ivars via {!Proc.await}; filling an ivar wakes every waiter. Ivars
+    are the reply slots of every RPC in the simulated cluster. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** @raise Invalid_argument if already full. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** [try_fill t v] fills and returns [true], or returns [false] if full. *)
+
+val is_full : 'a t -> bool
+val peek : 'a t -> 'a option
+
+val on_fill : 'a t -> ('a -> unit) -> unit
+(** [on_fill t f] runs [f v] when [t] is filled with [v]; immediately if
+    already full. Callbacks run synchronously inside [fill]. *)

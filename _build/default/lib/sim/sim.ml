@@ -1,0 +1,62 @@
+type event = { time : int; seq : int; fn : unit -> unit; mutable live : bool }
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  queue : event Crdb_stdx.Heap.t;
+}
+
+type timer = event
+
+let cmp_event a b =
+  let c = Int.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { now = 0; seq = 0; queue = Crdb_stdx.Heap.create ~cmp:cmp_event }
+let now t = t.now
+
+let enqueue t ~at fn =
+  let at = if at < t.now then t.now else at in
+  let ev = { time = at; seq = t.seq; fn; live = true } in
+  t.seq <- t.seq + 1;
+  Crdb_stdx.Heap.push t.queue ev;
+  ev
+
+let schedule t ~after fn =
+  let after = if after < 0 then 0 else after in
+  ignore (enqueue t ~at:(t.now + after) fn)
+
+let schedule_at t ~at fn = ignore (enqueue t ~at fn)
+
+let timer t ~after fn =
+  let after = if after < 0 then 0 else after in
+  enqueue t ~at:(t.now + after) fn
+
+let cancel ev = ev.live <- false
+let timer_pending ev = ev.live
+
+let step t =
+  match Crdb_stdx.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      if ev.live then begin
+        ev.live <- false;
+        ev.fn ()
+      end;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Crdb_stdx.Heap.peek t.queue with
+        | Some ev when ev.time <= limit -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      if t.now < limit then t.now <- limit
+
+let run_for t d = run ~until:(t.now + d) t
+let pending t = Crdb_stdx.Heap.size t.queue

@@ -1,0 +1,42 @@
+(** Deterministic discrete-event simulator.
+
+    Simulated time is an integer number of microseconds starting at 0. Events
+    scheduled for the same instant fire in scheduling order (FIFO), which,
+    together with the explicit {!Crdb_stdx.Rng} streams, makes every run
+    reproducible from its seed. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time in microseconds. *)
+
+val schedule : t -> after:int -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t + max 0 after]. *)
+
+val schedule_at : t -> at:int -> (unit -> unit) -> unit
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
+
+(** Cancellable timers. *)
+type timer
+
+val timer : t -> after:int -> (unit -> unit) -> timer
+val cancel : timer -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val timer_pending : timer -> bool
+
+val step : t -> bool
+(** Execute the next event. [false] if the queue was empty. *)
+
+val run : ?until:int -> t -> unit
+(** Drain the event queue; if [until] is given, stop (without executing them)
+    at the first event scheduled strictly after [until], leaving it queued,
+    and advance [now] to [until]. *)
+
+val run_for : t -> int -> unit
+(** [run_for t d] is [run t ~until:(now t + d)]. *)
+
+val pending : t -> int
+(** Number of queued events (including cancelled timers not yet reaped). *)

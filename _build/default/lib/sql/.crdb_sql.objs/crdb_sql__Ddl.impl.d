@@ -1,0 +1,1 @@
+lib/sql/ddl.ml: Crdb_kv List Printf Schema String Value

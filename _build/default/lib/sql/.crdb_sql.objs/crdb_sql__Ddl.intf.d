@@ -1,0 +1,1 @@
+lib/sql/ddl.mli: Crdb_kv Schema Value

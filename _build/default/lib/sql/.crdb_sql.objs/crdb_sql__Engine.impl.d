@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Crdb_hlc Crdb_kv Crdb_net Crdb_sim Crdb_stdx Crdb_storage Crdb_txn Ddl Format Hashtbl Keycodec List Schema String Value

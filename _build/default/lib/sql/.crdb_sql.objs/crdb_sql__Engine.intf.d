@@ -1,0 +1,1 @@
+lib/sql/engine.mli: Crdb_kv Crdb_txn Ddl Format Schema Value

@@ -1,0 +1,1 @@
+lib/sql/keycodec.ml: List Printf String Value

@@ -1,0 +1,1 @@
+lib/sql/legacy.ml: Ddl List Printf Schema String

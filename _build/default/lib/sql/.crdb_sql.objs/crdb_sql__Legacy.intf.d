@@ -1,0 +1,1 @@
+lib/sql/legacy.mli: Ddl Schema

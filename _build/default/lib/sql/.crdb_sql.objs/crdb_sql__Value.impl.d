@@ -1,0 +1,1 @@
+lib/sql/value.ml: Buffer Crdb_stdx Format Int List Printf String

@@ -1,0 +1,118 @@
+type zone_field =
+  | Zf_num_replicas of int
+  | Zf_num_voters of int
+  | Zf_constraints of (string * int) list
+  | Zf_voter_constraints of (string * int) list
+  | Zf_lease_preferences of string list
+
+type stmt =
+  | N_create_database of { db : string; primary : string; regions : string list }
+  | N_set_primary_region of { db : string; region : string }
+  | N_add_region of { db : string; region : string }
+  | N_drop_region of { db : string; region : string }
+  | N_survive of { db : string; survival : Crdb_kv.Zoneconfig.survival }
+  | N_placement of { db : string; restricted : bool }
+  | N_create_table of { db : string; table : Schema.table }
+  | N_set_locality of { db : string; table : string; locality : Schema.locality }
+  | N_add_computed_region of {
+      db : string;
+      table : string;
+      from_cols : string list;
+      compute : Value.t list -> Value.t;
+      sql_case : string;
+    }
+  | L_create_database of { db : string }
+  | L_create_table of { db : string; table : Schema.table }
+  | L_add_partition_column of { db : string; table : string }
+  | L_partition_by of { db : string; table : string; index : string; regions : string list }
+  | L_configure_zone of { db : string; target : string; fields : zone_field list }
+  | L_create_duplicate_index of { db : string; table : string; region : string }
+  | L_drop_index of { db : string; table : string; region : string }
+
+let columns_sql (table : Schema.table) =
+  String.concat ", "
+    (List.filter_map
+       (fun (c : Schema.column) ->
+         if c.Schema.col_hidden then None
+         else
+           Some
+             (Printf.sprintf "%s %s" c.Schema.col_name
+                (match c.Schema.col_type with
+                | Schema.T_int -> "INT"
+                | Schema.T_string -> "STRING"
+                | Schema.T_uuid -> "UUID"
+                | Schema.T_region -> "crdb_internal_region")))
+       table.Schema.tbl_columns)
+
+let zone_field_sql = function
+  | Zf_num_replicas n -> Printf.sprintf "num_replicas = %d" n
+  | Zf_num_voters n -> Printf.sprintf "num_voters = %d" n
+  | Zf_constraints cs ->
+      Printf.sprintf "constraints = '{%s}'"
+        (String.concat ", "
+           (List.map (fun (r, n) -> Printf.sprintf "\"+region=%s\": %d" r n) cs))
+  | Zf_voter_constraints cs ->
+      Printf.sprintf "voter_constraints = '{%s}'"
+        (String.concat ", "
+           (List.map (fun (r, n) -> Printf.sprintf "\"+region=%s\": %d" r n) cs))
+  | Zf_lease_preferences rs ->
+      Printf.sprintf "lease_preferences = '[[%s]]'"
+        (String.concat ", " (List.map (fun r -> "+region=" ^ r) rs))
+
+let to_sql = function
+  | N_create_database { db; primary; regions } ->
+      Printf.sprintf "CREATE DATABASE %s PRIMARY REGION %S%s" db primary
+        (match regions with
+        | [] -> ""
+        | rs ->
+            " REGIONS "
+            ^ String.concat ", " (List.map (Printf.sprintf "%S") rs))
+  | N_set_primary_region { db; region } ->
+      Printf.sprintf "ALTER DATABASE %s SET PRIMARY REGION %S" db region
+  | N_add_region { db; region } ->
+      Printf.sprintf "ALTER DATABASE %s ADD REGION %S" db region
+  | N_drop_region { db; region } ->
+      Printf.sprintf "ALTER DATABASE %s DROP REGION %S" db region
+  | N_survive { db; survival } ->
+      Printf.sprintf "ALTER DATABASE %s SURVIVE %s FAILURE" db
+        (Crdb_kv.Zoneconfig.survival_to_string survival)
+  | N_placement { db; restricted } ->
+      Printf.sprintf "ALTER DATABASE %s PLACEMENT %s" db
+        (if restricted then "RESTRICTED" else "DEFAULT")
+  | N_create_table { db; table } ->
+      Printf.sprintf "CREATE TABLE %s.%s (%s, PRIMARY KEY (%s)) LOCALITY %s" db
+        table.Schema.tbl_name (columns_sql table)
+        (String.concat ", " table.Schema.tbl_pkey)
+        (Schema.locality_to_sql table.Schema.tbl_locality)
+  | N_set_locality { db; table; locality } ->
+      Printf.sprintf "ALTER TABLE %s.%s SET LOCALITY %s" db table
+        (Schema.locality_to_sql locality)
+  | N_add_computed_region { db; table; sql_case; _ } ->
+      Printf.sprintf
+        "ALTER TABLE %s.%s ADD COLUMN crdb_region crdb_internal_region AS (%s) STORED"
+        db table sql_case
+  | L_create_database { db } -> Printf.sprintf "CREATE DATABASE %s" db
+  | L_create_table { db; table } ->
+      Printf.sprintf "CREATE TABLE %s.%s (%s, PRIMARY KEY (%s))" db
+        table.Schema.tbl_name (columns_sql table)
+        (String.concat ", " table.Schema.tbl_pkey)
+  | L_add_partition_column { db; table } ->
+      Printf.sprintf
+        "ALTER TABLE %s.%s ADD COLUMN partition_region STRING NOT NULL" db table
+  | L_partition_by { db; table; index; regions } ->
+      Printf.sprintf "ALTER %s %s.%s PARTITION BY LIST (partition_region) (%s)"
+        (if String.equal index "primary" then "TABLE" else "INDEX")
+        db table
+        (String.concat ", "
+           (List.map (fun r -> Printf.sprintf "PARTITION %s VALUES IN ('%s')" r r) regions))
+  | L_configure_zone { db; target; fields } ->
+      Printf.sprintf "ALTER %s CONFIGURE ZONE USING %s"
+        (if String.equal target db then "DATABASE " ^ db else target)
+        (String.concat ", " (List.map zone_field_sql fields))
+  | L_create_duplicate_index { db; table; region } ->
+      Printf.sprintf "CREATE INDEX idx_%s_%s ON %s.%s (...) STORING (...)"
+        table region db table
+  | L_drop_index { db; table; region } ->
+      Printf.sprintf "DROP INDEX %s.%s@idx_%s_%s" db table table region
+
+let count = List.length

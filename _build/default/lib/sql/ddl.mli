@@ -1,0 +1,47 @@
+(** DDL statements.
+
+    One value of {!stmt} corresponds to one SQL statement a user would type;
+    Table 2 of the paper counts exactly these. The [N_*] constructors are
+    the new declarative multi-region syntax (§2); the [L_*] constructors are
+    the legacy imperative equivalents (partitioning, zone configurations,
+    duplicate indexes) that the paper's "before" column counts. *)
+
+type zone_field =
+  | Zf_num_replicas of int
+  | Zf_num_voters of int
+  | Zf_constraints of (string * int) list
+  | Zf_voter_constraints of (string * int) list
+  | Zf_lease_preferences of string list
+
+type stmt =
+  (* New declarative syntax (§2). *)
+  | N_create_database of { db : string; primary : string; regions : string list }
+  | N_set_primary_region of { db : string; region : string }
+      (** converts a single-region database to multi-region (§7.5.1) *)
+  | N_add_region of { db : string; region : string }
+  | N_drop_region of { db : string; region : string }
+  | N_survive of { db : string; survival : Crdb_kv.Zoneconfig.survival }
+  | N_placement of { db : string; restricted : bool }
+  | N_create_table of { db : string; table : Schema.table }
+  | N_set_locality of { db : string; table : string; locality : Schema.locality }
+  | N_add_computed_region of {
+      db : string;
+      table : string;
+      from_cols : string list;
+      compute : Value.t list -> Value.t;
+      sql_case : string;  (** display form of the CASE expression *)
+    }
+  (* Legacy imperative syntax (§3.2, §7.3.1). *)
+  | L_create_database of { db : string }
+  | L_create_table of { db : string; table : Schema.table }
+  | L_add_partition_column of { db : string; table : string }
+  | L_partition_by of { db : string; table : string; index : string; regions : string list }
+  | L_configure_zone of { db : string; target : string; fields : zone_field list }
+  | L_create_duplicate_index of { db : string; table : string; region : string }
+  | L_drop_index of { db : string; table : string; region : string }
+
+val to_sql : stmt -> string
+(** The SQL a user would have typed for this statement. *)
+
+val count : stmt list -> int
+(** Statement count (Table 2); one [stmt] = one statement. *)

@@ -1,0 +1,32 @@
+type partition = string option
+
+let primary_index = 0
+let dup_index_base = 100
+
+let escape_region r =
+  String.concat "" (List.map (fun c ->
+      match c with '/' -> "_" | c -> String.make 1 c)
+      (List.init (String.length r) (String.get r)))
+
+let partition_component = function
+  | None -> "_"
+  | Some region -> escape_region region
+
+let object_prefix ~table_id ~index_no ~partition =
+  Printf.sprintf "/t%04d/i%03d/p%s" table_id index_no
+    (partition_component partition)
+
+let row_key ~table_id ~index_no ~partition values =
+  let prefix = object_prefix ~table_id ~index_no ~partition in
+  List.fold_left
+    (fun acc v -> acc ^ "/" ^ Value.encode_key_part v)
+    prefix values
+
+let partition_span ~table_id ~index_no ~partition =
+  let prefix = object_prefix ~table_id ~index_no ~partition in
+  (* All keys continue with '/' (0x2F); '0' (0x30) is the next byte. *)
+  (prefix ^ "/", prefix ^ "0")
+
+let prefix_span ~table_id ~index_no ~partition values =
+  let prefix = row_key ~table_id ~index_no ~partition values in
+  (prefix ^ "/", prefix ^ "0")

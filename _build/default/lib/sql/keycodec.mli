@@ -1,0 +1,28 @@
+(** Key encoding: SQL rows and index entries to ordered KV keys.
+
+    Layout: [/t<table-id>/i<index-no>/p<partition>/<key-part>...] where the
+    partition component is the row's region for REGIONAL BY ROW objects and
+    ["_"] otherwise. Index 0 is the primary index; duplicate-index copies of
+    a table use index numbers starting at {!dup_index_base}. *)
+
+type partition = string option
+(** [Some region] for a REGIONAL BY ROW partition, [None] otherwise. *)
+
+val row_key :
+  table_id:int -> index_no:int -> partition:partition -> Value.t list -> string
+
+val partition_span :
+  table_id:int -> index_no:int -> partition:partition -> string * string
+(** Covering span of one (index, partition) — one Range per span. *)
+
+val prefix_span :
+  table_id:int ->
+  index_no:int ->
+  partition:partition ->
+  Value.t list ->
+  string * string
+(** Span of all keys whose key columns start with the given prefix values
+    (e.g. all order lines of one order). *)
+
+val dup_index_base : int
+val primary_index : int

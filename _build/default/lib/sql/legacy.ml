@@ -1,0 +1,148 @@
+type operation =
+  | New_schema
+  | Convert_schema
+  | Add_region of string
+  | Drop_region of string
+
+let zone_fields_for_partition ~region =
+  [
+    Ddl.Zf_num_voters 3;
+    Ddl.Zf_voter_constraints [ (region, 3) ];
+    Ddl.Zf_lease_preferences [ region ];
+  ]
+
+(* Converting one table to its multi-region layout with the old syntax. *)
+let convert_table ~db ~regions (table : Schema.table) =
+  let name = table.Schema.tbl_name in
+  match table.Schema.tbl_locality with
+  | Schema.Global ->
+      (* Duplicate-indexes topology (§7.3.1): one covering index per
+         non-primary region, plus a leaseholder pin for every copy. *)
+      let extra_regions = List.tl regions in
+      List.map (fun r -> Ddl.L_create_duplicate_index { db; table = name; region = r })
+        extra_regions
+      @ List.map
+          (fun r ->
+            Ddl.L_configure_zone
+              {
+                db;
+                target = Printf.sprintf "INDEX %s.%s@%s" db name r;
+                fields = zone_fields_for_partition ~region:r;
+              })
+          regions
+  | Schema.Regional_by_row ->
+      (* A partitioning column (when no natural one exists), list
+         partitioning of the primary and of every secondary index, and a
+         zone configuration per partition. *)
+      let needs_column = Schema.region_computed_from table = None in
+      (if needs_column then [ Ddl.L_add_partition_column { db; table = name } ]
+       else [])
+      @ [ Ddl.L_partition_by { db; table = name; index = "primary"; regions } ]
+      @ List.map
+          (fun (idx : Schema.index) ->
+            Ddl.L_partition_by { db; table = name; index = idx.Schema.idx_name; regions })
+          table.Schema.tbl_indexes
+      @ List.map
+          (fun r ->
+            Ddl.L_configure_zone
+              {
+                db;
+                target = Printf.sprintf "PARTITION %s OF TABLE %s.%s" r db name;
+                fields = zone_fields_for_partition ~region:r;
+              })
+          regions
+  | Schema.Regional_by_table home ->
+      let region =
+        match home with Some r -> r | None -> List.hd regions
+      in
+      [
+        Ddl.L_configure_zone
+          {
+            db;
+            target = Printf.sprintf "TABLE %s.%s" db name;
+            fields = zone_fields_for_partition ~region;
+          };
+      ]
+
+let statements ~db ~regions ~tables operation =
+  match operation with
+  | New_schema ->
+      (Ddl.L_create_database { db }
+      :: List.map (fun t -> Ddl.L_create_table { db; table = t }) tables)
+      @ List.concat_map (convert_table ~db ~regions) tables
+  | Convert_schema ->
+      (* The tables already exist; everything else must still be written. *)
+      List.concat_map (convert_table ~db ~regions) tables
+  | Add_region region ->
+      List.concat_map
+        (fun (t : Schema.table) ->
+          let name = t.Schema.tbl_name in
+          match t.Schema.tbl_locality with
+          | Schema.Regional_by_row ->
+              [
+                Ddl.L_partition_by
+                  { db; table = name; index = "primary"; regions = regions @ [ region ] };
+                Ddl.L_configure_zone
+                  {
+                    db;
+                    target = Printf.sprintf "PARTITION %s OF TABLE %s.%s" region db name;
+                    fields = zone_fields_for_partition ~region;
+                  };
+              ]
+          | Schema.Global ->
+              [
+                Ddl.L_create_duplicate_index { db; table = name; region };
+                Ddl.L_configure_zone
+                  {
+                    db;
+                    target = Printf.sprintf "INDEX %s.%s@%s" db name region;
+                    fields = zone_fields_for_partition ~region;
+                  };
+              ]
+          | Schema.Regional_by_table _ ->
+              [
+                Ddl.L_configure_zone
+                  {
+                    db;
+                    target = Printf.sprintf "TABLE %s.%s" db name;
+                    fields = [ Ddl.Zf_num_replicas (List.length regions + 3) ];
+                  };
+              ])
+        tables
+  | Drop_region region ->
+      List.concat_map
+        (fun (t : Schema.table) ->
+          let name = t.Schema.tbl_name in
+          match t.Schema.tbl_locality with
+          | Schema.Regional_by_row ->
+              [
+                Ddl.L_partition_by
+                  {
+                    db;
+                    table = name;
+                    index = "primary";
+                    regions = List.filter (fun r -> r <> region) regions;
+                  };
+              ]
+          | Schema.Global ->
+              [
+                Ddl.L_drop_index { db; table = name; region };
+                Ddl.L_configure_zone
+                  {
+                    db;
+                    target = Printf.sprintf "TABLE %s.%s" db name;
+                    fields = [ Ddl.Zf_num_replicas (List.length regions + 2) ];
+                  };
+              ]
+          | Schema.Regional_by_table _ ->
+              [
+                Ddl.L_configure_zone
+                  {
+                    db;
+                    target = Printf.sprintf "TABLE %s.%s" db name;
+                    fields = [ Ddl.Zf_num_replicas (List.length regions + 2) ];
+                  };
+              ])
+        tables
+
+let describe stmts = String.concat "\n" (List.map Ddl.to_sql stmts)

@@ -1,0 +1,25 @@
+(** Legacy imperative DDL recipes (the "Before" column of Table 2).
+
+    Before the declarative abstractions, achieving the same multi-region
+    behaviour required hand-written partitioning, zone configurations, and
+    duplicate indexes (§3.2, §7.5.1). Given a schema annotated with its
+    {e intended} localities, these builders emit the statement list a user
+    would have had to write with the old syntax; [Ddl.count] over the result
+    is the number Table 2 reports. The statements are display/count-only —
+    the engine executes the new syntax. *)
+
+type operation =
+  | New_schema
+  | Convert_schema
+  | Add_region of string
+  | Drop_region of string
+
+val statements :
+  db:string ->
+  regions:string list ->
+  tables:Schema.table list ->
+  operation ->
+  Ddl.stmt list
+
+val describe : Ddl.stmt list -> string
+(** The statements rendered as SQL, one per line. *)

@@ -1,0 +1,1 @@
+lib/stats/hist.ml: Array Crdb_stdx Format Int List

@@ -1,0 +1,37 @@
+(** Latency histograms and distribution summaries for the benchmark
+    harness. Samples are microseconds. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val count : t -> int
+val is_empty : t -> bool
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [\[0, 100\]] (nearest-rank). 0 on empty. *)
+
+type boxplot = {
+  p25 : int;
+  p50 : int;
+  p75 : int;
+  whisker_lo : int;  (** lowest sample within 1.5 IQR below p25 *)
+  whisker_hi : int;  (** highest sample within 1.5 IQR above p75 *)
+}
+
+val boxplot : t -> boxplot
+(** The Fig. 3 box summary. *)
+
+val cdf : t -> float list -> (float * int) list
+(** [(p, latency)] pairs for the requested percentiles (Fig. 5). *)
+
+val merge_into : dst:t -> t -> unit
+
+val pp_ms : Format.formatter -> int -> unit
+(** Render microseconds as milliseconds with one decimal. *)
+
+val pp_row : label:string -> Format.formatter -> t -> unit
+(** One summary line: count, mean, p25/50/75/90/99, max (milliseconds). *)

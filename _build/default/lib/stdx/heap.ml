@@ -1,0 +1,67 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let grow h x =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let arr = Array.make new_cap x in
+    Array.blit h.arr 0 arr 0 h.len;
+    h.arr <- arr
+  end
+
+let swap h i j =
+  let t = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.arr.(i) h.arr.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.cmp h.arr.(l) h.arr.(!smallest) < 0 then smallest := l;
+  if r < h.len && h.cmp h.arr.(r) h.arr.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.arr.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+let pop_exn h =
+  if h.len = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.arr.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.arr.(0) <- h.arr.(h.len);
+    sift_down h 0
+  end;
+  top
+
+let pop h = if h.len = 0 then None else Some (pop_exn h)
+let clear h = h.len <- 0
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.arr.(i) :: acc) in
+  loop (h.len - 1) []

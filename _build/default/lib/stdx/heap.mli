@@ -1,0 +1,30 @@
+(** Imperative binary min-heap.
+
+    The heap is parameterized by a comparison function supplied at creation
+    time. Elements comparing smaller are popped first. All operations are
+    amortized [O(log n)] except [peek] and [size] which are [O(1)]. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument if the heap is empty. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is the elements in unspecified order; does not modify [h]. *)

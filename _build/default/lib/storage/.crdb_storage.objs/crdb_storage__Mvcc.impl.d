@@ -1,0 +1,1 @@
+lib/storage/mvcc.ml: Crdb_hlc List Map String

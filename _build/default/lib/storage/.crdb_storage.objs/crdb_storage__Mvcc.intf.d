@@ -1,0 +1,1 @@
+lib/storage/mvcc.mli: Crdb_hlc

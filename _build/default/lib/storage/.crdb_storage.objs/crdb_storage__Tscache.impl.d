@@ -1,0 +1,1 @@
+lib/storage/tscache.ml: Crdb_hlc Hashtbl List String

@@ -1,0 +1,1 @@
+lib/storage/tscache.mli: Crdb_hlc

@@ -1,0 +1,101 @@
+(** Multi-version concurrency control storage.
+
+    One [Mvcc.t] is the state machine of one replica of one Range: an ordered
+    map from keys to version chains plus at most one provisional {e write
+    intent} per key. Committed versions are immutable; an intent is the
+    uncommitted write of an in-flight transaction and blocks conflicting
+    readers and writers until resolved.
+
+    Timestamps follow CRDB semantics: a read at timestamp [ts] observes the
+    latest committed version with timestamp [<= ts], unless a committed
+    version or intent falls inside the reader's uncertainty window
+    [(ts, max_ts]], in which case the reader must ratchet its timestamp
+    (§6.1). *)
+
+type ts = Crdb_hlc.Timestamp.t
+
+type intent = { txn_id : int; ts : ts; value : string option }
+
+type read_outcome =
+  | Value of { value : string option; ts : ts }
+      (** Latest committed version at or below the read timestamp; [value =
+          None] and [ts = Timestamp.zero] when the key has never been
+          written; [value = None] with a non-zero [ts] is a tombstone. *)
+  | Uncertain of { value_ts : ts }
+      (** A committed version exists inside the uncertainty window; the
+          reader must bump its timestamp to [value_ts] and refresh. *)
+  | Intent_blocked of intent
+      (** A foreign intent at or below [max_ts] blocks this read. *)
+
+type write_outcome =
+  | Written
+  | Write_blocked of intent  (** A foreign intent occupies the key. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> key:string -> ts:ts -> max_ts:ts -> for_txn:int option -> read_outcome
+(** [read t ~key ~ts ~max_ts ~for_txn] per the rules above. A transaction
+    always observes its own intent regardless of timestamps. [max_ts] is the
+    upper bound of the uncertainty interval ([ts] itself for stale reads,
+    which have no uncertainty). *)
+
+val put_intent : t -> key:string -> txn_id:int -> ts:ts -> value:string option -> write_outcome
+(** Lay or update (same transaction, e.g. after a timestamp bump) an intent. *)
+
+val resolve_intent : t -> key:string -> txn_id:int -> commit:ts option -> unit
+(** [commit = Some ts] promotes the intent to a committed version at [ts];
+    [None] discards it. No-op if the key holds no intent of [txn_id]. *)
+
+val intent_on : t -> key:string -> intent option
+
+val latest_ts : t -> key:string -> ts
+(** Timestamp of the newest committed version ([Timestamp.zero] if none). *)
+
+val has_committed_after : t -> key:string -> after:ts -> upto:ts -> bool
+(** True iff a committed version exists with timestamp in [(after, upto]].
+    This is the read-refresh validation check (§5.1, Read Refresh). *)
+
+val span_has_writes_in_window :
+  t ->
+  start_key:string ->
+  end_key:string ->
+  after:ts ->
+  upto:ts ->
+  ignore_txn:int option ->
+  bool
+(** True iff any key in [\[start_key, end_key)] has a committed version in
+    [(after, upto]] or a foreign intent at or below [upto] (span refresh
+    validation — catches phantoms and deletions alike). *)
+
+val scan :
+  t ->
+  start_key:string ->
+  end_key:string ->
+  ts:ts ->
+  max_ts:ts ->
+  for_txn:int option ->
+  limit:int option ->
+  (string * read_outcome) list
+(** Visit keys in [\[start_key, end_key)] in order. Keys whose outcome is
+    [Value {value = None; _}] (never written or deleted) are skipped; the
+    scan stops after [limit] live rows if given. Uncertain / blocked
+    outcomes are returned in place so the caller can react. *)
+
+val keys_with_intents : t -> string list
+val num_keys : t -> int
+
+val fold_latest : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+(** Fold over the latest live committed value of every key (testing aid). *)
+
+val copy : t -> t
+(** Deep copy (Raft snapshot transfer). *)
+
+val replace_with : t -> t -> unit
+(** [replace_with t src] makes [t]'s contents a deep copy of [src]
+    (snapshot installation on a follower). *)
+
+val put_version : t -> key:string -> ts:ts -> value:string option -> unit
+(** Install a committed version directly, bypassing the intent protocol.
+    Used only for administrative bulk loading of benchmark datasets. *)

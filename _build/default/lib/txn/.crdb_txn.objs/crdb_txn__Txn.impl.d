@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Crdb_hlc Crdb_kv Crdb_sim Format List String

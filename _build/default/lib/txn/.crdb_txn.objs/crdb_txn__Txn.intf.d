@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Crdb_hlc Crdb_kv Crdb_net Format

@@ -1,0 +1,431 @@
+module Cluster = Crdb_kv.Cluster
+module Ts = Crdb_hlc.Timestamp
+module Clock = Crdb_hlc.Clock
+module Proc = Crdb_sim.Proc
+
+type stats = {
+  mutable commits : int;
+  mutable restarts : int;
+  mutable reader_commit_waits : int;
+  mutable writer_commit_wait_micros : int;
+}
+
+type manager = {
+  cl : Cluster.t;
+  mutable next_txn_id : int;
+  stats : stats;
+  mutable hold_locks_during_commit_wait : bool;
+      (* Spanner-style ablation: resolve intents only after commit wait *)
+  mutable pipelined_writes : bool;
+}
+
+let create_manager cl =
+  {
+    cl;
+    next_txn_id = 1;
+    hold_locks_during_commit_wait = false;
+    pipelined_writes = true;
+    stats =
+      {
+        commits = 0;
+        restarts = 0;
+        reader_commit_waits = 0;
+        writer_commit_wait_micros = 0;
+      };
+  }
+
+let cluster mgr = mgr.cl
+let stats mgr = mgr.stats
+let set_hold_locks_during_commit_wait mgr v = mgr.hold_locks_during_commit_wait <- v
+let set_pipelined_writes mgr v = mgr.pipelined_writes <- v
+
+type read_span = Point of string | Span of string * string
+
+type t = {
+  mgr : manager;
+  id : int;
+  gw : int;
+  mutable read_ts : Ts.t;
+  max_ts : Ts.t; (* uncertainty upper bound; never changes (§6.1) *)
+  mutable write_ts : Ts.t;
+  mutable reads : read_span list;
+  mutable writes : string list; (* newest first; the anchor is the oldest *)
+  mutable outstanding : (string * unit Crdb_sim.Ivar.t) list;
+      (* pipelined write acks, keyed for read-your-own-writes *)
+  mutable observed_future : bool;
+}
+
+type error = Aborted of string | Unavailable of string
+
+let pp_error ppf = function
+  | Aborted m -> Format.fprintf ppf "aborted: %s" m
+  | Unavailable m -> Format.fprintf ppf "unavailable: %s" m
+
+exception Restart of string
+exception Fatal of string
+
+let read_ts t = t.read_ts
+let txn_id t = t.id
+let gateway t = t.gw
+
+(* ------------------------------------------------------------------ *)
+(* Read refresh (§5.1)                                                 *)
+
+let refresh_all t ~to_ts =
+  (* Validate every read span in parallel (CRDB batches the refresh). *)
+  let sim = Cluster.sim t.mgr.cl in
+  let results =
+    List.map
+      (fun span ->
+        Proc.async_catch sim (fun () ->
+            match span with
+            | Point key ->
+                Cluster.refresh t.mgr.cl ~gateway:t.gw ~txn:t.id ~key
+                  ~from_ts:t.read_ts ~to_ts
+            | Span (start_key, end_key) ->
+                Cluster.refresh_span t.mgr.cl ~gateway:t.gw ~txn:t.id ~start_key
+                  ~end_key ~from_ts:t.read_ts ~to_ts))
+      t.reads
+  in
+  if not (List.for_all Proc.await_catch results) then
+    raise (Restart "read refresh failed")
+
+let bump_and_refresh t new_ts =
+  if Ts.(new_ts > t.read_ts) then begin
+    if t.reads <> [] then refresh_all t ~to_ts:new_ts;
+    t.read_ts <- new_ts;
+    (* A value above the local clock is a future-time write: the reader must
+       commit-wait before completing (§6.2). *)
+    let clock = Cluster.clock t.mgr.cl t.gw in
+    if Ts.wall new_ts > Clock.physical_now clock then t.observed_future <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+
+let is_global t key =
+  match Cluster.range_of_key t.mgr.cl key with
+  | rid -> (
+      match Cluster.policy_of t.mgr.cl rid with
+      | Cluster.Lead -> true
+      | Cluster.Lag _ -> false)
+  | exception Not_found -> raise (Fatal ("no range for key " ^ key))
+
+let restartable_read_error e =
+  (* Conflict timeouts and unavailability are worth a fresh attempt. *)
+  raise (Restart e)
+
+let get t key =
+  let rec go attempts =
+    if attempts > 20 then raise (Restart "uncertainty loop");
+    let own_write = List.mem key t.writes in
+    (* Read-your-own-writes under pipelining: wait for in-flight intents on
+       this key to apply before reading it. *)
+    if own_write then
+      List.iter
+        (fun (k, ack) -> if String.equal k key then Proc.await ack)
+        t.outstanding;
+    let leaseholder_read () =
+      Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~gateway:t.gw
+        ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
+    in
+    let result =
+      if is_global t key && not own_write then
+        match
+          Cluster.read_follower t.mgr.cl ~at:t.gw ~txn:(Some t.id) ~key
+            ~ts:t.read_ts ~max_ts:t.max_ts
+        with
+        | Cluster.Read_redirect -> leaseholder_read ()
+        | r -> r
+      else leaseholder_read ()
+    in
+    match result with
+    | Cluster.Read_value { value; _ } ->
+        t.reads <- Point key :: t.reads;
+        value
+    | Cluster.Read_uncertain { value_ts } ->
+        bump_and_refresh t value_ts;
+        go (attempts + 1)
+    | Cluster.Read_redirect -> go (attempts + 1)
+    | Cluster.Read_err e -> restartable_read_error e
+  in
+  go 0
+
+let scan t ~start_key ~end_key ?limit () =
+  let rec go attempts =
+    if attempts > 20 then raise (Restart "uncertainty loop");
+    let range_is_global =
+      match Cluster.range_of_key t.mgr.cl start_key with
+      | rid -> (
+          match Cluster.policy_of t.mgr.cl rid with
+          | Cluster.Lead -> true
+          | Cluster.Lag _ -> false)
+      | exception Not_found -> raise (Fatal ("no range for key " ^ start_key))
+    in
+    let leaseholder_scan () =
+      Cluster.scan t.mgr.cl ~gateway:t.gw ~txn:(Some t.id) ~start_key ~end_key
+        ~ts:t.read_ts ~max_ts:t.max_ts ~limit
+    in
+    let result =
+      if range_is_global && t.writes = [] then
+        match
+          Cluster.scan_follower t.mgr.cl ~at:t.gw ~txn:(Some t.id) ~start_key
+            ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit
+        with
+        | Cluster.Scan_redirect -> leaseholder_scan ()
+        | r -> r
+      else leaseholder_scan ()
+    in
+    match result with
+    | Cluster.Scan_rows rows ->
+        t.reads <- Span (start_key, end_key) :: t.reads;
+        rows
+    | Cluster.Scan_uncertain { value_ts } ->
+        bump_and_refresh t value_ts;
+        go (attempts + 1)
+    | Cluster.Scan_redirect -> go (attempts + 1)
+    | Cluster.Scan_err e -> restartable_read_error e
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+
+let write_value t key value =
+  let provisional = Ts.max t.read_ts t.write_ts in
+  if t.mgr.pipelined_writes then begin
+    let applied = Crdb_sim.Ivar.create () in
+    match
+      Cluster.write t.mgr.cl ~applied ~gateway:t.gw ~txn:t.id ~key ~value
+        ~ts:provisional ()
+    with
+    | Ok pushed ->
+        t.write_ts <- Ts.max t.write_ts pushed;
+        t.outstanding <- (key, applied) :: t.outstanding;
+        if not (List.mem key t.writes) then t.writes <- key :: t.writes
+    | Error e -> raise (Restart e)
+  end
+  else
+    match
+      Cluster.write t.mgr.cl ~gateway:t.gw ~txn:t.id ~key ~value ~ts:provisional ()
+    with
+    | Ok pushed ->
+        t.write_ts <- Ts.max t.write_ts pushed;
+        if not (List.mem key t.writes) then t.writes <- key :: t.writes
+    | Error e -> raise (Restart e)
+
+let put t key value = write_value t key (Some value)
+let delete t key = write_value t key None
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocol                                                     *)
+
+let commit_wait mgr ~gw ts =
+  let clock = Cluster.clock mgr.cl gw in
+  let sim = Cluster.sim mgr.cl in
+  let waited = ref 0 in
+  let rec loop () =
+    let now = Clock.physical_now clock in
+    if now < Ts.wall ts then begin
+      let d = Ts.wall ts - now + 1 in
+      waited := !waited + d;
+      Proc.sleep sim d;
+      loop ()
+    end
+  in
+  loop ();
+  !waited
+
+let resolve_intents t commit_ts =
+  (* Parallel commit: the anchor-range commit record and the outstanding
+     pipelined intent confirmations proceed concurrently; the transaction is
+     committed once both complete. *)
+  let sim = Cluster.sim t.mgr.cl in
+  let resolve_done =
+    Proc.async sim (fun () ->
+        Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id
+          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false)
+  in
+  List.iter
+    (fun (_, ack) ->
+      match Proc.await_timeout sim ack ~timeout:30_000_000 with
+      | Some () -> ()
+      | None -> raise (Restart "pipelined write lost"))
+    t.outstanding;
+  t.outstanding <- [];
+  Proc.await resolve_done
+
+let commit t =
+  let commit_ts = Ts.max t.read_ts t.write_ts in
+  if t.writes <> [] && Ts.(commit_ts > t.read_ts) then begin
+    (* The provisional timestamp was pushed (timestamp cache, closed
+       timestamp target, or newer committed version): validate reads at
+       the commit timestamp before committing. *)
+    refresh_all t ~to_ts:commit_ts;
+    t.read_ts <- commit_ts
+  end;
+  if t.writes <> [] && not t.mgr.hold_locks_during_commit_wait then
+    (* CRDB releases locks concurrently with the commit wait (§6.2),
+       minimizing how long readers can observe them. *)
+    resolve_intents t commit_ts;
+  let must_wait = t.writes <> [] || t.observed_future in
+  if must_wait then begin
+    let waited = commit_wait t.mgr ~gw:t.gw commit_ts in
+    if t.writes <> [] then
+      t.mgr.stats.writer_commit_wait_micros <-
+        t.mgr.stats.writer_commit_wait_micros + waited
+    else if waited > 0 then
+      t.mgr.stats.reader_commit_waits <- t.mgr.stats.reader_commit_waits + 1
+  end;
+  if t.writes <> [] && t.mgr.hold_locks_during_commit_wait then
+    (* Spanner-style ablation: locks persist through the commit wait. *)
+    resolve_intents t commit_ts;
+  t.mgr.stats.commits <- t.mgr.stats.commits + 1
+
+let abort t =
+  if t.writes <> [] then
+    Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id ~commit:None
+      ~keys:(List.rev t.writes) ~sync_all:false
+
+let fresh_txn mgr ~gateway =
+  let id = mgr.next_txn_id in
+  mgr.next_txn_id <- id + 1;
+  let read_ts = Cluster.now_ts mgr.cl gateway in
+  {
+    mgr;
+    id;
+    gw = gateway;
+    read_ts;
+    max_ts = Ts.add_wall read_ts (Cluster.config mgr.cl).Cluster.max_offset;
+    write_ts = Ts.zero;
+    reads = [];
+    writes = [];
+    outstanding = [];
+    observed_future = false;
+  }
+
+let run mgr ~gateway ?(max_attempts = 25) body =
+  let sim = Cluster.sim mgr.cl in
+  let rec attempt n =
+    let t = fresh_txn mgr ~gateway in
+    match
+      let result = body t in
+      commit t;
+      result
+    with
+    | result -> Ok result
+    | exception Restart reason ->
+        abort t;
+        mgr.stats.restarts <- mgr.stats.restarts + 1;
+        if n >= max_attempts then Error (Unavailable reason)
+        else begin
+          (* Small randomized backoff to break livelocks between retries. *)
+          Proc.sleep sim (1_000 * n);
+          attempt (n + 1)
+        end
+    | exception Fatal reason ->
+        abort t;
+        Error (Unavailable reason)
+    | exception e ->
+        abort t;
+        raise e
+  in
+  attempt 1
+
+let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
+  let rec attempt n =
+    let id = mgr.next_txn_id in
+    mgr.next_txn_id <- id + 1;
+    let ts = Cluster.now_ts mgr.cl gateway in
+    match
+      Cluster.write_and_commit mgr.cl ~gateway ~txn:id ~key ~value:(Some value)
+        ~ts ()
+    with
+    | Ok commit_ts ->
+        let waited = commit_wait mgr ~gw:gateway commit_ts in
+        mgr.stats.writer_commit_wait_micros <-
+          mgr.stats.writer_commit_wait_micros + waited;
+        mgr.stats.commits <- mgr.stats.commits + 1;
+        Ok ()
+    | Error reason ->
+        mgr.stats.restarts <- mgr.stats.restarts + 1;
+        if n >= max_attempts then Error (Unavailable reason)
+        else begin
+          Proc.sleep (Cluster.sim mgr.cl) (1_000 * n);
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+(* ------------------------------------------------------------------ *)
+(* Read-only transactions                                              *)
+
+type ro =
+  | Ro_stale of { mgr : manager; gw : int; ts : Ts.t }
+  | Ro_fresh of t
+
+let ro_ts = function Ro_stale { ts; _ } -> ts | Ro_fresh t -> t.read_ts
+
+let stale_get mgr ~gw ~ts key =
+  match
+    Cluster.read_follower mgr.cl ~at:gw ~txn:None ~key ~ts ~max_ts:ts
+  with
+  | Cluster.Read_value { value; _ } -> value
+  | Cluster.Read_redirect -> (
+      (* Not closed (or blocked by an intent) locally: the leaseholder can
+         always serve a read below present time. *)
+      match Cluster.read mgr.cl ~gateway:gw ~txn:None ~key ~ts ~max_ts:ts () with
+      | Cluster.Read_value { value; _ } -> value
+      | Cluster.Read_uncertain _ ->
+          (* Impossible: the uncertainty window [ts, ts] is empty. *)
+          assert false
+      | Cluster.Read_redirect -> raise (Fatal "leaseholder redirected")
+      | Cluster.Read_err e -> raise (Fatal e))
+  | Cluster.Read_uncertain _ -> assert false
+  | Cluster.Read_err e -> raise (Fatal e)
+
+let stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit =
+  match
+    Cluster.scan_follower mgr.cl ~at:gw ~txn:None ~start_key ~end_key ~ts
+      ~max_ts:ts ~limit
+  with
+  | Cluster.Scan_rows rows -> rows
+  | Cluster.Scan_redirect -> (
+      match
+        Cluster.scan mgr.cl ~gateway:gw ~txn:None ~start_key ~end_key ~ts
+          ~max_ts:ts ~limit
+      with
+      | Cluster.Scan_rows rows -> rows
+      | Cluster.Scan_uncertain _ -> assert false
+      | Cluster.Scan_redirect -> raise (Fatal "leaseholder redirected")
+      | Cluster.Scan_err e -> raise (Fatal e))
+  | Cluster.Scan_uncertain _ -> assert false
+  | Cluster.Scan_err e -> raise (Fatal e)
+
+let ro_get ro key =
+  match ro with
+  | Ro_stale { mgr; gw; ts } -> stale_get mgr ~gw ~ts key
+  | Ro_fresh t -> get t key
+
+let ro_scan ro ~start_key ~end_key ?limit () =
+  match ro with
+  | Ro_stale { mgr; gw; ts } ->
+      stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit
+  | Ro_fresh t -> scan t ~start_key ~end_key ?limit ()
+
+let run_stale_exact mgr ~gateway ~ts body =
+  body (Ro_stale { mgr; gw = gateway; ts })
+
+let run_stale_bounded mgr ~gateway ~max_staleness ~keys body =
+  let now = Cluster.now_ts mgr.cl gateway in
+  let min_ts = Ts.of_wall (max 1 (Ts.wall now - max_staleness)) in
+  let negotiated = Cluster.negotiate mgr.cl ~at:gateway ~keys in
+  (* Use the freshest locally servable timestamp within the bound; never a
+     future one (that would force a commit wait on a read). *)
+  let ts =
+    if Ts.(negotiated >= min_ts) then Ts.min negotiated now else min_ts
+  in
+  body (Ro_stale { mgr; gw = gateway; ts })
+
+let run_fresh_read mgr ~gateway ?max_attempts body =
+  run mgr ~gateway ?max_attempts (fun t -> body (Ro_fresh t))

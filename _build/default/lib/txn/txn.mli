@@ -1,0 +1,144 @@
+(** Transaction coordination.
+
+    Implements CRDB's transaction model on top of {!Crdb_kv.Cluster}:
+
+    - {b Serializable read-write transactions} with uncertainty intervals and
+      read refreshes (§6.1, [60 §3]). Reads go to leaseholders; reads of
+      GLOBAL (future-closing) ranges are served by the nearest replica at
+      present time. Writes pipeline intents at the provisional commit
+      timestamp; commit refreshes reads if the timestamp was pushed, then
+      resolves intents, then {b commit-waits} until the coordinator's HLC
+      passes the commit timestamp (§6.2) — concurrently with lock release,
+      unlike Spanner.
+    - {b Reader-side commit waits}: a transaction that observed a value with
+      a future timestamp inside its uncertainty window waits out the
+      remainder before completing, preserving single-key linearizability
+      (§6.2, Fig. 2).
+    - {b Stale read-only transactions}: exact staleness ([AS OF SYSTEM
+      TIME]) and bounded staleness ([with_max_staleness]) with timestamp
+      negotiation (§5.3); both served by nearby replicas whenever closed
+      timestamps allow.
+
+    Restartable conditions (failed refresh after a timestamp push, conflict
+    timeouts) are retried internally with a fresh transaction id and
+    timestamp, like CRDB's automatic per-statement retries. *)
+
+module Cluster = Crdb_kv.Cluster
+module Ts = Crdb_hlc.Timestamp
+
+type manager
+
+val create_manager : Cluster.t -> manager
+val cluster : manager -> Cluster.t
+
+(** {2 Read-write transactions} *)
+
+type t
+(** One transaction attempt. Valid only inside the callback of {!run}. *)
+
+type error = Aborted of string | Unavailable of string
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Restart of string
+(** Raised internally on restartable conditions; user code may also raise it
+    to force a retry with a new timestamp. *)
+
+exception Fatal of string
+(** Raised by read-only transactions when no replica can serve them (for
+    example, a bounded-staleness read whose bound is not locally closed and
+    whose leaseholder is unavailable). *)
+
+val run :
+  manager ->
+  gateway:Crdb_net.Topology.node_id ->
+  ?max_attempts:int ->
+  (t -> 'a) ->
+  ('a, error) result
+(** Execute the body as a serializable transaction; commits on return,
+    aborts if the body raises. Automatically retried (fresh timestamp and
+    txn id) on restartable errors, [max_attempts] times (default 25). The
+    result is returned only after the commit point {e and} any commit wait,
+    so client-observed latency is faithful. *)
+
+val get : t -> string -> string option
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+
+val scan : t -> start_key:string -> end_key:string -> ?limit:int -> unit -> (string * string) list
+(** Range scan (single range per call; the SQL layer stitches ranges). *)
+
+val read_ts : t -> Ts.t
+val txn_id : t -> int
+val gateway : t -> Crdb_net.Topology.node_id
+
+val run_blind_put :
+  manager ->
+  gateway:Crdb_net.Topology.node_id ->
+  ?max_attempts:int ->
+  string ->
+  string ->
+  (unit, error) result
+(** A single-key blind-write auto-commit transaction using the one-phase
+    commit fast path: one consensus round, no observable lock window, plus
+    the commit wait when the range closes future timestamps. *)
+
+(** {2 Read-only transactions} *)
+
+type ro
+(** Read-only context for stale and present-time follower reads. *)
+
+val ro_get : ro -> string -> string option
+val ro_scan : ro -> start_key:string -> end_key:string -> ?limit:int -> unit -> (string * string) list
+val ro_ts : ro -> Ts.t
+
+val run_stale_exact :
+  manager ->
+  gateway:Crdb_net.Topology.node_id ->
+  ts:Ts.t ->
+  (ro -> 'a) ->
+  'a
+(** [AS OF SYSTEM TIME <ts>] (§5.3.1): reads at exactly [ts], served from
+    the closest replica whose closed timestamp covers it, else from the
+    leaseholder. *)
+
+val run_stale_bounded :
+  manager ->
+  gateway:Crdb_net.Topology.node_id ->
+  max_staleness:int ->
+  keys:string list ->
+  (ro -> 'a) ->
+  'a
+(** [with_max_staleness] (§5.3.2): negotiates the highest timestamp at which
+    all [keys] can be served locally without blocking; falls back to the
+    staleness bound (and thus possibly the leaseholder) if negotiation
+    yields an older timestamp. *)
+
+val run_fresh_read :
+  manager ->
+  gateway:Crdb_net.Topology.node_id ->
+  ?max_attempts:int ->
+  (ro -> 'a) ->
+  ('a, error) result
+(** Present-time read-only transaction. Reads of GLOBAL ranges are served
+    by the nearest replica; reads of REGIONAL ranges go to leaseholders.
+    Commit-waits if a future-time value was observed. *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  mutable commits : int;
+  mutable restarts : int;
+  mutable reader_commit_waits : int;
+  mutable writer_commit_wait_micros : int;
+}
+
+val stats : manager -> stats
+
+val set_hold_locks_during_commit_wait : manager -> bool -> unit
+(** Ablation: Spanner-style commit waits that hold locks for their duration
+    (§6.2 contrasts CRDB's concurrent lock release). Default [false]. *)
+
+val set_pipelined_writes : manager -> bool -> unit
+(** Ablation: disable CRDB-style write pipelining so every intent write
+    awaits its consensus round. Default [true]. *)

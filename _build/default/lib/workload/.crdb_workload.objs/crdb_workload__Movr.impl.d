@@ -1,0 +1,1 @@
+lib/workload/movr.ml: Crdb_core Crdb_stdx List Printf

@@ -1,0 +1,1 @@
+lib/workload/movr.mli: Crdb_core

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Crdb_core Crdb_sim Crdb_stats Crdb_stdx Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Crdb_core Crdb_stats

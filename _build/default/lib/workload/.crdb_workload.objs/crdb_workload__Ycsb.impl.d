@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Crdb_core Crdb_sim Crdb_stats Crdb_stdx Fun List Printf String

@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Crdb_core Crdb_stats

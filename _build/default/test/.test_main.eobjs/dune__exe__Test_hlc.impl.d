@@ -1,0 +1,1 @@
+test/test_hlc.ml: Alcotest Crdb_hlc List QCheck QCheck_alcotest

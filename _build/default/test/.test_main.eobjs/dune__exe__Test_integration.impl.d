@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Crdb_core Crdb_sim List Printf

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Crdb_hlc Crdb_kv Crdb_net Crdb_raft Crdb_sim Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_clock_skew Test_hlc Test_integration Test_kv Test_net Test_raft Test_sim Test_sql Test_stdx Test_storage Test_txn Test_workload

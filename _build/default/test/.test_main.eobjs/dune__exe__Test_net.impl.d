@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Crdb_net Crdb_sim List Printf String

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Crdb_raft Crdb_sim Crdb_stdx List Option Printf QCheck QCheck_alcotest String

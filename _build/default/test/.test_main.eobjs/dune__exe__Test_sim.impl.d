@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Crdb_sim Crdb_stdx List

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Crdb_core Crdb_raft Crdb_sim Int List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Crdb_stdx Fun Int List QCheck QCheck_alcotest

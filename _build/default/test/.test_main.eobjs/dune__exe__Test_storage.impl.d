@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Crdb_hlc Crdb_storage Int List QCheck QCheck_alcotest

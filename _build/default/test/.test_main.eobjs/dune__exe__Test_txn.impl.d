@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Crdb_hlc Crdb_kv Crdb_net Crdb_sim Crdb_stdx Crdb_txn List Option Printf String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Crdb_core Crdb_stats Crdb_workload List Printf

@@ -1,0 +1,103 @@
+(* Tests for hybrid logical clock timestamps and per-node clocks. *)
+
+module Ts = Crdb_hlc.Timestamp
+module Clock = Crdb_hlc.Clock
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let ts_gen =
+  QCheck.Gen.(
+    map2
+      (fun w l -> Ts.make ~wall:w ~logical:l)
+      (int_bound 1_000_000) (int_bound 100))
+
+let ts_arb = QCheck.make ~print:Ts.to_string ts_gen
+
+let test_ordering () =
+  let a = Ts.make ~wall:5 ~logical:0 and b = Ts.make ~wall:5 ~logical:1 in
+  check Alcotest.bool "wall ties broken by logical" true Ts.(a < b);
+  check Alcotest.bool "next greater" true Ts.(Ts.next a > a);
+  check Alcotest.bool "prev smaller" true Ts.(Ts.prev b < b);
+  check Alcotest.bool "prev of logical" true (Ts.equal (Ts.prev b) a);
+  check Alcotest.bool "add_wall" true
+    (Ts.equal (Ts.add_wall a 10) (Ts.make ~wall:15 ~logical:0))
+
+let test_prev_zero_raises () =
+  Alcotest.check_raises "prev zero"
+    (Invalid_argument "Timestamp.prev: zero has no predecessor") (fun () ->
+      ignore (Ts.prev Ts.zero))
+
+let prop_total_order =
+  QCheck.Test.make ~name:"timestamp compare is a total order" ~count:300
+    (QCheck.triple ts_arb ts_arb ts_arb)
+    (fun (a, b, c) ->
+      Ts.compare a b = -Ts.compare b a
+      && (if Ts.compare a b <= 0 && Ts.compare b c <= 0 then
+            Ts.compare a c <= 0
+          else true)
+      && Ts.equal (Ts.max a b) (Ts.max b a)
+      && Ts.equal (Ts.min a b) (Ts.min b a))
+
+let prop_next_adjacent =
+  QCheck.Test.make ~name:"no timestamp between t and next t" ~count:300 ts_arb
+    (fun t ->
+      let n = Ts.next t in
+      Ts.(n > t) && Ts.equal (Ts.prev n) t)
+
+let test_clock_monotonic () =
+  let time = ref 0 in
+  let c = Clock.create ~now_micros:(fun () -> !time) () in
+  let a = Clock.now c in
+  let b = Clock.now c in
+  check Alcotest.bool "monotonic at same phys time" true Ts.(b > a);
+  time := 100;
+  let d = Clock.now c in
+  check Alcotest.bool "advances with phys" true (Ts.wall d = 100)
+
+let test_clock_update_ratchets () =
+  let time = ref 50 in
+  let c = Clock.create ~now_micros:(fun () -> !time) () in
+  ignore (Clock.now c);
+  let remote = Ts.make ~wall:500 ~logical:3 in
+  Clock.update c remote;
+  let after_update = Clock.now c in
+  check Alcotest.bool "now above observed remote ts" true Ts.(after_update > remote)
+
+let test_clock_skew () =
+  let time = ref 1000 in
+  let c = Clock.create ~skew_micros:(-200) ~now_micros:(fun () -> !time) () in
+  check Alcotest.int "skewed phys" 800 (Clock.physical_now c);
+  Clock.set_skew c 500;
+  check Alcotest.int "skew updated" 1500 (Clock.physical_now c);
+  let c2 = Clock.create ~skew_micros:(-5000) ~now_micros:(fun () -> !time) () in
+  check Alcotest.int "clamped at zero" 0 (Clock.physical_now c2)
+
+let prop_clock_never_regresses =
+  QCheck.Test.make ~name:"clock reads never regress under updates" ~count:100
+    QCheck.(list (pair bool ts_arb))
+    (fun events ->
+      let time = ref 0 in
+      let c = Clock.create ~now_micros:(fun () -> !time) () in
+      let last = ref Ts.zero in
+      List.for_all
+        (fun (advance, ts) ->
+          if advance then time := !time + 10;
+          Clock.update c ts;
+          let now = Clock.now c in
+          let ok = Ts.(now > !last) in
+          last := now;
+          ok)
+        events)
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "prev zero raises" `Quick test_prev_zero_raises;
+    qcheck prop_total_order;
+    qcheck prop_next_adjacent;
+    Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "clock update ratchets" `Quick test_clock_update_ratchets;
+    Alcotest.test_case "clock skew" `Quick test_clock_skew;
+    qcheck prop_clock_never_regresses;
+  ]

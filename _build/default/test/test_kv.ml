@@ -1,0 +1,631 @@
+(* Tests for the KV layer: zone config derivation, the allocator, and full
+   cluster behaviour (replication, leases, closed timestamps, failures). *)
+
+module Sim = Crdb_sim.Sim
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Transport = Crdb_net.Transport
+module Ts = Crdb_hlc.Timestamp
+module Raft = Crdb_raft.Raft
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Allocator = Crdb_kv.Allocator
+module Cluster = Crdb_kv.Cluster
+
+let check = Alcotest.check
+let regions5 = Latency.table1_regions
+let home = "us-east1"
+
+(* ------------------------------------------------------------------ *)
+(* Zone configs (§3.3)                                                 *)
+
+let test_zone_survival_config () =
+  let z =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Zone
+      ~placement:Zoneconfig.Default
+  in
+  check Alcotest.int "3 voters" 3 z.Zoneconfig.num_voters;
+  check Alcotest.int "3 + (N-1) replicas" 7 z.Zoneconfig.num_replicas;
+  check Alcotest.int "non-voter constraint per other region" 4
+    (List.length z.Zoneconfig.constraints);
+  check
+    Alcotest.(list (pair string int))
+    "voters in home"
+    [ (home, 3) ]
+    z.Zoneconfig.voter_constraints;
+  check Alcotest.(list string) "lease pref" [ home ] z.Zoneconfig.lease_preferences
+
+let test_region_survival_config () =
+  let z =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Region
+      ~placement:Zoneconfig.Default
+  in
+  check Alcotest.int "5 voters" 5 z.Zoneconfig.num_voters;
+  check Alcotest.int "max(2+(N-1), 5)" 6 z.Zoneconfig.num_replicas;
+  check
+    Alcotest.(list (pair string int))
+    "2 voters in home"
+    [ (home, 2) ]
+    z.Zoneconfig.voter_constraints;
+  (* 3-region minimum edge case. *)
+  let z3 =
+    Zoneconfig.derive
+      ~regions:[ "a"; "b"; "c" ]
+      ~home:"a" ~survival:Zoneconfig.Region ~placement:Zoneconfig.Default
+  in
+  check Alcotest.int "3 regions: 5 replicas" 5 z3.Zoneconfig.num_replicas
+
+let test_restricted_config () =
+  let z =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Zone
+      ~placement:Zoneconfig.Restricted
+  in
+  check Alcotest.int "no non-voters" 3 z.Zoneconfig.num_replicas;
+  check Alcotest.int "no constraints outside home" 0
+    (List.length z.Zoneconfig.constraints)
+
+let test_invalid_configs () =
+  Alcotest.check_raises "region survival needs 3 regions"
+    (Invalid_argument
+       "Zoneconfig.derive: REGION survivability requires at least 3 regions")
+    (fun () ->
+      ignore
+        (Zoneconfig.derive ~regions:[ "a"; "b" ] ~home:"a"
+           ~survival:Zoneconfig.Region ~placement:Zoneconfig.Default));
+  Alcotest.check_raises "restricted + region survival"
+    (Invalid_argument
+       "Zoneconfig.derive: PLACEMENT RESTRICTED cannot be combined with REGION \
+        survivability") (fun () ->
+      ignore
+        (Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Region
+           ~placement:Zoneconfig.Restricted))
+
+(* ------------------------------------------------------------------ *)
+(* Allocator                                                           *)
+
+let topo5 = Topology.symmetric ~regions:regions5 ~nodes_per_region:3
+
+let test_allocator_zone_survival () =
+  let zone =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Zone
+      ~placement:Zoneconfig.Default
+  in
+  let placement =
+    Allocator.place ~topology:topo5 ~latency:Latency.table1
+      ~load:(fun _ -> 0)
+      ~zone
+  in
+  check Alcotest.bool "satisfies" true
+    (Allocator.satisfies ~topology:topo5 ~zone placement);
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  let voter_zones =
+    List.map (fun (n, _) -> Topology.zone_of topo5 n) voters
+    |> List.sort_uniq String.compare
+  in
+  check Alcotest.int "voters across 3 distinct zones" 3 (List.length voter_zones);
+  List.iter
+    (fun (n, _) -> check Alcotest.string "voter in home" home (Topology.region_of topo5 n))
+    voters;
+  let learner_regions =
+    List.filter_map
+      (fun (n, k) ->
+        match k with Raft.Learner -> Some (Topology.region_of topo5 n) | Raft.Voter -> None)
+      placement
+    |> List.sort_uniq String.compare
+  in
+  check Alcotest.int "one non-voter per other region" 4 (List.length learner_regions);
+  check Alcotest.bool "home has no learner" false (List.mem home learner_regions);
+  match
+    Allocator.preferred_leaseholder ~topology:topo5 ~live:(fun _ -> true) ~zone
+      placement
+  with
+  | Some n -> check Alcotest.string "lease in home" home (Topology.region_of topo5 n)
+  | None -> Alcotest.fail "no preferred leaseholder"
+
+let test_allocator_region_survival () =
+  let zone =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Region
+      ~placement:Zoneconfig.Default
+  in
+  let placement =
+    Allocator.place ~topology:topo5 ~latency:Latency.table1
+      ~load:(fun _ -> 0)
+      ~zone
+  in
+  check Alcotest.bool "satisfies" true
+    (Allocator.satisfies ~topology:topo5 ~zone placement);
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  let home_voters =
+    List.filter (fun (n, _) -> Topology.region_of topo5 n = home) voters
+  in
+  check Alcotest.int "2 voters in home" 2 (List.length home_voters);
+  (* The 3 unpinned voters should go to the regions nearest to home. *)
+  let other_voter_regions =
+    List.filter_map
+      (fun (n, _) ->
+        let r = Topology.region_of topo5 n in
+        if String.equal r home then None else Some r)
+      voters
+    |> List.sort_uniq String.compare
+  in
+  check Alcotest.bool "nearest region us-west1 holds a voter" true
+    (List.mem "us-west1" other_voter_regions);
+  (* Every region holds at least one replica (stale reads everywhere). *)
+  let all_regions =
+    List.map (fun (n, _) -> Topology.region_of topo5 n) placement
+    |> List.sort_uniq String.compare
+  in
+  check Alcotest.int "replica in every region" 5 (List.length all_regions)
+
+let test_allocator_balances_load () =
+  let counts = Hashtbl.create 16 in
+  let load n = match Hashtbl.find_opt counts n with Some c -> c | None -> 0 in
+  for i = 1 to 15 do
+    (* Homes rotate across regions, as REGIONAL BY ROW partitions do. *)
+    let zone =
+      Zoneconfig.derive ~regions:regions5
+        ~home:(List.nth regions5 (i mod 5))
+        ~survival:Zoneconfig.Zone ~placement:Zoneconfig.Default
+    in
+    let placement =
+      Allocator.place ~topology:topo5 ~latency:Latency.table1 ~load ~zone
+    in
+    List.iter
+      (fun (n, _) -> Hashtbl.replace counts n (load n + 1))
+      placement
+  done;
+  (* 15 ranges x 7 replicas over 15 nodes: perfectly balanced = 7 each. *)
+  Array.iter
+    (fun node ->
+      let c = load node.Topology.id in
+      check Alcotest.bool "load balanced" true (c >= 5 && c <= 9))
+    (Topology.nodes topo5)
+
+let test_allocator_unsatisfiable () =
+  let zone =
+    {
+      Zoneconfig.num_voters = 4;
+      num_replicas = 4;
+      constraints = [];
+      voter_constraints = [ (home, 4) ];
+      lease_preferences = [ home ];
+    }
+  in
+  Alcotest.check_raises "too many voters for region"
+    (Failure "Allocator: not enough nodes to satisfy configuration") (fun () ->
+      ignore
+        (Allocator.place ~topology:topo5 ~latency:Latency.table1
+           ~load:(fun _ -> 0)
+           ~zone))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                             *)
+
+let zone_config ?(survival = Zoneconfig.Zone) ?(placement = Zoneconfig.Default)
+    ?(home = home) () =
+  Zoneconfig.derive ~regions:regions5 ~home ~survival ~placement
+
+let make_cluster ?config () =
+  let cl =
+    Cluster.create ?config ~topology:topo5 ~latency:Latency.table1 ()
+  in
+  cl
+
+let node_in cl region i =
+  (List.nth (Topology.nodes_in_region (Cluster.topology cl) region) i).Topology.id
+
+(* Write then commit a single key as one mini transaction. *)
+let put cl ~gateway ~txn key value =
+  let ts = Cluster.now_ts cl gateway in
+  match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
+  | Error e -> Alcotest.failf "write failed: %s" e
+  | Ok commit_ts ->
+      Cluster.resolve cl ~gateway ~txn ~commit:(Some commit_ts) ~keys:[ key ]
+        ~sync_all:true;
+      commit_ts
+
+let get cl ~gateway ?txn key =
+  (* Minimal read loop: ratchet the timestamp on uncertainty like a real
+     transaction would (the fixed upper bound never changes, §6.1). *)
+  let ts = Cluster.now_ts cl gateway in
+  let max_ts = Ts.add_wall ts (Cluster.config cl).Cluster.max_offset in
+  let rec go ts attempts =
+    match Cluster.read cl ~inline_bump:true ~gateway ~txn ~key ~ts ~max_ts () with
+    | Cluster.Read_value { value; _ } -> value
+    | Cluster.Read_uncertain { value_ts } when attempts < 10 ->
+        go value_ts (attempts + 1)
+    | Cluster.Read_uncertain _ -> Alcotest.fail "uncertainty loop"
+    | Cluster.Read_redirect -> Alcotest.fail "unexpected redirect"
+    | Cluster.Read_err e -> Alcotest.failf "read error: %s" e
+  in
+  go ts 0
+
+let test_cluster_basic_write_read () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  (match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.string "leaseholder in home" home r
+  | None -> Alcotest.fail "no leaseholder");
+  let gateway = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let _ = put cl ~gateway ~txn:1 "k1" "v1" in
+      check Alcotest.(option string) "read back" (Some "v1") (get cl ~gateway "k1");
+      check Alcotest.(option string) "missing key" None (get cl ~gateway "nope"))
+
+let test_cluster_local_latency () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let sim = Cluster.sim cl in
+  let local_gw = node_in cl home 0 in
+  let remote_gw = node_in cl "australia-southeast1" 0 in
+  Cluster.run cl (fun () ->
+      let t0 = Sim.now sim in
+      ignore (put cl ~gateway:local_gw ~txn:1 "k" "v");
+      let local_elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "local write < 10ms (was %dus)" local_elapsed)
+        true (local_elapsed < 10_000);
+      let t1 = Sim.now sim in
+      let _ = get cl ~gateway:remote_gw "k" in
+      let remote_elapsed = Sim.now sim - t1 in
+      (* Remote consistent read ~ 1 RTT to the leaseholder (198ms). *)
+      check Alcotest.bool
+        (Printf.sprintf "remote read ~RTT (was %dus)" remote_elapsed)
+        true
+        (remote_elapsed > 180_000 && remote_elapsed < 260_000))
+
+let test_follower_stale_read () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  let remote = node_in cl "asia-northeast1" 1 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "k" "v");
+      (* Wait out the close lag so the write's timestamp is closed. *)
+      Crdb_sim.Proc.sleep (Cluster.sim cl) 4_000_000;
+      let stale_ts = Ts.of_wall (Sim.now (Cluster.sim cl) - 3_500_000) in
+      let t0 = Sim.now (Cluster.sim cl) in
+      (match
+         Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:stale_ts
+           ~max_ts:stale_ts
+       with
+      | Cluster.Read_value { value; _ } ->
+          check Alcotest.(option string) "stale value visible" (Some "v") value
+      | Cluster.Read_uncertain _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+          Alcotest.fail "stale read not served");
+      let elapsed = Sim.now (Cluster.sim cl) - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "follower read local <3ms (was %dus)" elapsed)
+        true (elapsed < 3_000);
+      (* A present-time read is NOT closed on a Lag range: redirect. *)
+      let now = Cluster.now_ts cl remote in
+      match
+        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:now ~max_ts:now
+      with
+      | Cluster.Read_redirect -> ()
+      | Cluster.Read_value _ | Cluster.Read_uncertain _ | Cluster.Read_err _ ->
+          Alcotest.fail "fresh read should redirect on Lag range")
+
+let test_global_range_future_writes () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:Cluster.Lead
+  in
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  let remote = node_in cl "europe-west2" 2 in
+  let lead = Cluster.closed_lead_duration cl rid in
+  check Alcotest.bool "lead > max_offset" true
+    (lead > (Cluster.config cl).Cluster.max_offset);
+  Cluster.run cl (fun () ->
+      let before = Sim.now (Cluster.sim cl) in
+      let commit_ts = put cl ~gateway:gw ~txn:1 "k" "v" in
+      (* The write landed in the future. *)
+      check Alcotest.bool "future timestamp" true
+        (Ts.wall commit_ts > before + (lead / 2));
+      (* After the lead passes, any replica serves a present-time read
+         locally. *)
+      Crdb_sim.Proc.sleep (Cluster.sim cl) (lead + 200_000);
+      let ts = Cluster.now_ts cl remote in
+      let max_ts = Ts.add_wall ts (Cluster.config cl).Cluster.max_offset in
+      let t0 = Sim.now (Cluster.sim cl) in
+      (match
+         Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts ~max_ts
+       with
+      | Cluster.Read_value { value; _ } ->
+          check Alcotest.(option string) "present-time local read" (Some "v") value
+      | Cluster.Read_uncertain _ -> Alcotest.fail "uncertain"
+      | Cluster.Read_redirect -> Alcotest.fail "redirect"
+      | Cluster.Read_err e -> Alcotest.failf "err %s" e);
+      let elapsed = Sim.now (Cluster.sim cl) - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "global read local <3ms (was %dus)" elapsed)
+        true (elapsed < 3_000))
+
+let test_global_read_uncertainty () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:Cluster.Lead);
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  let remote = node_in cl "us-west1" 0 in
+  Cluster.run cl (fun () ->
+      let offset = (Cluster.config cl).Cluster.max_offset in
+      let commit_ts = put cl ~gateway:gw ~txn:1 "k" "v" in
+      (* Wait until present time sits just below the write's future
+         timestamp: the write then falls inside the reader's uncertainty
+         window and must force a restart (Fig. 2, read 4). *)
+      let target = Ts.wall commit_ts - (offset / 2) in
+      Crdb_sim.Proc.sleep (Cluster.sim cl) (target - Sim.now (Cluster.sim cl));
+      let read_ts = Ts.of_wall (Sim.now (Cluster.sim cl)) in
+      let max_ts = Ts.add_wall read_ts offset in
+      match
+        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:read_ts ~max_ts
+      with
+      | Cluster.Read_uncertain { value_ts } ->
+          check Alcotest.bool "uncertain at write ts" true
+            (Ts.equal value_ts commit_ts)
+      | Cluster.Read_value _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+          Alcotest.fail "expected uncertainty restart")
+
+let test_tscache_pushes_writer () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "k" "v1");
+      (* Read at a deliberately future timestamp. *)
+      let read_ts = Ts.add_wall (Cluster.now_ts cl gw) 1_000_000 in
+      (match Cluster.read cl ~gateway:gw ~txn:None ~key:"k" ~ts:read_ts ~max_ts:read_ts () with
+      | Cluster.Read_value _ -> ()
+      | _ -> Alcotest.fail "read failed");
+      (* A subsequent write must land above the read. *)
+      let w_ts = Cluster.now_ts cl gw in
+      match
+        Cluster.write cl ~gateway:gw ~txn:2 ~key:"k" ~value:(Some "v2") ~ts:w_ts ()
+      with
+      | Ok pushed ->
+          check Alcotest.bool "write pushed above read" true Ts.(pushed > read_ts);
+          Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some pushed)
+            ~keys:[ "k" ] ~sync_all:true
+      | Error e -> Alcotest.failf "write failed: %s" e)
+
+let test_write_write_conflict_queues () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  let sim = Cluster.sim cl in
+  Cluster.run cl (fun () ->
+      (* Txn 1 writes but delays its commit; txn 2's write must wait. *)
+      let ts1 = Cluster.now_ts cl gw in
+      let w1 =
+        match
+          Cluster.write cl ~gateway:gw ~txn:1 ~key:"k" ~value:(Some "a") ~ts:ts1 ()
+        with
+        | Ok ts -> ts
+        | Error e -> Alcotest.failf "w1: %s" e
+      in
+      let t2_done = ref (-1) in
+      Crdb_sim.Proc.spawn sim (fun () ->
+          let ts2 = Cluster.now_ts cl gw in
+          match
+            Cluster.write cl ~gateway:gw ~txn:2 ~key:"k" ~value:(Some "b") ~ts:ts2 ()
+          with
+          | Ok ts ->
+              t2_done := Sim.now sim;
+              Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some ts)
+                ~keys:[ "k" ] ~sync_all:true
+          | Error e -> Alcotest.failf "w2: %s" e);
+      (* Hold the lock for 500ms. *)
+      Crdb_sim.Proc.sleep sim 500_000;
+      check Alcotest.int "txn2 still blocked" (-1) !t2_done;
+      let commit_at = Sim.now sim in
+      Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some w1) ~keys:[ "k" ]
+        ~sync_all:true;
+      Crdb_sim.Proc.sleep sim 500_000;
+      check Alcotest.bool "txn2 proceeded after resolve" true
+        (!t2_done >= commit_at);
+      check Alcotest.(option string) "latest wins" (Some "b") (get cl ~gateway:gw "k"))
+
+let test_refresh () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let t0 = Cluster.now_ts cl gw in
+      ignore (put cl ~gateway:gw ~txn:1 "k" "v1");
+      let t1 = Cluster.now_ts cl gw in
+      check Alcotest.bool "refresh fails over write" false
+        (Cluster.refresh cl ~gateway:gw ~txn:9 ~key:"k" ~from_ts:t0 ~to_ts:t1);
+      check Alcotest.bool "refresh ok on untouched window" true
+        (Cluster.refresh cl ~gateway:gw ~txn:9 ~key:"k" ~from_ts:t1
+           ~to_ts:(Ts.add_wall t1 1000)))
+
+let test_zone_survival_loses_region () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let gw = node_in cl "us-west1" 0 in
+  Cluster.run cl (fun () -> ignore (put cl ~gateway:gw ~txn:1 "k" "v"));
+  (* Let the write's timestamp get closed and propagate before the outage. *)
+  Cluster.run_for cl 6_000_000;
+  let kill_time = Sim.now (Cluster.sim cl) in
+  Transport.kill_region (Cluster.net cl) home;
+  Cluster.run_for cl 15_000_000;
+  check Alcotest.(option int) "no leaseholder" None (Cluster.leaseholder cl rid);
+  (* But stale follower reads still work from surviving regions, at
+     timestamps the dead leaseholder had already closed. *)
+  Cluster.run cl (fun () ->
+      let stale_ts = Ts.of_wall (kill_time - 4_000_000) in
+      match
+        Cluster.read_follower cl ~at:gw ~txn:None ~key:"k" ~ts:stale_ts
+          ~max_ts:stale_ts
+      with
+      | Cluster.Read_value { value; _ } ->
+          check Alcotest.(option string) "stale read survives" (Some "v") value
+      | Cluster.Read_uncertain _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+          Alcotest.fail "stale read should survive region loss")
+
+let test_region_survival_survives_region () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z")
+      ~zone:(zone_config ~survival:Zoneconfig.Region ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let gw = node_in cl "us-west1" 0 in
+  Cluster.run cl (fun () -> ignore (put cl ~gateway:gw ~txn:1 "k" "before"));
+  Transport.kill_region (Cluster.net cl) home;
+  (* Liveness expiry + election. *)
+  Cluster.run_for cl 20_000_000;
+  (match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.bool "leaseholder moved out of home" true (r <> home)
+  | None -> Alcotest.fail "range must stay available");
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:2 "k" "after");
+      check Alcotest.(option string) "writes still served" (Some "after")
+        (get cl ~gateway:gw "k"));
+  (* Heal and rebalance: lease returns home. *)
+  Transport.revive_region (Cluster.net cl) home;
+  Cluster.run_for cl 2_000_000;
+  Cluster.rebalance_leases cl;
+  Cluster.run_for cl 5_000_000;
+  match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.string "lease back home" home r
+  | None -> Alcotest.fail "no leaseholder after heal"
+
+let test_zone_failure_tolerated () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let lh = Option.get (Cluster.leaseholder cl rid) in
+  let zone = Topology.zone_of (Cluster.topology cl) lh in
+  Transport.kill_zone (Cluster.net cl) ~region:home ~zone;
+  Cluster.run_for cl 20_000_000;
+  (match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.string "still home region" home r
+  | None -> Alcotest.fail "zone survival must keep the range available");
+  let gw = node_in cl home 1 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:5 "k" "v");
+      check Alcotest.(option string) "read after zone loss" (Some "v")
+        (get cl ~gateway:gw "k"))
+
+let test_negotiate () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  let remote = node_in cl "europe-west2" 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "k" "v");
+      Crdb_sim.Proc.sleep (Cluster.sim cl) 4_000_000;
+      let safe = Cluster.negotiate cl ~at:remote ~keys:[ "k" ] in
+      let now = Sim.now (Cluster.sim cl) in
+      check Alcotest.bool "negotiated ts in the past but recent" true
+        (Ts.wall safe > now - 4_500_000 && Ts.wall safe < now);
+      (* A pending intent below the closed timestamp lowers the result. *)
+      let ts = Cluster.now_ts cl gw in
+      (match Cluster.write cl ~gateway:gw ~txn:7 ~key:"k" ~value:(Some "x") ~ts () with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      Crdb_sim.Proc.sleep (Cluster.sim cl) 4_000_000;
+      let safe2 = Cluster.negotiate cl ~at:remote ~keys:[ "k" ] in
+      check Alcotest.bool "intent caps negotiation" true Ts.(safe2 < ts);
+      Cluster.resolve cl ~gateway:gw ~txn:7 ~commit:None ~keys:[ "k" ]
+        ~sync_all:true)
+
+let test_bulk_load_visible () =
+  let cl = make_cluster () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  Cluster.bulk_load cl [ ("k1", "v1"); ("k2", "v2") ];
+  let gw = node_in cl home 2 in
+  Cluster.run cl (fun () ->
+      check Alcotest.(option string) "loaded" (Some "v1") (get cl ~gateway:gw "k1");
+      check Alcotest.(option string) "loaded" (Some "v2") (get cl ~gateway:gw "k2"))
+
+let test_multi_range_routing () =
+  let cl = make_cluster () in
+  let r1 =
+    Cluster.add_range cl ~span:("a", "m") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  let r2 =
+    Cluster.add_range cl ~span:("m", "z")
+      ~zone:(zone_config ~home:"europe-west2" ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  check Alcotest.int "routes to r1" r1 (Cluster.range_of_key cl "apple");
+  check Alcotest.int "routes to r2" r2 (Cluster.range_of_key cl "orange");
+  (match Cluster.leaseholder_region cl r2 with
+  | Some r -> check Alcotest.string "r2 homed in europe" "europe-west2" r
+  | None -> Alcotest.fail "no leaseholder for r2");
+  Alcotest.check_raises "unrouted key" Not_found (fun () ->
+      ignore (Cluster.range_of_key cl "zz"));
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Cluster.add_range: overlapping span") (fun () ->
+      ignore
+        (Cluster.add_range cl ~span:("b", "c") ~zone:(zone_config ())
+           ~policy:(Cluster.Lag 3_000_000)))
+
+let suite =
+  [
+    Alcotest.test_case "zone survival config" `Quick test_zone_survival_config;
+    Alcotest.test_case "region survival config" `Quick test_region_survival_config;
+    Alcotest.test_case "restricted config" `Quick test_restricted_config;
+    Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+    Alcotest.test_case "allocator zone survival" `Quick test_allocator_zone_survival;
+    Alcotest.test_case "allocator region survival" `Quick
+      test_allocator_region_survival;
+    Alcotest.test_case "allocator load balance" `Quick test_allocator_balances_load;
+    Alcotest.test_case "allocator unsatisfiable" `Quick test_allocator_unsatisfiable;
+    Alcotest.test_case "basic write/read" `Quick test_cluster_basic_write_read;
+    Alcotest.test_case "local latency" `Quick test_cluster_local_latency;
+    Alcotest.test_case "follower stale read" `Quick test_follower_stale_read;
+    Alcotest.test_case "global future writes" `Quick test_global_range_future_writes;
+    Alcotest.test_case "global read uncertainty" `Quick test_global_read_uncertainty;
+    Alcotest.test_case "tscache pushes writer" `Quick test_tscache_pushes_writer;
+    Alcotest.test_case "write-write conflict" `Quick test_write_write_conflict_queues;
+    Alcotest.test_case "refresh" `Quick test_refresh;
+    Alcotest.test_case "zone survival loses region" `Quick
+      test_zone_survival_loses_region;
+    Alcotest.test_case "region survival survives" `Quick
+      test_region_survival_survives_region;
+    Alcotest.test_case "zone failure tolerated" `Quick test_zone_failure_tolerated;
+    Alcotest.test_case "negotiate" `Quick test_negotiate;
+    Alcotest.test_case "bulk load" `Quick test_bulk_load_visible;
+    Alcotest.test_case "multi-range routing" `Quick test_multi_range_routing;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "crdb"
+    [
+      ("stdx", Test_stdx.suite);
+      ("hlc", Test_hlc.suite);
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("storage", Test_storage.suite);
+      ("raft", Test_raft.suite);
+      ("kv", Test_kv.suite);
+      ("txn", Test_txn.suite);
+      ("sql", Test_sql.suite);
+      ("workload", Test_workload.suite);
+      ("clock_skew", Test_clock_skew.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the discrete-event loop, ivars and effect-based processes. *)
+
+module Sim = Crdb_sim.Sim
+module Ivar = Crdb_sim.Ivar
+module Proc = Crdb_sim.Proc
+
+let check = Alcotest.check
+
+let test_event_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  Sim.schedule sim ~after:20 (record "c");
+  Sim.schedule sim ~after:10 (record "a");
+  Sim.schedule sim ~after:10 (record "b");
+  Sim.run sim;
+  check Alcotest.(list string) "time then FIFO" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  check Alcotest.int "clock at last event" 20 (Sim.now sim)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~after:10 (fun () -> incr fired);
+  Sim.schedule sim ~after:100 (fun () -> incr fired);
+  Sim.run ~until:50 sim;
+  check Alcotest.int "only first fired" 1 !fired;
+  check Alcotest.int "now advanced to limit" 50 (Sim.now sim);
+  Sim.run sim;
+  check Alcotest.int "second fires later" 2 !fired;
+  check Alcotest.int "final time" 100 (Sim.now sim)
+
+let test_timer_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let tm = Sim.timer sim ~after:10 (fun () -> fired := true) in
+  check Alcotest.bool "pending" true (Sim.timer_pending tm);
+  Sim.cancel tm;
+  Sim.run sim;
+  check Alcotest.bool "cancelled timer does not fire" false !fired
+
+let test_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~after:5 (fun () ->
+      log := "outer" :: !log;
+      Sim.schedule sim ~after:5 (fun () -> log := "inner" :: !log));
+  Sim.run sim;
+  check Alcotest.(list string) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check Alcotest.int "time" 10 (Sim.now sim)
+
+let test_ivar () =
+  let iv = Ivar.create () in
+  let seen = ref [] in
+  Ivar.on_fill iv (fun v -> seen := v :: !seen);
+  check Alcotest.bool "empty" false (Ivar.is_full iv);
+  Ivar.fill iv 42;
+  check Alcotest.(option int) "peek" (Some 42) (Ivar.peek iv);
+  check Alcotest.(list int) "waiter ran" [ 42 ] !seen;
+  Ivar.on_fill iv (fun v -> seen := (v * 2) :: !seen);
+  check Alcotest.(list int) "late waiter runs immediately" [ 84; 42 ] !seen;
+  check Alcotest.bool "try_fill on full" false (Ivar.try_fill iv 0);
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already full")
+    (fun () -> Ivar.fill iv 0)
+
+let test_proc_sleep_sequencing () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let result =
+    Proc.run_main sim (fun () ->
+        log := ("start", Sim.now sim) :: !log;
+        Proc.sleep sim 100;
+        log := ("mid", Sim.now sim) :: !log;
+        Proc.sleep sim 50;
+        log := ("end", Sim.now sim) :: !log;
+        Sim.now sim)
+  in
+  check Alcotest.int "returns" 150 result;
+  check
+    Alcotest.(list (pair string int))
+    "timeline"
+    [ ("start", 0); ("mid", 100); ("end", 150) ]
+    (List.rev !log)
+
+let test_proc_await () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  Sim.schedule sim ~after:30 (fun () -> Ivar.fill iv "hello");
+  let v, at =
+    Proc.run_main sim (fun () ->
+        let v = Proc.await iv in
+        (v, Sim.now sim))
+  in
+  check Alcotest.string "value" "hello" v;
+  check Alcotest.int "woke at fill time" 30 at
+
+let test_proc_await_timeout () =
+  let sim = Sim.create () in
+  let iv : int Ivar.t = Ivar.create () in
+  let r =
+    Proc.run_main sim (fun () -> Proc.await_timeout sim iv ~timeout:100)
+  in
+  check Alcotest.(option int) "timed out" None r;
+  let sim2 = Sim.create () in
+  let iv2 = Ivar.create () in
+  Sim.schedule sim2 ~after:10 (fun () -> Ivar.fill iv2 5);
+  let r2 =
+    Proc.run_main sim2 (fun () -> Proc.await_timeout sim2 iv2 ~timeout:100)
+  in
+  check Alcotest.(option int) "filled first" (Some 5) r2
+
+let test_proc_parallel_rpcs () =
+  let sim = Sim.create () in
+  let total =
+    Proc.run_main sim (fun () ->
+        let worker d = Proc.async sim (fun () -> Proc.sleep sim d; d) in
+        let ivs = List.map worker [ 30; 10; 20 ] in
+        let results = Proc.await_all ivs in
+        check Alcotest.int "parallel, not serial" 30 (Sim.now sim);
+        List.fold_left ( + ) 0 results)
+  in
+  check Alcotest.int "all results" 60 total
+
+let test_proc_await_any () =
+  let sim = Sim.create () in
+  let winner =
+    Proc.run_main sim (fun () ->
+        let mk d v = Proc.async sim (fun () -> Proc.sleep sim d; v) in
+        Proc.await_any sim [ mk 50 "slow"; mk 5 "fast"; mk 20 "mid" ])
+  in
+  check Alcotest.string "fastest wins" "fast" winner
+
+let test_run_main_deadlock () =
+  let sim = Sim.create () in
+  let iv : unit Ivar.t = Ivar.create () in
+  Alcotest.check_raises "deadlock detected"
+    (Failure "Proc.run_main: event queue drained before completion") (fun () ->
+      Proc.run_main sim (fun () -> Proc.await iv))
+
+let test_determinism () =
+  let run () =
+    let sim = Sim.create () in
+    let rng = Crdb_stdx.Rng.create ~seed:99 in
+    let log = ref [] in
+    for i = 1 to 50 do
+      Sim.schedule sim ~after:(Crdb_stdx.Rng.int rng 1000) (fun () ->
+          log := (i, Sim.now sim) :: !log)
+    done;
+    Sim.run sim;
+    !log
+  in
+  check Alcotest.bool "identical runs" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "event ordering" `Quick test_event_ordering;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "nested schedule" `Quick test_nested_schedule;
+    Alcotest.test_case "ivar" `Quick test_ivar;
+    Alcotest.test_case "proc sleep" `Quick test_proc_sleep_sequencing;
+    Alcotest.test_case "proc await" `Quick test_proc_await;
+    Alcotest.test_case "proc await_timeout" `Quick test_proc_await_timeout;
+    Alcotest.test_case "proc parallel" `Quick test_proc_parallel_rpcs;
+    Alcotest.test_case "proc await_any" `Quick test_proc_await_any;
+    Alcotest.test_case "run_main deadlock" `Quick test_run_main_deadlock;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]
