@@ -28,15 +28,79 @@ let regions5 = Latency.table1_regions
 let regions3 = [ "us-east1"; "europe-west2"; "asia-northeast1" ]
 let printf = Format.printf
 
+(* Machine-readable mirror of every histogram the pretty-printers show,
+   keyed "section / subsection / label" and written to BENCH_results.json
+   when the harness exits. *)
+let bench_results : (string * Hist.t) list ref = ref []
+let current_section = ref ""
+let current_subsection = ref ""
+
+let record label hist =
+  if not (Hist.is_empty hist) then begin
+    let parts =
+      List.filter
+        (fun s -> s <> "")
+        [ !current_section; !current_subsection; String.trim label ]
+    in
+    let base = String.concat " / " parts in
+    let taken k = List.mem_assoc k !bench_results in
+    let key =
+      if not (taken base) then base
+      else
+        let rec next i =
+          let k = Printf.sprintf "%s #%d" base i in
+          if taken k then next (i + 1) else k
+        in
+        next 2
+    in
+    bench_results := (key, hist) :: !bench_results
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_results file =
+  let oc = open_out file in
+  output_string oc "{\n";
+  let entries = List.rev !bench_results in
+  List.iteri
+    (fun i (key, hist) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape key)
+        (Hist.to_json hist)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  printf "@.[%d latency summaries -> %s]@." (List.length entries) file
+
 let section title =
+  current_section := title;
+  current_subsection := "";
   printf "@.==================================================================@.";
   printf "%s@." title;
   printf "==================================================================@."
 
-let subsection title = printf "@.---- %s ----@." title
-let row label hist = printf "%a@." (Hist.pp_row ~label) hist
+let subsection title =
+  current_subsection := title;
+  printf "@.---- %s ----@." title
+
+let row label hist =
+  record label hist;
+  printf "%a@." (Hist.pp_row ~label) hist
 
 let box label hist =
+  record label hist;
   if Hist.is_empty hist then printf "%-36s (no samples)@." label
   else begin
     let b = Hist.boxplot hist in
@@ -48,6 +112,7 @@ let box label hist =
 let cdf_percentiles = [ 50.0; 75.0; 90.0; 95.0; 99.0; 99.9; 100.0 ]
 
 let cdf_row label hist =
+  record label hist;
   if Hist.is_empty hist then printf "%-22s (no samples)@." label
   else begin
     printf "%-22s" label;
@@ -572,4 +637,5 @@ let () =
       | None ->
           printf "unknown experiment %S (available: %s)@." name
             (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  write_bench_results "BENCH_results.json"

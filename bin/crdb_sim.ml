@@ -22,6 +22,45 @@ open Cmdliner
 
 let regions5 = Crdb.Latency.table1_regions
 
+(* ---------------- observability flags ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans across the transport, Raft, KV and transaction \
+           layers and write a Chrome trace-event JSON file (load it in \
+           about://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics registry (counters and histograms) on exit.")
+
+(* Call before the workload so spans are recorded. *)
+let arm_obs t ~trace =
+  if trace <> None then Crdb.Obs.enable_tracing (Crdb.obs t)
+
+let finish_obs t ~trace ~metrics =
+  let obs = Crdb.obs t in
+  (match trace with
+  | Some file -> (
+      let tr = Crdb.Obs.trace obs in
+      match open_out file with
+      | oc ->
+          output_string oc (Crdb.Trace.to_chrome_json tr);
+          close_out oc;
+          Format.printf "trace: %d records -> %s@." (Crdb.Trace.num_records tr)
+            file
+      | exception Sys_error msg ->
+          Format.eprintf "crdb_sim: cannot write trace: %s@." msg;
+          exit 1)
+  | None -> ());
+  if metrics then Format.printf "%a" Crdb.Metrics.pp (Crdb.Obs.metrics obs)
+
 (* ---------------- ycsb ---------------- *)
 
 let variant_of_string = function
@@ -57,7 +96,8 @@ let workload_conv =
         Format.pp_print_string ppf
           (match w with Ycsb.A -> "a" | Ycsb.B -> "b" | Ycsb.D -> "d") )
 
-let run_ycsb variant workload nregions clients ops keyspace locality stale =
+let run_ycsb variant workload nregions clients ops keyspace locality stale
+    trace metrics =
   let regions = List.filteri (fun i _ -> i < nregions) regions5 in
   let t = Crdb.start ~regions () in
   Crdb.exec t
@@ -66,6 +106,7 @@ let run_ycsb variant workload nregions clients ops keyspace locality stale =
   Crdb.exec_all t (Ycsb.ddl variant ~db:"ycsb" ~regions);
   let db = Crdb.database t "ycsb" in
   Ycsb.load t db variant ~keyspace;
+  arm_obs t ~trace;
   let read_mode =
     if stale then Ycsb.Bounded_stale 10_000_000 else Ycsb.Latest
   in
@@ -78,7 +119,8 @@ let run_ycsb variant workload nregions clients ops keyspace locality stale =
   Format.printf "%a@." (Hist.pp_row ~label:"read  local") r.Ycsb.read_local;
   Format.printf "%a@." (Hist.pp_row ~label:"read  remote") r.Ycsb.read_remote;
   Format.printf "%a@." (Hist.pp_row ~label:"write local") r.Ycsb.write_local;
-  Format.printf "%a@." (Hist.pp_row ~label:"write remote") r.Ycsb.write_remote
+  Format.printf "%a@." (Hist.pp_row ~label:"write remote") r.Ycsb.write_remote;
+  finish_obs t ~trace ~metrics
 
 let ycsb_cmd =
   let variant =
@@ -99,17 +141,18 @@ let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
     Term.(
       const run_ycsb $ variant $ workload $ nregions $ clients $ ops $ keyspace
-      $ locality $ stale)
+      $ locality $ stale $ trace_arg $ metrics_arg)
 
 (* ---------------- tpcc ---------------- *)
 
-let run_tpcc nregions warehouses duration =
+let run_tpcc nregions warehouses duration trace metrics =
   let regions = List.filteri (fun i _ -> i < nregions) Crdb.Latency.gcp_region_names in
   let t = Crdb.start ~regions () in
   Crdb.exec_all t (Tpcc.ddl ~db:"tpcc" ~regions ~warehouses_per_region:warehouses);
   let db = Crdb.database t "tpcc" in
   Tpcc.load t db ~warehouses_per_region:warehouses ~districts_per_warehouse:10
     ~customers_per_district:20 ();
+  arm_obs t ~trace;
   let r =
     Tpcc.run t db ~warehouses_per_region:warehouses
       ~duration:(duration * 1_000_000) ~districts_per_warehouse:10
@@ -119,7 +162,8 @@ let run_tpcc nregions warehouses duration =
     (100.0 *. Tpcc.efficiency r ~warehouses:(warehouses * nregions))
     r.Tpcc.errors;
   Format.printf "%a@." (Hist.pp_row ~label:"new_order") r.Tpcc.new_order;
-  Format.printf "%a@." (Hist.pp_row ~label:"payment") r.Tpcc.payment
+  Format.printf "%a@." (Hist.pp_row ~label:"payment") r.Tpcc.payment;
+  finish_obs t ~trace ~metrics
 
 let tpcc_cmd =
   let nregions = Arg.(value & opt int 4 & info [ "regions" ] ~doc:"Number of regions") in
@@ -128,7 +172,8 @@ let tpcc_cmd =
   in
   let duration = Arg.(value & opt int 20 & info [ "duration" ] ~doc:"Seconds (simulated)") in
   Cmd.v (Cmd.info "tpcc" ~doc:"Run TPC-C")
-    Term.(const run_tpcc $ nregions $ warehouses $ duration)
+    Term.(const run_tpcc $ nregions $ warehouses $ duration $ trace_arg
+          $ metrics_arg)
 
 (* ---------------- ddl ---------------- *)
 
@@ -186,8 +231,40 @@ let regions_cmd =
   Cmd.v (Cmd.info "regions" ~doc:"Print latency profiles")
     Term.(const run_regions $ const ())
 
+(* ---------------- default scenario ---------------- *)
+
+(* A small deterministic GLOBAL-table workload touching every layer:
+   follower reads on the read side, Raft replication plus commit waits on
+   the write side. Runs when --trace/--metrics are passed with no
+   subcommand. *)
+let run_default trace metrics =
+  let regions = List.filteri (fun i _ -> i < 3) regions5 in
+  let t = Crdb.start ~regions () in
+  Crdb.exec t
+    (Ddl.N_create_database
+       { db = "demo"; primary = List.hd regions; regions = List.tl regions });
+  Crdb.exec_all t (Ycsb.ddl Ycsb.Global_table ~db:"demo" ~regions);
+  let db = Crdb.database t "demo" in
+  Ycsb.load t db Ycsb.Global_table ~keyspace:60;
+  arm_obs t ~trace;
+  let r =
+    Ycsb.run t db ~clients_per_region:2 ~ops_per_client:10 ~locality:1.0
+      ~workload:Ycsb.A ~keyspace:60 ~read_mode:Ycsb.Latest ()
+  in
+  Format.printf "default scenario: %d ops, %d errors, %d ms simulated@."
+    r.Ycsb.ops r.Ycsb.errors
+    (r.Ycsb.elapsed / 1000);
+  finish_obs t ~trace ~metrics
+
 let () =
-  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let default =
+    Term.(
+      ret
+        (const (fun trace metrics ->
+             if trace = None && not metrics then `Help (`Pager, None)
+             else `Ok (run_default trace metrics))
+        $ trace_arg $ metrics_arg))
+  in
   exit
     (Cmd.eval
        (Cmd.group ~default

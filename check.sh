@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo gate: build, run the full test suite, and (when ocamlformat is
+# installed) check formatting. CI and pre-push hooks should run exactly this.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check only)"
+  dune build @fmt
+else
+  echo "== skipping fmt gate (ocamlformat not installed)"
+fi
+
+echo "== OK"

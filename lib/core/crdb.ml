@@ -10,6 +10,9 @@ module Topology = Crdb_net.Topology
 module Latency = Crdb_net.Latency
 module Transport = Crdb_net.Transport
 module Timestamp = Crdb_hlc.Timestamp
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
 
 let version = "0.1.0"
 
@@ -30,6 +33,7 @@ let start ?config ?latency ?(nodes_per_region = 3) ~regions () =
 
 let cluster t = t.cl
 let engine t = t.eng
+let obs t = Cluster.obs t.cl
 let topology t = Cluster.topology t.cl
 let sim_now t = Crdb_sim.Sim.now (Cluster.sim t.cl)
 let exec t stmt = Engine.exec t.eng stmt

@@ -30,6 +30,9 @@ module Topology = Crdb_net.Topology
 module Latency = Crdb_net.Latency
 module Transport = Crdb_net.Transport
 module Timestamp = Crdb_hlc.Timestamp
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
 
 val version : string
 
@@ -48,6 +51,12 @@ val start :
 
 val cluster : t -> Cluster.t
 val engine : t -> Engine.t
+
+val obs : t -> Obs.t
+(** The cluster's observability context ({!Cluster.obs}): metrics are always
+    collected; call [Obs.enable_tracing (Crdb.obs t)] before the workload to
+    also record spans, then export with [Trace.to_chrome_json]. *)
+
 val topology : t -> Topology.t
 val sim_now : t -> int
 

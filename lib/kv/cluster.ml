@@ -10,6 +10,9 @@ module Clock = Crdb_hlc.Clock
 module Mvcc = Crdb_storage.Mvcc
 module Tscache = Crdb_storage.Tscache
 module Raft = Crdb_raft.Raft
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
 module Smap = Map.Make (String)
 
 type policy = Lag of int | Lead
@@ -83,6 +86,11 @@ type t = {
   mutable next_range_id : int;
   load : int array; (* replicas per node *)
   diag : diag;
+  obs : Obs.t;
+  (* Cached per-node counters for per-operation paths. *)
+  c_fr_hit : Metrics.counter array;
+  c_fr_miss : Metrics.counter array;
+  c_ct_publish : Metrics.counter array;
 }
 
 and diag = {
@@ -101,12 +109,14 @@ let lease_duration = 4_500_000
 
 let create ?(config = default_config) ~topology ~latency () =
   let sim = Sim.create () in
+  let obs = Obs.create ~now:(fun () -> Sim.now sim) () in
   let rng = Rng.create ~seed:config.seed in
   let net =
-    Transport.create ~jitter:config.jitter ~rng:(Rng.split rng) ~sim ~topology
-      ~latency ()
+    Transport.create ~jitter:config.jitter ~rng:(Rng.split rng) ~obs ~sim
+      ~topology ~latency ()
   in
   let n = Topology.num_nodes topology in
+  let m = Obs.metrics obs in
   let clocks =
     Array.init n (fun _ ->
         (* Independent per-node skew. Real deployments keep actual skew well
@@ -138,10 +148,15 @@ let create ?(config = default_config) ~topology ~latency () =
         d_lock_waits = 0;
         d_intent_waits = 0;
       };
+    obs;
+    c_fr_hit = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_hits");
+    c_fr_miss = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_misses");
+    c_ct_publish = Array.init n (fun i -> Metrics.counter m ~node:i "kv.ct_publishes");
   }
 
 let sim t = t.sim
 let net t = t.net
+let obs t = t.obs
 let topology t = t.topo
 let config t = t.cfg
 let clock t node = t.clocks.(node)
@@ -376,6 +391,12 @@ let preferred_leaseholder_node t rg =
   Allocator.preferred_leaseholder ~topology:t.topo
     ~live:(Transport.is_alive t.net) ~zone:rg.rg_zone placement
 
+let note_lease_transfer t ~node ~range ~target =
+  Metrics.inc
+    (Metrics.counter (Obs.metrics t.obs) ~node ~range "kv.lease_transfers");
+  Trace.event (Obs.trace t.obs) ~node ~range "kv.lease_transfer"
+    ~attrs:[ ("target", string_of_int target) ]
+
 let rec make_replica t rg node =
   let r =
     {
@@ -410,6 +431,12 @@ and raft_callbacks t rg r =
       (fun role ->
         match role with
         | Raft.Leader ->
+            Metrics.inc
+              (Metrics.counter (Obs.metrics t.obs) ~node:r.r_node
+                 ~range:rg.rg_id "kv.lease_acquired");
+            Trace.event (Obs.trace t.obs) ~node:r.r_node ~range:rg.rg_id
+              "kv.lease_acquired"
+              ~attrs:[ ("region", Topology.region_of t.topo r.r_node) ];
             (* New leaseholder: protect reads served by the previous one. *)
             Tscache.bump_low_water rg.rg_tscache
               (Ts.of_wall (Clock.physical_now t.clocks.(r.r_node) + t.cfg.max_offset));
@@ -432,8 +459,11 @@ and raft_callbacks t rg r =
                       (* Defer: transferring synchronously inside the role
                          callback would re-enter Raft. *)
                       Sim.schedule t.sim ~after:1_000 (fun () ->
-                          if Raft.is_leader raft then
-                            Raft.transfer_leadership raft target)
+                          if Raft.is_leader raft then begin
+                            note_lease_transfer t ~node:r.r_node
+                              ~range:rg.rg_id ~target;
+                            Raft.transfer_leadership raft target
+                          end)
                   | None -> ())
               | Some _ | None -> ()
             end
@@ -490,7 +520,7 @@ and add_replica t rg node ~preferred =
   in
   let raft =
     Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers
-      ~callbacks:(raft_callbacks t rg r)
+      ~callbacks:(raft_callbacks t rg r) ~obs:t.obs ~range:rg.rg_id
       ~election_timeout:t.cfg.raft_election_timeout
       ~heartbeat_interval:t.cfg.raft_heartbeat_interval ()
   in
@@ -548,7 +578,7 @@ let add_range t ~span ~zone ~policy =
       let r = Hashtbl.find rg.rg_replicas node in
       let raft =
         Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers:placement
-          ~callbacks:(raft_callbacks t rg r)
+          ~callbacks:(raft_callbacks t rg r) ~obs:t.obs ~range:rg.rg_id
           ~election_timeout:t.cfg.raft_election_timeout
           ~heartbeat_interval:t.cfg.raft_heartbeat_interval ()
       in
@@ -638,7 +668,9 @@ let alter_range t rid ~zone ~policy =
     match (leader_replica t rid, preferred_leaseholder_node t rg) with
     | Some r, Some target when r.r_node <> target -> (
         match (r.r_raft, replica_at rg target) with
-        | Some raft, Some _ -> Raft.transfer_leadership raft target
+        | Some raft, Some _ ->
+            note_lease_transfer t ~node:r.r_node ~range:rid ~target;
+            Raft.transfer_leadership raft target
         | (Some _ | None), (Some _ | None) ->
             if attempts > 0 then
               Sim.schedule t.sim ~after:500_000 (fun () -> try_lease (attempts - 1)))
@@ -665,7 +697,9 @@ let rebalance_leases t =
         match (leader_replica t rg.rg_id, preferred_leaseholder_node t rg) with
         | Some r, Some target when r.r_node <> target -> (
             match r.r_raft with
-            | Some raft -> Raft.transfer_leadership raft target
+            | Some raft ->
+                note_lease_transfer t ~node:r.r_node ~range:rg.rg_id ~target;
+                Raft.transfer_leadership raft target
             | None -> ())
         | (Some _ | None), (Some _ | None) -> ())
     t.ranges_tbl
@@ -763,6 +797,7 @@ let publish t node =
             | Some _ | None -> ())
         | None -> ())
     t.ranges_tbl;
+  if Hashtbl.length batches > 0 then Metrics.inc t.c_ct_publish.(node);
   Hashtbl.iter
     (fun dst items ->
       let items = !items in
@@ -807,10 +842,18 @@ type scan_result =
 let rpc_timeout = 30_000_000
 let op_deadline = 120_000_000
 
-let with_leaseholder t ~gateway rid ~(on_fail : string -> 'a) (eval : replica -> [ `Done of 'a | `Not_leader ]) : 'a =
+let with_leaseholder t ~gateway ?(span = Trace.nil) ~op rid
+    ~(on_fail : string -> 'a)
+    (eval : replica -> Trace.span -> [ `Done of 'a | `Not_leader ]) : 'a =
+  let tr = Obs.trace t.obs in
+  let sp = Trace.span tr ~parent:span ~node:gateway ~range:rid op in
   let deadline = Sim.now t.sim + op_deadline in
   let rec go () =
-    if Sim.now t.sim > deadline then on_fail "range unavailable: no leaseholder"
+    if Sim.now t.sim > deadline then begin
+      Trace.annotate sp "error" "deadline exceeded";
+      Trace.finish tr sp;
+      on_fail "range unavailable: no leaseholder"
+    end
     else
       match leaseholder t rid with
       | None ->
@@ -825,12 +868,14 @@ let with_leaseholder t ~gateway rid ~(on_fail : string -> 'a) (eval : replica ->
               go ()
           | Some r -> (
               let reply =
-                Transport.rpc t.net ~src:gateway ~dst:lh (fun out ->
+                Transport.rpc ~span:sp t.net ~src:gateway ~dst:lh (fun out ->
                     Proc.spawn t.sim (fun () ->
-                        ignore (Ivar.try_fill out (eval r) : bool)))
+                        ignore (Ivar.try_fill out (eval r sp) : bool)))
               in
               match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
-              | Some (`Done res) -> res
+              | Some (`Done res) ->
+                  Trace.finish tr sp;
+                  res
               | Some `Not_leader ->
                   t.diag.d_not_leader <- t.diag.d_not_leader + 1;
                   Proc.sleep t.sim 100_000;
@@ -886,18 +931,32 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
               eval_read t r ~inline_bump ~txn ~key ~ts:value_ts ~max_ts
             else `Done (Read_uncertain { value_ts }))
 
-let read t ?(inline_bump = false) ~gateway ~txn ~key ~ts ~max_ts () =
+let read t ?(inline_bump = false) ?span ~gateway ~txn ~key ~ts ~max_ts () =
   match range_of_key t key with
   | rid ->
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.read" rid
         ~on_fail:(fun msg -> Read_err msg)
-        (fun r -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
+        (fun r _sp -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
   | exception Not_found -> Read_err ("no range for key " ^ key)
 
-let read_follower t ~at ~txn ~key ~ts ~max_ts =
+let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
   match range_of_key t key with
   | exception Not_found -> Read_err ("no range for key " ^ key)
   | rid -> (
+      let tr = Obs.trace t.obs in
+      let sp =
+        Trace.span tr ~parent:span ~node:at ~range:rid "kv.follower_read"
+      in
+      let note res =
+        (match res with
+        | Read_value _ | Read_uncertain _ -> Metrics.inc t.c_fr_hit.(at)
+        | Read_redirect ->
+            Trace.annotate sp "redirect" "true";
+            Metrics.inc t.c_fr_miss.(at)
+        | Read_err _ -> ());
+        Trace.finish tr sp;
+        res
+      in
       let rg = range t rid in
       let eval r =
         if Ts.(replica_closed r >= max_ts) then
@@ -911,22 +970,22 @@ let read_follower t ~at ~txn ~key ~ts ~max_ts =
       | Some r ->
           (* Collocated replica: local storage access. *)
           Proc.sleep t.sim 50;
-          eval r
+          note (eval r)
       | None -> (
           match nearest_replica t rid ~from:at with
-          | None -> Read_err "no live replica"
+          | None -> note (Read_err "no live replica")
           | Some node -> (
               let rg = range t rid in
               match replica_at rg node with
-              | None -> Read_err "no live replica"
+              | None -> note (Read_err "no live replica")
               | Some r -> (
                   let reply =
-                    Transport.rpc t.net ~src:at ~dst:node (fun out ->
+                    Transport.rpc ~span:sp t.net ~src:at ~dst:node (fun out ->
                         Ivar.fill out (eval r))
                   in
                   match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
-                  | Some res -> res
-                  | None -> Read_err "follower read timeout"))))
+                  | Some res -> note res
+                  | None -> note (Read_err "follower read timeout")))))
 
 let clamp_span rg ~start_key ~end_key =
   let s, e = rg.rg_span in
@@ -1004,20 +1063,35 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
             `Done (Scan_rows out))
   end
 
-let scan t ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
   match range_of_key t start_key with
   | exception Not_found -> Scan_err ("no range for key " ^ start_key)
   | rid ->
       let rg = range t rid in
       let start_key, end_key = clamp_span rg ~start_key ~end_key in
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.scan" rid
         ~on_fail:(fun msg -> Scan_err msg)
-        (fun r -> eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit)
+        (fun r _sp -> eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit)
 
-let scan_follower t ~at ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
+    ~max_ts ~limit () =
   match range_of_key t start_key with
   | exception Not_found -> Scan_err ("no range for key " ^ start_key)
   | rid -> (
+      let tr = Obs.trace t.obs in
+      let sp =
+        Trace.span tr ~parent:span ~node:at ~range:rid "kv.follower_scan"
+      in
+      let note res =
+        (match res with
+        | Scan_rows _ | Scan_uncertain _ -> Metrics.inc t.c_fr_hit.(at)
+        | Scan_redirect ->
+            Trace.annotate sp "redirect" "true";
+            Metrics.inc t.c_fr_miss.(at)
+        | Scan_err _ -> ());
+        Trace.finish tr sp;
+        res
+      in
       let rg = range t rid in
       let start_key, end_key = clamp_span rg ~start_key ~end_key in
       let eval r =
@@ -1062,35 +1136,35 @@ let scan_follower t ~at ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
       match replica_at rg at with
       | Some r ->
           Proc.sleep t.sim 50;
-          eval r
+          note (eval r)
       | None -> (
           match nearest_replica t rid ~from:at with
-          | None -> Scan_err "no live replica"
+          | None -> note (Scan_err "no live replica")
           | Some node -> (
               match replica_at rg node with
-              | None -> Scan_err "no live replica"
+              | None -> note (Scan_err "no live replica")
               | Some r -> (
                   let reply =
-                    Transport.rpc t.net ~src:at ~dst:node (fun out ->
+                    Transport.rpc ~span:sp t.net ~src:at ~dst:node (fun out ->
                         Ivar.fill out (eval r))
                   in
                   match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
-                  | Some res -> res
-                  | None -> Scan_err "follower scan timeout"))))
+                  | Some res -> note res
+                  | None -> note (Scan_err "follower scan timeout")))))
 
-let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts =
+let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
   if not (is_leader_now r) then `Not_leader
   else
     match Hashtbl.find_opt r.r_locks key with
     | Some l when l.l_txn <> txn ->
         if wait_for_lock t l then
-          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts
+          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
         else `Done (Error "conflict timeout")
     | existing -> (
         match Mvcc.intent_on r.r_store ~key with
         | Some i when i.Mvcc.txn_id <> txn ->
             if wait_for_resolve t r key then
-              eval_write t r ~applied ~gateway ~txn ~key ~value ~ts
+              eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
             else `Done (Error "conflict timeout")
         | Some _ | None -> (
             match r.r_raft with
@@ -1127,11 +1201,19 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts =
                     done_;
                   }
                 in
+                let tr = Obs.trace t.obs in
+                let rsp =
+                  Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
+                    "raft.replicate"
+                in
                 (match Raft.propose raft cmd with
                 | None ->
+                    Trace.annotate rsp "error" "not leader";
+                    Trace.finish tr rsp;
                     if created then release_lock r key txn;
                     `Not_leader
                 | Some _ -> (
+                    Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
                     match applied with
                     | Some ack ->
                         (* Pipelined write (CRDB write pipelining): reply as
@@ -1151,8 +1233,11 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts =
    between the two proposals (no simulated time passes), so concurrent
    readers never observe it — CRDB's 1PC fast path for transactions whose
    writes all land on one range. *)
-let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts =
-  match eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value ~ts with
+let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
+  match
+    eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value
+      ~ts ~span
+  with
   | (`Not_leader | `Done (Error _)) as other -> other
   | `Done (Ok final_ts) -> (
       match r.r_raft with
@@ -1169,31 +1254,41 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts =
               done_;
             }
           in
+          let tr = Obs.trace t.obs in
+          let rsp =
+            Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
+              "raft.replicate"
+          in
           match Raft.propose raft cmd with
           | None ->
+              Trace.annotate rsp "error" "not leader";
+              Trace.finish tr rsp;
               release_lock r key txn;
               `Not_leader
           | Some _ ->
+              Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
               Proc.await done_;
               `Done (Ok final_ts)))
 
-let write_and_commit t ~gateway ~txn ~key ~value ~ts () =
+let write_and_commit t ?span ~gateway ~txn ~key ~value ~ts () =
   match range_of_key t key with
   | exception Not_found -> Error ("no range for key " ^ key)
   | rid ->
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.write_1pc" rid
         ~on_fail:(fun msg -> Error msg)
-        (fun r -> eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts)
+        (fun r sp ->
+          eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span:sp)
 
-let write t ?applied ~gateway ~txn ~key ~value ~ts () =
+let write t ?applied ?span ~gateway ~txn ~key ~value ~ts () =
   match range_of_key t key with
   | exception Not_found -> Error ("no range for key " ^ key)
   | rid ->
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.write" rid
         ~on_fail:(fun msg -> Error msg)
-        (fun r -> eval_write t r ~applied ~gateway ~txn ~key ~value ~ts)
+        (fun r sp ->
+          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span:sp)
 
-let eval_resolve t r ~txn ~keys ~commit =
+let eval_resolve t r ~txn ~keys ~commit ~span =
   if not (is_leader_now r) then `Not_leader
   else
     match r.r_raft with
@@ -1210,13 +1305,22 @@ let eval_resolve t r ~txn ~keys ~commit =
             done_;
           }
         in
+        let tr = Obs.trace t.obs in
+        let rsp =
+          Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
+            "raft.replicate"
+        in
         match Raft.propose raft cmd with
-        | None -> `Not_leader
+        | None ->
+            Trace.annotate rsp "error" "not leader";
+            Trace.finish tr rsp;
+            `Not_leader
         | Some _ ->
+            Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
             Proc.await done_;
             `Done ())
 
-let resolve t ~gateway ~txn ~commit ~keys ~sync_all =
+let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
   match keys with
   | [] -> ()
   | anchor_key :: _ ->
@@ -1246,9 +1350,9 @@ let resolve t ~gateway ~txn ~commit ~keys ~sync_all =
             let ks = !(Hashtbl.find groups rid) in
             ( rid,
               Proc.async t.sim (fun () ->
-                  with_leaseholder t ~gateway rid
+                  with_leaseholder t ~gateway ?span ~op:"kv.resolve" rid
                     ~on_fail:(fun _ -> ())
-                    (fun r -> eval_resolve t r ~txn ~keys:ks ~commit)) ))
+                    (fun r sp -> eval_resolve t r ~txn ~keys:ks ~commit ~span:sp)) ))
           order
       in
       List.iter
@@ -1279,13 +1383,13 @@ let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
     end
   end
 
-let refresh t ~gateway ~txn ~key ~from_ts ~to_ts =
+let refresh t ?span ~gateway ~txn ~key ~from_ts ~to_ts () =
   match range_of_key t key with
   | exception Not_found -> false
   | rid ->
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.refresh" rid
         ~on_fail:(fun _ -> false)
-        (fun r -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
+        (fun r _sp -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
 
 let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
   ignore t;
@@ -1313,15 +1417,16 @@ let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
     end
   end
 
-let refresh_span t ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts =
+let refresh_span t ?span ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts () =
   match range_of_key t start_key with
   | exception Not_found -> false
   | rid ->
       let rg = range t rid in
       let start_key, end_key = clamp_span rg ~start_key ~end_key in
-      with_leaseholder t ~gateway rid
+      with_leaseholder t ~gateway ?span ~op:"kv.refresh_span" rid
         ~on_fail:(fun _ -> false)
-        (fun r -> eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts)
+        (fun r _sp ->
+          eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts)
 
 let local_closed t ~at rid =
   let rg = range t rid in

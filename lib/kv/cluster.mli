@@ -49,6 +49,12 @@ val create :
 
 val sim : t -> Crdb_sim.Sim.t
 val net : t -> Crdb_net.Transport.t
+
+val obs : t -> Crdb_obs.Obs.t
+(** The cluster-wide observability context: [kv.*], [raft.*] and [net.*]
+    metrics accumulate here unconditionally; enable tracing via
+    [Crdb_obs.Obs.enable_tracing] to also record spans. *)
+
 val topology : t -> Crdb_net.Topology.t
 val config : t -> config
 val clock : t -> Crdb_net.Topology.node_id -> Crdb_hlc.Clock.t
@@ -132,6 +138,7 @@ type read_result =
 val read :
   t ->
   ?inline_bump:bool ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   key:string ->
@@ -147,11 +154,13 @@ val read :
 
 val read_follower :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   at:Crdb_net.Topology.node_id ->
   txn:int option ->
   key:string ->
   ts:Ts.t ->
   max_ts:Ts.t ->
+  unit ->
   read_result
 (** Read on [at]'s local replica without contacting the leaseholder.
     Requires the replica's closed timestamp to cover [max_ts]; otherwise
@@ -166,6 +175,7 @@ type scan_result =
 
 val scan :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   start_key:string ->
@@ -173,11 +183,13 @@ val scan :
   ts:Ts.t ->
   max_ts:Ts.t ->
   limit:int option ->
+  unit ->
   scan_result
 (** Leaseholder scan confined to a single range's span intersection. *)
 
 val scan_follower :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   at:Crdb_net.Topology.node_id ->
   txn:int option ->
   start_key:string ->
@@ -185,11 +197,13 @@ val scan_follower :
   ts:Ts.t ->
   max_ts:Ts.t ->
   limit:int option ->
+  unit ->
   scan_result
 
 val write :
   t ->
   ?applied:unit Crdb_sim.Ivar.t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -211,6 +225,7 @@ val write :
 
 val write_and_commit :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -226,11 +241,13 @@ val write_and_commit :
 
 val resolve :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   commit:Ts.t option ->
   keys:string list ->
   sync_all:bool ->
+  unit ->
   unit
 (** Commit ([Some ts]) or abort ([None]) the transaction's intents on the
     given keys. The resolution on the range holding the first key — the
@@ -239,11 +256,13 @@ val resolve :
 
 val refresh :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
   from_ts:Ts.t ->
   to_ts:Ts.t ->
+  unit ->
   bool
 (** Read refresh (§5.1): [true] iff no committed version or foreign intent
     appeared on [key] in [(from_ts, to_ts]]. On success the read is
@@ -251,12 +270,14 @@ val refresh :
 
 val refresh_span :
   t ->
+  ?span:Crdb_obs.Trace.span ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   start_key:string ->
   end_key:string ->
   from_ts:Ts.t ->
   to_ts:Ts.t ->
+  unit ->
   bool
 (** Span version of {!refresh}, validating a previous scan (including the
     absence of phantom rows with live conflicts in the window). *)

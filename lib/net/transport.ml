@@ -1,6 +1,9 @@
 module Sim = Crdb_sim.Sim
 module Ivar = Crdb_sim.Ivar
 module Rng = Crdb_stdx.Rng
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
 
 type t = {
   sim : Sim.t;
@@ -11,10 +14,18 @@ type t = {
   dead_since : (Topology.node_id, int) Hashtbl.t;
   mutable partitions : (string * string) list;
   mutable messages_sent : int;
+  obs : Obs.t;
+  (* Per-node counters, cached so the per-message cost is an array index. *)
+  c_sent : Metrics.counter array;
+  c_dropped : Metrics.counter array;
+  c_rpcs : Metrics.counter array;
+  h_delay : Crdb_stats.Hist.t;
 }
 
-let create ?(jitter = 0.05) ?rng ~sim ~topology ~latency () =
+let create ?(jitter = 0.05) ?rng ?(obs = Obs.null) ~sim ~topology ~latency () =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x5eed in
+  let m = Obs.metrics obs in
+  let n = Topology.num_nodes topology in
   {
     sim;
     topology;
@@ -24,9 +35,15 @@ let create ?(jitter = 0.05) ?rng ~sim ~topology ~latency () =
     dead_since = Hashtbl.create 16;
     partitions = [];
     messages_sent = 0;
+    obs;
+    c_sent = Array.init n (fun i -> Metrics.counter m ~node:i "net.msgs_sent");
+    c_dropped = Array.init n (fun i -> Metrics.counter m ~node:i "net.msgs_dropped");
+    c_rpcs = Array.init n (fun i -> Metrics.counter m ~node:i "net.rpcs");
+    h_delay = Metrics.histogram m "net.delay";
   }
 
 let sim t = t.sim
+let obs t = t.obs
 let topology t = t.topology
 let latency t = t.latency
 let is_alive t id = not (Hashtbl.mem t.dead_since id)
@@ -59,15 +76,33 @@ let partitioned t src dst =
 let send t ~src ~dst fn =
   if is_alive t src && not (partitioned t src dst) then begin
     t.messages_sent <- t.messages_sent + 1;
+    Metrics.inc t.c_sent.(src);
     let d = delay t src dst in
+    Crdb_stats.Hist.add t.h_delay d;
     Sim.schedule t.sim ~after:d (fun () ->
         (* Re-check at delivery time: the destination may have died, or a
            partition may have formed, while the message was in flight. *)
-        if is_alive t dst && not (partitioned t src dst) then fn ())
+        if is_alive t dst && not (partitioned t src dst) then fn ()
+        else begin
+          Metrics.inc t.c_dropped.(src);
+          Trace.event (Obs.trace t.obs) ~node:src "net.drop"
+            ~attrs:[ ("dst", string_of_int dst); ("at", "delivery") ]
+        end)
+  end
+  else begin
+    Metrics.inc t.c_dropped.(src);
+    Trace.event (Obs.trace t.obs) ~node:src "net.drop"
+      ~attrs:[ ("dst", string_of_int dst); ("at", "send") ]
   end
 
-let rpc t ~src ~dst handler =
+let rpc ?span t ~src ~dst handler =
+  Metrics.inc t.c_rpcs.(src);
+  let sp =
+    Trace.span (Obs.trace t.obs) ?parent:span ~node:src "net.rpc"
+  in
+  Trace.annotate sp "dst" (string_of_int dst);
   let outer = Ivar.create () in
+  Ivar.on_fill outer (fun _ -> Trace.finish (Obs.trace t.obs) sp);
   send t ~src ~dst (fun () ->
       let inner = Ivar.create () in
       Ivar.on_fill inner (fun v ->

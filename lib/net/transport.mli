@@ -13,15 +13,20 @@ type t
 val create :
   ?jitter:float ->
   ?rng:Crdb_stdx.Rng.t ->
+  ?obs:Crdb_obs.Obs.t ->
   sim:Crdb_sim.Sim.t ->
   topology:Topology.t ->
   latency:Latency.t ->
   unit ->
   t
 (** [jitter] (default [0.05]) adds a uniform [0, jitter × delay) component to
-    each one-way delay; pass [0.] for fully deterministic delays. *)
+    each one-way delay; pass [0.] for fully deterministic delays. [obs]
+    (default {!Crdb_obs.Obs.null}) receives per-node [net.*] counters, the
+    sampled-delay histogram, and — when tracing is enabled — send/drop
+    events and rpc spans. *)
 
 val sim : t -> Crdb_sim.Sim.t
+val obs : t -> Crdb_obs.Obs.t
 val topology : t -> Topology.t
 val latency : t -> Latency.t
 
@@ -32,13 +37,16 @@ val send : t -> src:Topology.node_id -> dst:Topology.node_id -> (unit -> unit) -
 (** Deliver the closure at [dst] after the one-way delay, unless dropped. *)
 
 val rpc :
+  ?span:Crdb_obs.Trace.span ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->
   ('a Crdb_sim.Ivar.t -> unit) ->
   'a Crdb_sim.Ivar.t
 (** [rpc t ~src ~dst handler] runs [handler reply] at [dst]; when the handler
-    fills [reply], the result travels back and fills the returned ivar. *)
+    fills [reply], the result travels back and fills the returned ivar.
+    [span] parents the recorded [net.rpc] span (finished when the reply
+    lands; an RPC whose reply is dropped leaves no span). *)
 
 val messages_sent : t -> int
 

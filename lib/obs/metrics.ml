@@ -1,0 +1,158 @@
+module Hist = Crdb_stats.Hist
+
+type scope = { s_name : string; s_node : int option; s_range : int option }
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of int ref
+  | M_hist of Hist.t
+
+type t = { tbl : (scope, metric) Hashtbl.t }
+
+type counter = int ref
+type gauge = int ref
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let scope ?node ?range name = { s_name = name; s_node = node; s_range = range }
+
+let find_or_add t key make =
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl key m;
+      m
+
+let counter t ?node ?range name =
+  match find_or_add t (scope ?node ?range name) (fun () -> M_counter (ref 0)) with
+  | M_counter c -> c
+  | M_gauge _ | M_hist _ ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %s is not a counter" name)
+
+let gauge t ?node ?range name =
+  match find_or_add t (scope ?node ?range name) (fun () -> M_gauge (ref 0)) with
+  | M_gauge g -> g
+  | M_counter _ | M_hist _ ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
+
+let histogram t ?node ?range name =
+  match find_or_add t (scope ?node ?range name) (fun () -> M_hist (Hist.create ())) with
+  | M_hist h -> h
+  | M_counter _ | M_gauge _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %s is not a histogram" name)
+
+let inc c = incr c
+let add c n = c := !c + n
+let value c = !c
+let set g v = g := v
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let fold t f init =
+  (* Deterministic order: sort scopes before folding. *)
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  let items =
+    List.sort
+      (fun (a, _) (b, _) ->
+        let c = String.compare a.s_name b.s_name in
+        if c <> 0 then c
+        else
+          let c = compare a.s_node b.s_node in
+          if c <> 0 then c else compare a.s_range b.s_range)
+      items
+  in
+  List.fold_left (fun acc (k, v) -> f acc k v) init items
+
+let total t name =
+  fold t
+    (fun acc k m ->
+      if String.equal k.s_name name then
+        match m with
+        | M_counter c | M_gauge c -> acc + !c
+        | M_hist h -> acc + Hist.count h
+      else acc)
+    0
+
+let merged_hist t name =
+  let dst = Hist.create () in
+  Hashtbl.iter
+    (fun k m ->
+      match m with
+      | M_hist h when String.equal k.s_name name -> Hist.merge_into ~dst h
+      | M_hist _ | M_counter _ | M_gauge _ -> ())
+    t.tbl;
+  dst
+
+let names t =
+  fold t
+    (fun acc k _ -> if List.mem k.s_name acc then acc else k.s_name :: acc)
+    []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let scope_label k =
+  String.concat ""
+    [
+      k.s_name;
+      (match (k.s_node, k.s_range) with
+      | None, None -> ""
+      | Some n, None -> Printf.sprintf "{node=%d}" n
+      | None, Some r -> Printf.sprintf "{range=%d}" r
+      | Some n, Some r -> Printf.sprintf "{node=%d,range=%d}" n r);
+    ]
+
+let pp ppf t =
+  fold t
+    (fun () k m ->
+      match m with
+      | M_counter c -> Format.fprintf ppf "%-48s %d@." (scope_label k) !c
+      | M_gauge g -> Format.fprintf ppf "%-48s %d (gauge)@." (scope_label k) !g
+      | M_hist h ->
+          if Hist.is_empty h then
+            Format.fprintf ppf "%-48s (no samples)@." (scope_label k)
+          else
+            Format.fprintf ppf "%-48s n=%d mean=%.1f p50=%d p90=%d p99=%d@."
+              (scope_label k) (Hist.count h) (Hist.mean h) (Hist.p50 h)
+              (Hist.p90 h) (Hist.p99 h))
+    ()
+
+let scope_json k =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf (Printf.sprintf "\"name\":\"%s\"" k.s_name);
+  (match k.s_node with
+  | Some n -> Buffer.add_string buf (Printf.sprintf ",\"node\":%d" n)
+  | None -> ());
+  (match k.s_range with
+  | Some r -> Buffer.add_string buf (Printf.sprintf ",\"range\":%d" r)
+  | None -> ());
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  fold t
+    (fun () k m ->
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      Buffer.add_string buf "\n{";
+      Buffer.add_string buf (scope_json k);
+      (match m with
+      | M_counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"kind\":\"counter\",\"value\":%d" !c)
+      | M_gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"kind\":\"gauge\",\"value\":%d" !g)
+      | M_hist h ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"kind\":\"histogram\",\"value\":%s"
+               (Hist.to_json h)));
+      Buffer.add_string buf "}")
+    ();
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Named counters, gauges, and latency histograms, scoped per node and/or
+    per range.
+
+    A metric is identified by [(name, node?, range?)]; asking for the same
+    scope twice returns the same underlying cell, so call sites can hold on
+    to the handle and skip the table lookup on hot paths. All read-side
+    operations ({!pp}, {!to_json}, {!total}) iterate in sorted scope order,
+    so dumps are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+
+val counter : t -> ?node:int -> ?range:int -> string -> counter
+(** Find or register the counter with this scope.
+    @raise Invalid_argument if the scope names a non-counter metric. *)
+
+val gauge : t -> ?node:int -> ?range:int -> string -> gauge
+val histogram : t -> ?node:int -> ?range:int -> string -> Crdb_stats.Hist.t
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set : gauge -> int -> unit
+
+val total : t -> string -> int
+(** Sum of a metric across all scopes: counter/gauge values, or sample
+    counts for histograms. *)
+
+val merged_hist : t -> string -> Crdb_stats.Hist.t
+(** All samples of the named histogram across scopes, merged into a fresh
+    histogram. *)
+
+val names : t -> string list
+(** Distinct metric names, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per metric, sorted by (name, node, range). *)
+
+val to_json : t -> string
+(** JSON array of [{name, node?, range?, kind, value}] snapshots. *)

@@ -1,0 +1,13 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create ~now () = { trace = Trace.create ~now (); metrics = Metrics.create () }
+let trace t = t.trace
+let metrics t = t.metrics
+let enable_tracing t = Trace.enable t.trace
+let disable_tracing t = Trace.disable t.trace
+let tracing_enabled t = Trace.is_enabled t.trace
+
+(* A shared sink for components constructed without an explicit observability
+   context (unit tests, standalone experiments): metrics still accumulate,
+   tracing stays off, and all timestamps read as 0. *)
+let null = create ~now:(fun () -> 0) ()

@@ -1,0 +1,17 @@
+(** The observability context: one {!Trace} recorder plus one {!Metrics}
+    registry, created by the cluster and threaded through the transport,
+    Raft, KV, and transaction layers. *)
+
+type t
+
+val create : now:(unit -> int) -> unit -> t
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+val enable_tracing : t -> unit
+val disable_tracing : t -> unit
+val tracing_enabled : t -> bool
+
+val null : t
+(** Shared default context for components built without one: counters work
+    (and are shared globally), tracing is permanently disabled, span
+    timestamps read as 0. *)

@@ -1,6 +1,9 @@
 module Sim = Crdb_sim.Sim
 module Rng = Crdb_stdx.Rng
 module Vec = Crdb_stdx.Vec
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
 
 type peer_kind = Voter | Learner
 type config_change = (int * peer_kind) list
@@ -80,12 +83,22 @@ type ('cmd, 'snap) t = {
   mutable last_quorum_contact : int;
   mutable pending_transfer : int option;
   mutable stopped : bool;
+  obs : Obs.t;
+  range : int option;
+  c_elections : Metrics.counter;
+  c_leader_elected : Metrics.counter;
+  c_stepdowns : Metrics.counter;
+  c_appends_sent : Metrics.counter;
+  c_snapshots_sent : Metrics.counter;
+  c_quiesces : Metrics.counter;
+  mutable election_span : Trace.span;
 }
 
-let create ~sim ~rng ~id ~peers ~callbacks ?(election_timeout = 3_000_000)
-    ?(heartbeat_interval = 1_000_000) () =
+let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
+    ?(election_timeout = 3_000_000) ?(heartbeat_interval = 1_000_000) () =
   if not (List.mem_assoc id peers) then
     invalid_arg "Raft.create: id must be among peers";
+  let m = Obs.metrics obs in
   {
     sim;
     rng;
@@ -116,6 +129,15 @@ let create ~sim ~rng ~id ~peers ~callbacks ?(election_timeout = 3_000_000)
     last_quorum_contact = 0;
     pending_transfer = None;
     stopped = false;
+    obs;
+    range;
+    c_elections = Metrics.counter m ~node:id ?range "raft.elections";
+    c_leader_elected = Metrics.counter m ~node:id ?range "raft.leader_elected";
+    c_stepdowns = Metrics.counter m ~node:id ?range "raft.stepdowns";
+    c_appends_sent = Metrics.counter m ~node:id ?range "raft.appends_sent";
+    c_snapshots_sent = Metrics.counter m ~node:id ?range "raft.snapshots_sent";
+    c_quiesces = Metrics.counter m ~node:id ?range "raft.quiesces";
+    election_span = Trace.nil;
   }
 
 let id t = t.id
@@ -211,6 +233,15 @@ and campaign t =
   if t.stopped || not (is_voter t t.id) then ()
   else begin
     t.term <- t.term + 1;
+    Metrics.inc t.c_elections;
+    (match t.election_span with
+    | sp when sp == Trace.nil ->
+        let sp =
+          Trace.span (Obs.trace t.obs) ~node:t.id ?range:t.range "raft.election"
+        in
+        Trace.annotate sp "term" (string_of_int t.term);
+        t.election_span <- sp
+    | _ -> ());
     t.role <- Candidate;
     t.voted_for <- Some t.id;
     t.leader <- None;
@@ -233,6 +264,12 @@ and maybe_win t =
 
 and become_leader t =
   t.role <- Leader;
+  Metrics.inc t.c_leader_elected;
+  Trace.annotate t.election_span "won" "true";
+  Trace.finish (Obs.trace t.obs) t.election_span;
+  t.election_span <- Trace.nil;
+  Trace.event (Obs.trace t.obs) ~node:t.id ?range:t.range "raft.leader_elected"
+    ~attrs:[ ("term", string_of_int t.term) ];
   t.pending_transfer <- None;
   t.leader <- Some t.id;
   t.quiesced <- false;
@@ -277,6 +314,7 @@ and heartbeat_tick t =
       in
       if all_caught_up && not (Vec.is_empty t.log) then begin
         (* Quiesce: tell followers to stop expecting heartbeats. *)
+        Metrics.inc t.c_quiesces;
         t.quiesced <- true;
         List.iter
           (fun (p, _) ->
@@ -314,6 +352,7 @@ and replicate_to_now t peer =
     | None -> last_index t + 1
   in
   if next < first_index t then begin
+    Metrics.inc t.c_snapshots_sent;
     let snap = t.cb.take_snapshot () in
     t.cb.send peer
       (Install_snapshot
@@ -331,6 +370,7 @@ and replicate_to_now t peer =
       match term_at t prev_index with Some tt -> tt | None -> 0
     in
     let entries = Vec.sub_list t.log ~pos:(next - first_index t) in
+    Metrics.inc t.c_appends_sent;
     Hashtbl.replace t.sent_commit peer t.commit;
     t.cb.send peer
       (Append { term = t.term; prev_index; prev_term; entries; commit = t.commit })
@@ -403,7 +443,13 @@ and step_down t new_term =
   t.voted_for <- None;
   t.role <- Follower;
   t.quiesced <- false;
+  (* An election lost to a higher term: close the span unannotated. *)
+  Trace.finish (Obs.trace t.obs) t.election_span;
+  t.election_span <- Trace.nil;
   if was_leader then begin
+    Metrics.inc t.c_stepdowns;
+    Trace.event (Obs.trace t.obs) ~node:t.id ?range:t.range "raft.step_down"
+      ~attrs:[ ("term", string_of_int new_term) ];
     cancel_timer t.heartbeat_timer;
     t.heartbeat_timer <- None;
     t.cb.on_role Follower

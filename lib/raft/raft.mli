@@ -87,12 +87,17 @@ val create :
   id:int ->
   peers:config_change ->
   callbacks:('cmd, 'snap) callbacks ->
+  ?obs:Crdb_obs.Obs.t ->
+  ?range:int ->
   ?election_timeout:int ->
   ?heartbeat_interval:int ->
   unit ->
   ('cmd, 'snap) t
 (** [peers] must include [id] itself. Timeouts in microseconds; defaults:
-    election 3s (randomized up to 2x), heartbeat 1s. *)
+    election 3s (randomized up to 2x), heartbeat 1s. [obs] receives
+    [raft.*] counters (elections, leadership changes, append/snapshot
+    rounds, quiescence) scoped to this node and [range], plus election
+    spans and leadership-change events when tracing is enabled. *)
 
 val id : _ t -> int
 val role : _ t -> role

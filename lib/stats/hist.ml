@@ -46,6 +46,15 @@ let percentile t p =
     Vec.get t.samples idx
   end
 
+let p50 t = percentile t 50.0
+let p90 t = percentile t 90.0
+let p99 t = percentile t 99.0
+
+let to_json t =
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%.1f,\"min\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d}"
+    (count t) (mean t) (min_value t) (p50 t) (p90 t) (p99 t) (max_value t)
+
 type boxplot = {
   p25 : int;
   p50 : int;

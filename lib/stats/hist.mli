@@ -14,6 +14,14 @@ val mean : t -> float
 val percentile : t -> float -> int
 (** [percentile t p] for [p] in [\[0, 100\]] (nearest-rank). 0 on empty. *)
 
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+
+val to_json : t -> string
+(** [{"count":n,"mean":μ,"min":..,"p50":..,"p90":..,"p99":..,"max":..}],
+    values in microseconds. *)
+
 type boxplot = {
   p25 : int;
   p50 : int;

@@ -2,6 +2,10 @@ module Cluster = Crdb_kv.Cluster
 module Ts = Crdb_hlc.Timestamp
 module Clock = Crdb_hlc.Clock
 module Proc = Crdb_sim.Proc
+module Obs = Crdb_obs.Obs
+module Trace = Crdb_obs.Trace
+module Metrics = Crdb_obs.Metrics
+module Hist = Crdb_stats.Hist
 
 type stats = {
   mutable commits : int;
@@ -17,9 +21,20 @@ type manager = {
   mutable hold_locks_during_commit_wait : bool;
       (* Spanner-style ablation: resolve intents only after commit wait *)
   mutable pipelined_writes : bool;
+  obs : Obs.t;
+  c_attempts : Metrics.counter array;
+  c_commits : Metrics.counter array;
+  c_restarts : Metrics.counter array;
+  c_refreshes : Metrics.counter array;
+  c_reader_waits : Metrics.counter array;
+  h_commit_wait : Hist.t;
 }
 
 let create_manager cl =
+  let obs = Cluster.obs cl in
+  let m = Obs.metrics obs in
+  let n = Crdb_net.Topology.num_nodes (Cluster.topology cl) in
+  let per_node name = Array.init n (fun node -> Metrics.counter m ~node name) in
   {
     cl;
     next_txn_id = 1;
@@ -32,6 +47,13 @@ let create_manager cl =
         reader_commit_waits = 0;
         writer_commit_wait_micros = 0;
       };
+    obs;
+    c_attempts = per_node "txn.attempts";
+    c_commits = per_node "txn.commits";
+    c_restarts = per_node "txn.restarts";
+    c_refreshes = per_node "txn.refreshes";
+    c_reader_waits = per_node "txn.reader_waits";
+    h_commit_wait = Metrics.histogram m "txn.commit_wait";
   }
 
 let cluster mgr = mgr.cl
@@ -53,6 +75,7 @@ type t = {
   mutable outstanding : (string * unit Crdb_sim.Ivar.t) list;
       (* pipelined write acks, keyed for read-your-own-writes *)
   mutable observed_future : bool;
+  mutable sp : Trace.span;  (* this attempt's span; KV ops parent under it *)
 }
 
 type error = Aborted of string | Unavailable of string
@@ -74,17 +97,18 @@ let gateway t = t.gw
 let refresh_all t ~to_ts =
   (* Validate every read span in parallel (CRDB batches the refresh). *)
   let sim = Cluster.sim t.mgr.cl in
+  Metrics.inc t.mgr.c_refreshes.(t.gw);
   let results =
     List.map
       (fun span ->
         Proc.async_catch sim (fun () ->
             match span with
             | Point key ->
-                Cluster.refresh t.mgr.cl ~gateway:t.gw ~txn:t.id ~key
-                  ~from_ts:t.read_ts ~to_ts
+                Cluster.refresh t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
+                  ~key ~from_ts:t.read_ts ~to_ts ()
             | Span (start_key, end_key) ->
-                Cluster.refresh_span t.mgr.cl ~gateway:t.gw ~txn:t.id ~start_key
-                  ~end_key ~from_ts:t.read_ts ~to_ts))
+                Cluster.refresh_span t.mgr.cl ~span:t.sp ~gateway:t.gw
+                  ~txn:t.id ~start_key ~end_key ~from_ts:t.read_ts ~to_ts ()))
       t.reads
   in
   if not (List.for_all Proc.await_catch results) then
@@ -126,14 +150,14 @@ let get t key =
         (fun (k, ack) -> if String.equal k key then Proc.await ack)
         t.outstanding;
     let leaseholder_read () =
-      Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~gateway:t.gw
-        ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
+      Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~span:t.sp
+        ~gateway:t.gw ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
     in
     let result =
       if is_global t key && not own_write then
         match
-          Cluster.read_follower t.mgr.cl ~at:t.gw ~txn:(Some t.id) ~key
-            ~ts:t.read_ts ~max_ts:t.max_ts
+          Cluster.read_follower t.mgr.cl ~span:t.sp ~at:t.gw ~txn:(Some t.id)
+            ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
         with
         | Cluster.Read_redirect -> leaseholder_read ()
         | r -> r
@@ -163,14 +187,14 @@ let scan t ~start_key ~end_key ?limit () =
       | exception Not_found -> raise (Fatal ("no range for key " ^ start_key))
     in
     let leaseholder_scan () =
-      Cluster.scan t.mgr.cl ~gateway:t.gw ~txn:(Some t.id) ~start_key ~end_key
-        ~ts:t.read_ts ~max_ts:t.max_ts ~limit
+      Cluster.scan t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:(Some t.id)
+        ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
     in
     let result =
       if range_is_global && t.writes = [] then
         match
-          Cluster.scan_follower t.mgr.cl ~at:t.gw ~txn:(Some t.id) ~start_key
-            ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit
+          Cluster.scan_follower t.mgr.cl ~span:t.sp ~at:t.gw ~txn:(Some t.id)
+            ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
         with
         | Cluster.Scan_redirect -> leaseholder_scan ()
         | r -> r
@@ -196,8 +220,8 @@ let write_value t key value =
   if t.mgr.pipelined_writes then begin
     let applied = Crdb_sim.Ivar.create () in
     match
-      Cluster.write t.mgr.cl ~applied ~gateway:t.gw ~txn:t.id ~key ~value
-        ~ts:provisional ()
+      Cluster.write t.mgr.cl ~applied ~span:t.sp ~gateway:t.gw ~txn:t.id ~key
+        ~value ~ts:provisional ()
     with
     | Ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
@@ -207,7 +231,8 @@ let write_value t key value =
   end
   else
     match
-      Cluster.write t.mgr.cl ~gateway:t.gw ~txn:t.id ~key ~value ~ts:provisional ()
+      Cluster.write t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~key ~value
+        ~ts:provisional ()
     with
     | Ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
@@ -243,8 +268,8 @@ let resolve_intents t commit_ts =
   let sim = Cluster.sim t.mgr.cl in
   let resolve_done =
     Proc.async sim (fun () ->
-        Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id
-          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false)
+        Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
+          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false ())
   in
   List.iter
     (fun (_, ack) ->
@@ -270,26 +295,37 @@ let commit t =
     resolve_intents t commit_ts;
   let must_wait = t.writes <> [] || t.observed_future in
   if must_wait then begin
+    let tr = Obs.trace t.mgr.obs in
+    let wsp =
+      Trace.span tr ~parent:t.sp ~node:t.gw ~txn:t.id "txn.commit_wait"
+    in
     let waited = commit_wait t.mgr ~gw:t.gw commit_ts in
+    Trace.annotate wsp "waited_us" (string_of_int waited);
+    Trace.finish tr wsp;
+    Hist.add t.mgr.h_commit_wait waited;
     if t.writes <> [] then
       t.mgr.stats.writer_commit_wait_micros <-
         t.mgr.stats.writer_commit_wait_micros + waited
-    else if waited > 0 then
-      t.mgr.stats.reader_commit_waits <- t.mgr.stats.reader_commit_waits + 1
+    else if waited > 0 then begin
+      t.mgr.stats.reader_commit_waits <- t.mgr.stats.reader_commit_waits + 1;
+      Metrics.inc t.mgr.c_reader_waits.(t.gw)
+    end
   end;
   if t.writes <> [] && t.mgr.hold_locks_during_commit_wait then
     (* Spanner-style ablation: locks persist through the commit wait. *)
     resolve_intents t commit_ts;
-  t.mgr.stats.commits <- t.mgr.stats.commits + 1
+  t.mgr.stats.commits <- t.mgr.stats.commits + 1;
+  Metrics.inc t.mgr.c_commits.(t.gw)
 
 let abort t =
   if t.writes <> [] then
-    Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id ~commit:None
-      ~keys:(List.rev t.writes) ~sync_all:false
+    Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~commit:None
+      ~keys:(List.rev t.writes) ~sync_all:false ()
 
 let fresh_txn mgr ~gateway =
   let id = mgr.next_txn_id in
   mgr.next_txn_id <- id + 1;
+  Metrics.inc mgr.c_attempts.(gateway);
   let read_ts = Cluster.now_ts mgr.cl gateway in
   {
     mgr;
@@ -302,22 +338,31 @@ let fresh_txn mgr ~gateway =
     writes = [];
     outstanding = [];
     observed_future = false;
+    sp = Trace.nil;
   }
 
 let run mgr ~gateway ?(max_attempts = 25) body =
   let sim = Cluster.sim mgr.cl in
+  let tr = Obs.trace mgr.obs in
+  let root = Trace.span tr ~node:gateway "txn.run" in
   let rec attempt n =
     let t = fresh_txn mgr ~gateway in
+    t.sp <- Trace.span tr ~parent:root ~node:gateway ~txn:t.id "txn.attempt";
     match
       let result = body t in
       commit t;
       result
     with
-    | result -> Ok result
+    | result ->
+        Trace.finish tr t.sp;
+        (n, Ok result)
     | exception Restart reason ->
         abort t;
         mgr.stats.restarts <- mgr.stats.restarts + 1;
-        if n >= max_attempts then Error (Unavailable reason)
+        Metrics.inc mgr.c_restarts.(gateway);
+        Trace.annotate t.sp "restart" reason;
+        Trace.finish tr t.sp;
+        if n >= max_attempts then (n, Error (Unavailable reason))
         else begin
           (* Small randomized backoff to break livelocks between retries. *)
           Proc.sleep sim (1_000 * n);
@@ -325,37 +370,63 @@ let run mgr ~gateway ?(max_attempts = 25) body =
         end
     | exception Fatal reason ->
         abort t;
-        Error (Unavailable reason)
+        Trace.annotate t.sp "fatal" reason;
+        Trace.finish tr t.sp;
+        (n, Error (Unavailable reason))
     | exception e ->
         abort t;
+        Trace.finish tr t.sp;
+        Trace.finish tr root;
         raise e
   in
-  attempt 1
+  let attempts, result = attempt 1 in
+  Trace.annotate root "attempts" (string_of_int attempts);
+  Trace.annotate root "result"
+    (match result with Ok _ -> "committed" | Error _ -> "failed");
+  Trace.finish tr root;
+  result
 
 let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
+  let tr = Obs.trace mgr.obs in
+  let root = Trace.span tr ~node:gateway "txn.blind_put" in
   let rec attempt n =
     let id = mgr.next_txn_id in
     mgr.next_txn_id <- id + 1;
+    Metrics.inc mgr.c_attempts.(gateway);
+    let asp = Trace.span tr ~parent:root ~node:gateway ~txn:id "txn.attempt" in
     let ts = Cluster.now_ts mgr.cl gateway in
     match
-      Cluster.write_and_commit mgr.cl ~gateway ~txn:id ~key ~value:(Some value)
-        ~ts ()
+      Cluster.write_and_commit mgr.cl ~span:asp ~gateway ~txn:id ~key
+        ~value:(Some value) ~ts ()
     with
     | Ok commit_ts ->
+        let wsp =
+          Trace.span tr ~parent:asp ~node:gateway ~txn:id "txn.commit_wait"
+        in
         let waited = commit_wait mgr ~gw:gateway commit_ts in
+        Trace.annotate wsp "waited_us" (string_of_int waited);
+        Trace.finish tr wsp;
+        Hist.add mgr.h_commit_wait waited;
         mgr.stats.writer_commit_wait_micros <-
           mgr.stats.writer_commit_wait_micros + waited;
         mgr.stats.commits <- mgr.stats.commits + 1;
+        Metrics.inc mgr.c_commits.(gateway);
+        Trace.finish tr asp;
         Ok ()
     | Error reason ->
         mgr.stats.restarts <- mgr.stats.restarts + 1;
+        Metrics.inc mgr.c_restarts.(gateway);
+        Trace.annotate asp "restart" reason;
+        Trace.finish tr asp;
         if n >= max_attempts then Error (Unavailable reason)
         else begin
           Proc.sleep (Cluster.sim mgr.cl) (1_000 * n);
           attempt (n + 1)
         end
   in
-  attempt 1
+  let result = attempt 1 in
+  Trace.finish tr root;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Read-only transactions                                              *)
@@ -368,7 +439,7 @@ let ro_ts = function Ro_stale { ts; _ } -> ts | Ro_fresh t -> t.read_ts
 
 let stale_get mgr ~gw ~ts key =
   match
-    Cluster.read_follower mgr.cl ~at:gw ~txn:None ~key ~ts ~max_ts:ts
+    Cluster.read_follower mgr.cl ~at:gw ~txn:None ~key ~ts ~max_ts:ts ()
   with
   | Cluster.Read_value { value; _ } -> value
   | Cluster.Read_redirect -> (
@@ -387,13 +458,13 @@ let stale_get mgr ~gw ~ts key =
 let stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit =
   match
     Cluster.scan_follower mgr.cl ~at:gw ~txn:None ~start_key ~end_key ~ts
-      ~max_ts:ts ~limit
+      ~max_ts:ts ~limit ()
   with
   | Cluster.Scan_rows rows -> rows
   | Cluster.Scan_redirect -> (
       match
         Cluster.scan mgr.cl ~gateway:gw ~txn:None ~start_key ~end_key ~ts
-          ~max_ts:ts ~limit
+          ~max_ts:ts ~limit ()
       with
       | Cluster.Scan_rows rows -> rows
       | Cluster.Scan_uncertain _ -> assert false

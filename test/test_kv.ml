@@ -220,7 +220,7 @@ let put cl ~gateway ~txn key value =
   | Error e -> Alcotest.failf "write failed: %s" e
   | Ok commit_ts ->
       Cluster.resolve cl ~gateway ~txn ~commit:(Some commit_ts) ~keys:[ key ]
-        ~sync_all:true;
+        ~sync_all:true ();
       commit_ts
 
 let get cl ~gateway ?txn key =
@@ -296,7 +296,7 @@ let test_follower_stale_read () =
       let t0 = Sim.now (Cluster.sim cl) in
       (match
          Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:stale_ts
-           ~max_ts:stale_ts
+           ~max_ts:stale_ts ()
        with
       | Cluster.Read_value { value; _ } ->
           check Alcotest.(option string) "stale value visible" (Some "v") value
@@ -309,7 +309,8 @@ let test_follower_stale_read () =
       (* A present-time read is NOT closed on a Lag range: redirect. *)
       let now = Cluster.now_ts cl remote in
       match
-        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:now ~max_ts:now
+        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:now
+          ~max_ts:now ()
       with
       | Cluster.Read_redirect -> ()
       | Cluster.Read_value _ | Cluster.Read_uncertain _ | Cluster.Read_err _ ->
@@ -340,7 +341,7 @@ let test_global_range_future_writes () =
       let max_ts = Ts.add_wall ts (Cluster.config cl).Cluster.max_offset in
       let t0 = Sim.now (Cluster.sim cl) in
       (match
-         Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts ~max_ts
+         Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts ~max_ts ()
        with
       | Cluster.Read_value { value; _ } ->
           check Alcotest.(option string) "present-time local read" (Some "v") value
@@ -371,7 +372,8 @@ let test_global_read_uncertainty () =
       let read_ts = Ts.of_wall (Sim.now (Cluster.sim cl)) in
       let max_ts = Ts.add_wall read_ts offset in
       match
-        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:read_ts ~max_ts
+        Cluster.read_follower cl ~at:remote ~txn:None ~key:"k" ~ts:read_ts
+          ~max_ts ()
       with
       | Cluster.Read_uncertain { value_ts } ->
           check Alcotest.bool "uncertain at write ts" true
@@ -401,7 +403,7 @@ let test_tscache_pushes_writer () =
       | Ok pushed ->
           check Alcotest.bool "write pushed above read" true Ts.(pushed > read_ts);
           Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some pushed)
-            ~keys:[ "k" ] ~sync_all:true
+            ~keys:[ "k" ] ~sync_all:true ()
       | Error e -> Alcotest.failf "write failed: %s" e)
 
 let test_write_write_conflict_queues () =
@@ -431,14 +433,14 @@ let test_write_write_conflict_queues () =
           | Ok ts ->
               t2_done := Sim.now sim;
               Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some ts)
-                ~keys:[ "k" ] ~sync_all:true
+                ~keys:[ "k" ] ~sync_all:true ()
           | Error e -> Alcotest.failf "w2: %s" e);
       (* Hold the lock for 500ms. *)
       Crdb_sim.Proc.sleep sim 500_000;
       check Alcotest.int "txn2 still blocked" (-1) !t2_done;
       let commit_at = Sim.now sim in
       Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some w1) ~keys:[ "k" ]
-        ~sync_all:true;
+        ~sync_all:true ();
       Crdb_sim.Proc.sleep sim 500_000;
       check Alcotest.bool "txn2 proceeded after resolve" true
         (!t2_done >= commit_at);
@@ -456,10 +458,10 @@ let test_refresh () =
       ignore (put cl ~gateway:gw ~txn:1 "k" "v1");
       let t1 = Cluster.now_ts cl gw in
       check Alcotest.bool "refresh fails over write" false
-        (Cluster.refresh cl ~gateway:gw ~txn:9 ~key:"k" ~from_ts:t0 ~to_ts:t1);
+        (Cluster.refresh cl ~gateway:gw ~txn:9 ~key:"k" ~from_ts:t0 ~to_ts:t1 ());
       check Alcotest.bool "refresh ok on untouched window" true
         (Cluster.refresh cl ~gateway:gw ~txn:9 ~key:"k" ~from_ts:t1
-           ~to_ts:(Ts.add_wall t1 1000)))
+           ~to_ts:(Ts.add_wall t1 1000) ()))
 
 let test_zone_survival_loses_region () =
   let cl = make_cluster () in
@@ -482,7 +484,7 @@ let test_zone_survival_loses_region () =
       let stale_ts = Ts.of_wall (kill_time - 4_000_000) in
       match
         Cluster.read_follower cl ~at:gw ~txn:None ~key:"k" ~ts:stale_ts
-          ~max_ts:stale_ts
+          ~max_ts:stale_ts ()
       with
       | Cluster.Read_value { value; _ } ->
           check Alcotest.(option string) "stale read survives" (Some "v") value
@@ -562,7 +564,7 @@ let test_negotiate () =
       let safe2 = Cluster.negotiate cl ~at:remote ~keys:[ "k" ] in
       check Alcotest.bool "intent caps negotiation" true Ts.(safe2 < ts);
       Cluster.resolve cl ~gateway:gw ~txn:7 ~commit:None ~keys:[ "k" ]
-        ~sync_all:true)
+        ~sync_all:true ())
 
 let test_bulk_load_visible () =
   let cl = make_cluster () in

@@ -7,6 +7,8 @@ let () =
       ("net", Test_net.suite);
       ("storage", Test_storage.suite);
       ("raft", Test_raft.suite);
+      ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("kv", Test_kv.suite);
       ("txn", Test_txn.suite);
       ("sql", Test_sql.suite);

@@ -1,0 +1,55 @@
+(* Unit tests for the Hist percentile/summary additions. *)
+
+module Hist = Crdb_stats.Hist
+
+let check = Alcotest.check
+
+let test_percentiles () =
+  let h = Hist.create () in
+  (* Insert out of order to exercise the lazy sort. *)
+  List.iter (Hist.add h) (List.init 100 (fun i -> 100 - i));
+  check Alcotest.int "count" 100 (Hist.count h);
+  check Alcotest.int "p50" 50 (Hist.p50 h);
+  check Alcotest.int "p90" 90 (Hist.p90 h);
+  check Alcotest.int "p99" 99 (Hist.p99 h);
+  check Alcotest.int "min" 1 (Hist.min_value h);
+  check Alcotest.int "max" 100 (Hist.max_value h)
+
+let test_percentiles_small () =
+  let h = Hist.create () in
+  Hist.add h 7;
+  (* Nearest-rank on a single sample: every percentile is that sample. *)
+  check Alcotest.int "p50 single" 7 (Hist.p50 h);
+  check Alcotest.int "p90 single" 7 (Hist.p90 h);
+  check Alcotest.int "p99 single" 7 (Hist.p99 h)
+
+let test_empty () =
+  let h = Hist.create () in
+  check Alcotest.bool "empty" true (Hist.is_empty h);
+  check Alcotest.int "p90 empty" 0 (Hist.p90 h);
+  check Alcotest.int "p99 empty" 0 (Hist.p99 h)
+
+let test_to_json () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 40; 10; 30; 20 ];
+  check Alcotest.string "json shape"
+    "{\"count\":4,\"mean\":25.0,\"min\":10,\"p50\":20,\"p90\":40,\"p99\":40,\"max\":40}"
+    (Hist.to_json h)
+
+let test_to_json_after_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 1; 2 ];
+  List.iter (Hist.add b) [ 3; 4 ];
+  Hist.merge_into ~dst:a b;
+  check Alcotest.string "merged json"
+    "{\"count\":4,\"mean\":2.5,\"min\":1,\"p50\":2,\"p90\":4,\"p99\":4,\"max\":4}"
+    (Hist.to_json a)
+
+let suite =
+  [
+    Alcotest.test_case "percentiles 1..100" `Quick test_percentiles;
+    Alcotest.test_case "percentiles single" `Quick test_percentiles_small;
+    Alcotest.test_case "empty histogram" `Quick test_empty;
+    Alcotest.test_case "to_json" `Quick test_to_json;
+    Alcotest.test_case "to_json after merge" `Quick test_to_json_after_merge;
+  ]

@@ -393,6 +393,24 @@ let test_conflict_restart_counted () =
              check Alcotest.(option string) "both increments applied" (Some "2")
                (Txn.ro_get ro "k"))))
 
+(* The same GLOBAL-table commit wait, observed through lib/obs: the manager
+   feeds per-gateway counters and a commit-wait histogram into the cluster's
+   metrics registry. *)
+let test_commit_wait_metrics () =
+  let module Metrics = Crdb_obs.Metrics in
+  let cl, mgr = make ~policy:Cluster.Lead () in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      expect_ok (Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "v")));
+  let m = Crdb_obs.Obs.metrics (Cluster.obs cl) in
+  check Alcotest.int "txn.commits counted" 1 (Metrics.total m "txn.commits");
+  check Alcotest.bool "txn.attempts counted" true
+    (Metrics.total m "txn.attempts" >= 1);
+  let h = Metrics.merged_hist m "txn.commit_wait" in
+  check Alcotest.int "one commit-wait sample" 1 (Crdb_stats.Hist.count h);
+  check Alcotest.bool "global write waited out the lead" true
+    (Crdb_stats.Hist.max_value h > 0)
+
 let suite =
   [
     Alcotest.test_case "basic txn" `Quick test_basic_txn;
@@ -409,4 +427,5 @@ let suite =
     Alcotest.test_case "stale exact" `Quick test_stale_exact_read;
     Alcotest.test_case "stale bounded" `Quick test_stale_bounded_read;
     Alcotest.test_case "conflict restart" `Quick test_conflict_restart_counted;
+    Alcotest.test_case "commit wait metrics" `Quick test_commit_wait_metrics;
   ]
