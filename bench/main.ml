@@ -4,7 +4,7 @@
 
    Usage:   dune exec bench/main.exe [-- EXPERIMENT...]
    where EXPERIMENT is any of: table1 fig3 fig4a fig4b fig4c fig5 fig6
-   table2 ablations micro. With no arguments, everything runs.
+   table2 ablations chaos micro. With no arguments, everything runs.
 
    Workload volumes are scaled down from the paper's GCP runs (the paper's
    absolute numbers come from 3-node-per-region clusters and millions of
@@ -539,6 +539,45 @@ let run_ablations () =
     [ ("pipelined (CRDB)", true); ("unpipelined", false) ]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos smoke: nemesis schedule + history checking                    *)
+
+let run_chaos () =
+  section "Chaos smoke: random nemesis + Jepsen-style history checking";
+  printf
+    "3 regions, register (YCSB-A style) + bank workloads, random fault@.\
+     schedule (kills, partitions, bounded clock jumps, lease transfers)@.\
+     respecting the survivability goal's quorum invariant. Histories are@.\
+     checked offline: per-key linearizability and bank-balance conservation.@.";
+  List.iter
+    (fun (label, survival, seed) ->
+      let setup =
+        {
+          Crdb_chaos.Harness.default with
+          Crdb_chaos.Harness.survival;
+          cluster_seed = seed;
+          nemesis_seed = seed;
+        }
+      in
+      let o = Crdb_chaos.Harness.run setup in
+      let r = o.Crdb_chaos.Harness.result in
+      subsection (Printf.sprintf "%s, seed %d" label seed);
+      printf "  faults injected:@.";
+      List.iter
+        (fun line -> printf "    %s@." line)
+        (String.split_on_char '\n' o.Crdb_chaos.Harness.fault_log);
+      printf "  ops: %d ok, %d failed, %d indeterminate@."
+        r.Crdb_chaos.Workload.ok r.Crdb_chaos.Workload.failed
+        r.Crdb_chaos.Workload.info;
+      printf "  registers: %s@."
+        (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.register_verdict);
+      printf "  bank:      %s@."
+        (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.bank_verdict))
+    [
+      ("SURVIVE ZONE", Crdb.Zoneconfig.Zone, 11);
+      ("SURVIVE REGION", Crdb.Zoneconfig.Region, 42);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let run_micro () =
@@ -617,6 +656,7 @@ let experiments =
     ("fig6", run_fig6);
     ("table2", run_table2);
     ("ablations", run_ablations);
+    ("chaos", run_chaos);
     ("micro", run_micro);
   ]
 

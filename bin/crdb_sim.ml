@@ -3,12 +3,14 @@
    Subcommands:
      ycsb     run a YCSB workload against a chosen table locality
      tpcc     run TPC-C across N regions
+     chaos    run a nemesis schedule with Jepsen-style history checking
      ddl      print the DDL statement lists (Table 2 machinery)
      regions  print the latency profiles
 
    Examples:
      dune exec bin/crdb_sim.exe -- ycsb --variant global --workload a
      dune exec bin/crdb_sim.exe -- tpcc --regions 4 --duration 20
+     dune exec bin/crdb_sim.exe -- chaos --seed 42 --survival region
      dune exec bin/crdb_sim.exe -- ddl --schema movr --op convert *)
 
 module Crdb = Crdb_core.Crdb
@@ -175,6 +177,177 @@ let tpcc_cmd =
     Term.(const run_tpcc $ nregions $ warehouses $ duration $ trace_arg
           $ metrics_arg)
 
+(* ---------------- chaos ---------------- *)
+
+module Cluster = Crdb.Cluster
+module Nemesis = Crdb_chaos.Nemesis
+module Chaos_workload = Crdb_chaos.Workload
+module Harness = Crdb_chaos.Harness
+module Checker = Crdb_check.Checker
+
+let fault_kind_of_string = function
+  | "kill-node" -> Ok Nemesis.K_kill_node
+  | "kill-zone" -> Ok Nemesis.K_kill_zone
+  | "kill-region" -> Ok Nemesis.K_kill_region
+  | "partition" -> Ok Nemesis.K_partition
+  | "clock-jump" -> Ok Nemesis.K_clock_jump
+  | "lease-transfer" -> Ok Nemesis.K_lease_transfer
+  | s -> Error (`Msg (Printf.sprintf "unknown fault kind %S" s))
+
+let fault_kind_conv =
+  Arg.conv
+    ( fault_kind_of_string,
+      fun ppf k ->
+        Format.pp_print_string ppf
+          (match k with
+          | Nemesis.K_kill_node -> "kill-node"
+          | Nemesis.K_kill_zone -> "kill-zone"
+          | Nemesis.K_kill_region -> "kill-region"
+          | Nemesis.K_partition -> "partition"
+          | Nemesis.K_clock_jump -> "clock-jump"
+          | Nemesis.K_lease_transfer -> "lease-transfer") )
+
+let survival_conv =
+  Arg.conv
+    ( (fun s ->
+        match Crdb.Zoneconfig.survival_of_string s with
+        | Some v -> Ok v
+        | None -> Error (`Msg (Printf.sprintf "unknown survival goal %S" s))),
+      fun ppf v ->
+        Format.pp_print_string ppf (Crdb.Zoneconfig.survival_to_string v) )
+
+let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
+    ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
+    ~write_ratio ~accounts ~unsafe_stale ~show_history ~trace ~metrics =
+  let setup =
+    {
+      Harness.default with
+      Harness.regions = nregions;
+      survival;
+      policy = (if global then Crdb.Cluster.Lead else Crdb.Cluster.Lag 3_000_000);
+      cluster_seed = seed;
+      nemesis_seed = seed;
+      duration = duration * 1_000_000;
+      nemesis =
+        Some
+          {
+            Nemesis.default_random with
+            Nemesis.kinds = faults;
+            mean_interval = fault_interval * 1_000;
+            mean_duration = fault_duration * 1_000;
+            enforce_quorum = not no_quorum_guard;
+          };
+      workload =
+        {
+          Chaos_workload.default with
+          Chaos_workload.seed;
+          clients_per_region = clients;
+          ops_per_client = ops;
+          keys;
+          write_ratio;
+          accounts;
+          unsafe_stale_reads = unsafe_stale;
+        };
+    }
+  in
+  let arm cl = if trace <> None then Crdb.Obs.enable_tracing (Cluster.obs cl) in
+  let o = Harness.run ~arm setup in
+  let r = o.Harness.result in
+  Format.printf "== seed %d ==@." seed;
+  Format.printf "fault log:@.%s@." o.Harness.fault_log;
+  Format.printf "ops: %d ok, %d failed, %d indeterminate@." r.Chaos_workload.ok
+    r.Chaos_workload.failed r.Chaos_workload.info;
+  if show_history then begin
+    Format.printf "register history:@.%s@."
+      (Crdb_check.History.to_string r.Chaos_workload.registers);
+    Format.printf "bank history:@.%s@."
+      (Crdb_check.History.to_string r.Chaos_workload.bank)
+  end;
+  Format.printf "registers linearizable: %s@."
+    (Checker.verdict_to_string o.Harness.register_verdict);
+  Format.printf "bank serializable: %s@."
+    (Checker.verdict_to_string o.Harness.bank_verdict);
+  let obs = Cluster.obs o.Harness.cluster in
+  (match trace with
+  | Some file -> (
+      let tr = Crdb.Obs.trace obs in
+      match open_out file with
+      | oc ->
+          output_string oc (Crdb.Trace.to_chrome_json tr);
+          close_out oc;
+          Format.printf "trace: %d records -> %s@." (Crdb.Trace.num_records tr) file
+      | exception Sys_error msg ->
+          Format.eprintf "crdb_sim: cannot write trace: %s@." msg;
+          exit 1)
+  | None -> ());
+  if metrics then Format.printf "%a" Crdb.Metrics.pp (Crdb.Obs.metrics obs);
+  Harness.passed o
+
+let run_chaos seed seeds nregions survival global duration faults fault_interval
+    fault_duration no_quorum_guard clients ops keys write_ratio accounts
+    unsafe_stale show_history trace metrics =
+  let all_ok = ref true in
+  for s = seed to seed + seeds - 1 do
+    if
+      not
+        (run_chaos_one ~seed:s ~nregions ~survival ~global ~duration ~faults
+           ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
+           ~write_ratio ~accounts ~unsafe_stale ~show_history ~trace ~metrics)
+    then all_ok := false
+  done;
+  if not !all_ok then begin
+    Format.eprintf "chaos: consistency violation detected@.";
+    exit 1
+  end
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed (cluster, nemesis and workload)") in
+  let seeds = Arg.(value & opt int 1 & info [ "seeds" ] ~doc:"Number of consecutive seeds to run") in
+  let nregions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Regions (2-5)") in
+  let survival =
+    Arg.(value & opt survival_conv Crdb.Zoneconfig.Region
+         & info [ "survival" ] ~doc:"Survivability goal: zone|region")
+  in
+  let global = Arg.(value & flag & info [ "global" ] ~doc:"GLOBAL tables (future-time closed timestamps)") in
+  let duration = Arg.(value & opt int 20 & info [ "duration" ] ~doc:"Nemesis window, simulated seconds") in
+  let faults =
+    Arg.(value & opt (list fault_kind_conv) Nemesis.all_kinds
+         & info [ "faults" ]
+             ~doc:"Comma-separated fault kinds: kill-node,kill-zone,kill-region,partition,clock-jump,lease-transfer")
+  in
+  let fault_interval =
+    Arg.(value & opt int 2000 & info [ "fault-interval" ] ~doc:"Mean ms between fault injections")
+  in
+  let fault_duration =
+    Arg.(value & opt int 4000 & info [ "fault-duration" ] ~doc:"Mean ms a fault stays active")
+  in
+  let no_quorum_guard =
+    Arg.(value & flag
+         & info [ "no-quorum-guard" ]
+             ~doc:"Disable the min-healthy invariant (allow killing voter majorities beyond the survivability goal)")
+  in
+  let clients = Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Register clients per region") in
+  let ops = Arg.(value & opt int 20 & info [ "ops" ] ~doc:"Ops per register client") in
+  let keys = Arg.(value & opt int 16 & info [ "keys" ] ~doc:"Register keyspace") in
+  let write_ratio =
+    Arg.(value & opt float 0.5 & info [ "write-ratio" ] ~doc:"Register write fraction (YCSB-A = 0.5)")
+  in
+  let accounts = Arg.(value & opt int 8 & info [ "accounts" ] ~doc:"Bank accounts (< 2 disables the bank workload)") in
+  let unsafe_stale =
+    Arg.(value & flag
+         & info [ "unsafe-stale-reads" ]
+             ~doc:"Deliberately broken mode: record bounded-stale reads as fresh; the checker must object")
+  in
+  let show_history = Arg.(value & flag & info [ "history" ] ~doc:"Print the full operation histories") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a deterministic nemesis schedule with Jepsen-style history checking")
+    Term.(
+      const run_chaos $ seed $ seeds $ nregions $ survival $ global $ duration
+      $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
+      $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ show_history
+      $ trace_arg $ metrics_arg)
+
 (* ---------------- ddl ---------------- *)
 
 let run_ddl schema op =
@@ -270,4 +443,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "crdb_sim" ~version:Crdb.version
              ~doc:"Simulated multi-region CockroachDB explorer")
-          [ ycsb_cmd; tpcc_cmd; ddl_cmd; regions_cmd ]))
+          [ ycsb_cmd; tpcc_cmd; chaos_cmd; ddl_cmd; regions_cmd ]))

@@ -10,6 +10,14 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+# Bounded chaos gate: a fixed window of seeded random-nemesis runs whose
+# histories must check out (linearizable registers, conserved bank).
+# Deterministic — a failure here reproduces exactly with the printed seed:
+#   dune exec bin/crdb_sim.exe -- chaos --seed <S> --history
+echo "== chaos gate (seeds 101-104)"
+dune exec bin/crdb_sim.exe -- chaos --seed 101 --seeds 4 --survival region
+dune exec bin/crdb_sim.exe -- chaos --seed 101 --seeds 2 --survival zone
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt

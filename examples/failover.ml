@@ -15,8 +15,8 @@ module Schema = Crdb.Schema
 module Ddl = Crdb.Ddl
 module Engine = Crdb.Engine
 module Cluster = Crdb.Cluster
-module Transport = Crdb.Transport
 module Zoneconfig = Crdb.Zoneconfig
+module Nemesis = Crdb_chaos.Nemesis
 
 let regions = [ "us-east1"; "us-west1"; "europe-west2" ]
 let svec s = Value.V_string s
@@ -79,14 +79,13 @@ let () =
   try_write t db ~gateway:(west t) ~label:"before-failure";
   Crdb.run_for t 6_000_000;
   (* A zone outage in the home region: the range stays available. *)
-  Transport.kill_zone (Cluster.net (Crdb.cluster t)) ~region:"us-east1" ~zone:"us-east1-a"
-;
+  Nemesis.apply (Crdb.cluster t) (Nemesis.Kill_zone ("us-east1", "us-east1-a"));
   Crdb.run_for t 15_000_000;
   Format.printf "after losing zone us-east1-a:@.";
   try_write t db ~gateway:(west t) ~label:"after-zone-loss";
   (* Now the whole primary region goes down: writes stall, stale reads
      survive from the non-voting replicas. *)
-  Transport.kill_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  Nemesis.apply (Crdb.cluster t) (Nemesis.Kill_region "us-east1");
   Crdb.run_for t 15_000_000;
   Format.printf "after losing region us-east1 (zone survival cannot):@.";
   Crdb.run t (fun () ->
@@ -100,13 +99,14 @@ let () =
   let t, db = make ~survival:Zoneconfig.Region in
   try_write t db ~gateway:(west t) ~label:"before-failure";
   Crdb.run_for t 6_000_000;
-  Transport.kill_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  Nemesis.apply (Crdb.cluster t) (Nemesis.Kill_region "us-east1");
   Crdb.run_for t 20_000_000;
   Format.printf "after losing region us-east1 (region survival):@.";
   try_write t db ~gateway:(west t) ~label:"after-region-loss";
   try_stale_read t db ~gateway:(west t);
-  (* Heal: the lease migrates back to the preferred region. *)
-  Transport.revive_region (Cluster.net (Crdb.cluster t)) "us-east1";
+  (* Heal with restart semantics (volatile state lost, durable state kept):
+     the lease then migrates back to the preferred region. *)
+  Nemesis.apply (Crdb.cluster t) (Nemesis.Revive_region "us-east1");
   Crdb.run_for t 3_000_000;
   Cluster.rebalance_leases (Crdb.cluster t);
   Crdb.run_for t 5_000_000;

@@ -1,0 +1,95 @@
+(** Declarative fault injection (the "nemesis") for chaos runs.
+
+    A nemesis drives the cluster's failure-injection surfaces — transport
+    kills and partitions, clock skew, lease transfers — either from a timed
+    script or from a seeded random schedule, as a {!Crdb_sim.Proc} coroutine
+    inside the simulator. Every injected or healed fault is appended to a
+    deterministic fault log and emitted as a [chaos.inject]/[chaos.heal]
+    trace event plus a [chaos.injected]/[chaos.healed] metric, so one seed
+    reproduces one byte-identical schedule. *)
+
+module Cluster = Crdb_kv.Cluster
+
+type fault =
+  | Kill_node of int
+  | Revive_node of int  (** process-restart semantics: volatile state lost *)
+  | Kill_zone of string * string  (** region, zone *)
+  | Revive_zone of string * string
+  | Kill_region of string
+  | Revive_region of string
+  | Partition_regions of string * string
+  | Heal_partition of string * string
+  | Heal_all_partitions
+  | Clock_jump of int * int  (** node, new absolute skew in microseconds *)
+  | Lease_transfer of Cluster.range_id * int  (** range, target node *)
+
+val fault_to_string : fault -> string
+
+val is_heal : fault -> bool
+(** Revivals and partition heals count as heals; a clock jump or lease
+    transfer is always an injection. *)
+
+val apply : Cluster.t -> fault -> unit
+(** Apply one fault immediately, without recording it. Revivals use
+    {!Cluster.restart_node} (crash-restart semantics). *)
+
+val kill_is_safe : Cluster.t -> int list -> bool
+(** Would every range keep a live voter quorum if these nodes also died?
+    The min-healthy invariant used by random schedules: under SURVIVE ZONE
+    it forbids killing the home region, under SURVIVE REGION a second
+    concurrent region failure. *)
+
+type t
+(** A running (or finished) schedule: handle to its fault log. *)
+
+val run_script : Cluster.t -> (int * fault) list -> t
+(** Spawn a coroutine that injects each fault at its offset (microseconds
+    from now; entries are sorted first). Scripted heals are explicit
+    entries. *)
+
+type kind =
+  | K_kill_node
+  | K_kill_zone
+  | K_kill_region
+  | K_partition
+  | K_clock_jump
+  | K_lease_transfer
+
+val all_kinds : kind list
+
+type random_config = {
+  mean_interval : int;  (** µs between injections (uniform around mean) *)
+  mean_duration : int;  (** µs a fault stays active before healing *)
+  kinds : kind list;  (** enabled fault kinds *)
+  max_clock_skew : int;  (** bound for [Clock_jump] draws *)
+  enforce_quorum : bool;  (** apply {!kill_is_safe} before any kill *)
+}
+
+val default_random : random_config
+(** 2 s between faults, 4 s outages, every kind, ±100 ms jumps (within the
+    default 250 ms [max_offset]), quorum guard on. *)
+
+val run_random :
+  ?config:random_config -> Cluster.t -> seed:int -> duration:int -> unit -> t
+(** Spawn a coroutine drawing faults from a dedicated RNG seeded with
+    [seed] (independent of the cluster's stream) until [duration]
+    microseconds have elapsed, then heal everything it left in force. One
+    fault is active at a time; each is healed after a random hold. *)
+
+val stop : t -> unit
+(** Ask the schedule to stop at its next wake-up (it will not inject
+    further faults; call {!heal_all} to clean up immediately). *)
+
+val await : t -> unit
+(** Block (inside a process) until the schedule's coroutine has finished. *)
+
+val heal_all : t -> unit
+(** Revive every dead node (restart semantics), heal all partitions, and
+    restore every clock to its baseline skew. Recorded in the fault log. *)
+
+val log : t -> (int * fault) list
+(** The [(simulated time, fault)] log, oldest first. *)
+
+val log_to_string : t -> string
+(** Deterministic rendering, one line per fault — byte-identical for a
+    given seed and workload. *)

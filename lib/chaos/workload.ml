@@ -1,0 +1,269 @@
+module Sim = Crdb_sim.Sim
+module Proc = Crdb_sim.Proc
+module Rng = Crdb_stdx.Rng
+module Topology = Crdb_net.Topology
+module Transport = Crdb_net.Transport
+module Cluster = Crdb_kv.Cluster
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Txn = Crdb_txn.Txn
+module History = Crdb_check.History
+
+type config = {
+  seed : int;
+  clients_per_region : int;
+  ops_per_client : int;
+  keys : int;
+  write_ratio : float;
+  think_time : int;
+  max_attempts : int;
+  accounts : int;
+  bank_clients : int;
+  bank_ops_per_client : int;
+  initial_balance : int;
+  unsafe_stale_reads : bool;
+}
+
+let default =
+  {
+    seed = 1;
+    clients_per_region = 2;
+    ops_per_client = 20;
+    keys = 16;
+    write_ratio = 0.5;
+    think_time = 150_000;
+    max_attempts = 3;
+    accounts = 8;
+    bank_clients = 3;
+    bank_ops_per_client = 12;
+    initial_balance = 100;
+    unsafe_stale_reads = false;
+  }
+
+let key_of i = Printf.sprintf "key%03d" i
+let account_of i = Printf.sprintf "acct%02d" i
+let bank_total cfg = cfg.accounts * cfg.initial_balance
+
+(* One range for the registers and one for the bank accounts, replicated
+   according to the survivability goal, leaseholder pinned to the first
+   region. Registers start empty (the checker's initial value is [nil]);
+   accounts are preloaded with the initial balance. *)
+let setup ?(policy = Cluster.Lag 3_000_000) cl ~survival cfg =
+  let regions = Topology.regions (Cluster.topology cl) in
+  let home = List.hd regions in
+  let zone = Zoneconfig.derive ~regions ~home ~survival ~placement:Zoneconfig.Default in
+  let _bank = Cluster.add_range cl ~span:("acct", "acct~") ~zone ~policy in
+  let _regs = Cluster.add_range cl ~span:("key", "key~") ~zone ~policy in
+  Cluster.settle cl;
+  Cluster.bulk_load cl
+    (List.init cfg.accounts (fun i -> (account_of i, string_of_int cfg.initial_balance)))
+
+type result = {
+  registers : History.t;
+  bank : History.t;
+  mutable ok : int;
+  mutable failed : int;
+  mutable info : int;
+}
+
+let err_string = function
+  | Txn.Aborted m -> "aborted: " ^ m
+  | Txn.Unavailable m -> "unavailable: " ^ m
+
+(* Clients reconnect like real drivers: each op goes to a currently-live
+   gateway in the client's home region, falling back to any live node. *)
+let pick_gateway cl rng region =
+  let net = Cluster.net cl in
+  let topo = Cluster.topology cl in
+  let alive nodes =
+    List.filter (fun n -> Transport.is_alive net n.Topology.id) nodes
+  in
+  let candidates =
+    match alive (Topology.nodes_in_region topo region) with
+    | _ :: _ as l -> l
+    | [] -> alive (Array.to_list (Topology.nodes topo))
+  in
+  match candidates with
+  | [] -> 0
+  | l -> (List.nth l (Rng.int rng (List.length l))).Topology.id
+
+let record r outcome =
+  match outcome with
+  | History.Ok_read _ | History.Ok_write | History.Ok_transfer | History.Ok_snapshot _ ->
+      r.ok <- r.ok + 1
+  | History.Failed _ -> r.failed <- r.failed + 1
+  | History.Info _ -> r.info <- r.info + 1
+
+let register_client cl mgr cfg r ~client ~region rng zipf =
+  let sim = Cluster.sim cl in
+  let h = r.registers in
+  for i = 0 to cfg.ops_per_client - 1 do
+    Proc.sleep sim ((cfg.think_time / 2) + Rng.int rng (max 1 cfg.think_time));
+    let key = key_of (Rng.Zipf.scrambled_sample zipf rng mod cfg.keys) in
+    let gateway = pick_gateway cl rng region in
+    if Rng.float rng 1.0 < cfg.write_ratio then begin
+      let value = Printf.sprintf "c%d-%d" client i in
+      let e =
+        History.invoke h ~client ~now:(Sim.now sim) (History.Write { key; value })
+      in
+      let outcome =
+        match
+          Txn.run mgr ~gateway ~max_attempts:cfg.max_attempts (fun tx ->
+              Txn.put tx key value)
+        with
+        | Ok () -> History.Ok_write
+        | Error (Txn.Aborted _ as err) -> History.Failed (err_string err)
+        | Error (Txn.Unavailable _ as err) -> History.Info (err_string err)
+        | exception Txn.Fatal m -> History.Info ("fatal: " ^ m)
+      in
+      record r outcome;
+      History.complete e ~now:(Sim.now sim) outcome
+    end
+    else begin
+      let e = History.invoke h ~client ~now:(Sim.now sim) (History.Read { key }) in
+      let outcome =
+        if cfg.unsafe_stale_reads then
+          (* Deliberately broken mode for checker validation: serve the read
+             at a bounded-stale timestamp but record it as a fresh read. *)
+          match
+            Txn.run_stale_bounded mgr ~gateway ~max_staleness:5_000_000
+              ~keys:[ key ] (fun ro -> Txn.ro_get ro key)
+          with
+          | v -> History.Ok_read v
+          | exception Txn.Fatal m -> History.Failed ("fatal: " ^ m)
+        else
+          match
+            Txn.run_fresh_read mgr ~gateway ~max_attempts:cfg.max_attempts
+              (fun ro -> Txn.ro_get ro key)
+          with
+          | Ok v -> History.Ok_read v
+          | Error err -> History.Failed (err_string err)
+          | exception Txn.Fatal m -> History.Failed ("fatal: " ^ m)
+      in
+      record r outcome;
+      History.complete e ~now:(Sim.now sim) outcome
+    end
+  done
+
+let balance_of = function Some s -> int_of_string s | None -> 0
+
+let bank_client cl mgr cfg r ~client ~region rng =
+  let sim = Cluster.sim cl in
+  let h = r.bank in
+  let accounts = List.init cfg.accounts account_of in
+  for i = 0 to cfg.bank_ops_per_client - 1 do
+    Proc.sleep sim ((cfg.think_time / 2) + Rng.int rng (max 1 cfg.think_time));
+    let gateway = pick_gateway cl rng region in
+    if i mod 4 = 3 then begin
+      let e = History.invoke h ~client ~now:(Sim.now sim) History.Snapshot in
+      let outcome =
+        match
+          Txn.run_fresh_read mgr ~gateway ~max_attempts:cfg.max_attempts
+            (fun ro -> List.map (fun a -> (a, balance_of (Txn.ro_get ro a))) accounts)
+        with
+        | Ok rows -> History.Ok_snapshot rows
+        | Error err -> History.Failed (err_string err)
+        | exception Txn.Fatal m -> History.Failed ("fatal: " ^ m)
+      in
+      record r outcome;
+      History.complete e ~now:(Sim.now sim) outcome
+    end
+    else begin
+      let src = Rng.int rng cfg.accounts in
+      let dst = (src + 1 + Rng.int rng (cfg.accounts - 1)) mod cfg.accounts in
+      let amount = 1 + Rng.int rng 20 in
+      let e =
+        History.invoke h ~client ~now:(Sim.now sim)
+          (History.Transfer { src = account_of src; dst = account_of dst; amount })
+      in
+      let outcome =
+        match
+          Txn.run mgr ~gateway ~max_attempts:cfg.max_attempts (fun tx ->
+              let b_src = balance_of (Txn.get tx (account_of src)) in
+              let b_dst = balance_of (Txn.get tx (account_of dst)) in
+              Txn.put tx (account_of src) (string_of_int (b_src - amount));
+              Txn.put tx (account_of dst) (string_of_int (b_dst + amount)))
+        with
+        | Ok () -> History.Ok_transfer
+        | Error (Txn.Aborted _ as err) -> History.Failed (err_string err)
+        | Error (Txn.Unavailable _ as err) -> History.Info (err_string err)
+        | exception Txn.Fatal m -> History.Info ("fatal: " ^ m)
+      in
+      record r outcome;
+      History.complete e ~now:(Sim.now sim) outcome
+    end
+  done
+
+(* Run every client to completion; call inside [Cluster.run]. Client procs
+   are spawned in a fixed order with RNG streams split off one base stream,
+   so a (cluster seed, workload seed) pair fully determines the history. *)
+let run cl mgr cfg =
+  let sim = Cluster.sim cl in
+  let regions = Topology.regions (Cluster.topology cl) in
+  let r =
+    { registers = History.create (); bank = History.create (); ok = 0; failed = 0; info = 0 }
+  in
+  let base = Rng.create ~seed:cfg.seed in
+  let zipf = Rng.Zipf.create ~n:cfg.keys () in
+  let next_client = ref 0 in
+  let procs = ref [] in
+  List.iter
+    (fun region ->
+      for _ = 1 to cfg.clients_per_region do
+        let client = !next_client in
+        incr next_client;
+        let rng = Rng.split base in
+        procs :=
+          Proc.async sim (fun () ->
+              register_client cl mgr cfg r ~client ~region rng zipf)
+          :: !procs
+      done)
+    regions;
+  for b = 0 to (if cfg.accounts > 1 then cfg.bank_clients else 0) - 1 do
+    let client = 1000 + b in
+    let region = List.nth regions (b mod List.length regions) in
+    let rng = Rng.split base in
+    procs := Proc.async sim (fun () -> bank_client cl mgr cfg r ~client ~region rng) :: !procs
+  done;
+  ignore (Proc.await_all (List.rev !procs) : unit list);
+  r
+
+(* Post-chaos audit, run after the nemesis has healed everything: one fresh
+   read of every register and one final bank snapshot, from a gateway in
+   the home region. Anchors the checkers on the final converged state. *)
+let finale cl mgr cfg r =
+  let sim = Cluster.sim cl in
+  let regions = Topology.regions (Cluster.topology cl) in
+  let rng = Rng.create ~seed:(cfg.seed lxor 0x0f1e2d3c) in
+  let gateway = pick_gateway cl rng (List.hd regions) in
+  for k = 0 to cfg.keys - 1 do
+    let key = key_of k in
+    let e =
+      History.invoke r.registers ~client:9999 ~now:(Sim.now sim) (History.Read { key })
+    in
+    let outcome =
+      match
+        Txn.run_fresh_read mgr ~gateway ~max_attempts:cfg.max_attempts (fun ro ->
+            Txn.ro_get ro key)
+      with
+      | Ok v -> History.Ok_read v
+      | Error err -> History.Failed (err_string err)
+      | exception Txn.Fatal m -> History.Failed ("fatal: " ^ m)
+    in
+    record r outcome;
+    History.complete e ~now:(Sim.now sim) outcome
+  done;
+  if cfg.accounts > 1 then begin
+    let accounts = List.init cfg.accounts account_of in
+    let e = History.invoke r.bank ~client:9999 ~now:(Sim.now sim) History.Snapshot in
+    let outcome =
+      match
+        Txn.run_fresh_read mgr ~gateway ~max_attempts:cfg.max_attempts (fun ro ->
+            List.map (fun a -> (a, balance_of (Txn.ro_get ro a))) accounts)
+      with
+      | Ok rows -> History.Ok_snapshot rows
+      | Error err -> History.Failed (err_string err)
+      | exception Txn.Fatal m -> History.Failed ("fatal: " ^ m)
+    in
+    record r outcome;
+    History.complete e ~now:(Sim.now sim) outcome
+  end

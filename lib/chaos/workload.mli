@@ -1,0 +1,64 @@
+(** Chaos workloads: register and bank clients that record every operation
+    into a {!Crdb_check.History} for offline checking.
+
+    The register workload is a YCSB-A-style mix (scrambled-Zipfian keys,
+    configurable read/write ratio) of single-key serializable transactions;
+    its history feeds {!Crdb_check.Checker.check_linearizable}. The bank
+    workload runs transfers between preloaded accounts plus periodic
+    full-table snapshots; its history feeds
+    {!Crdb_check.Checker.check_bank}. Clients pick a live gateway in their
+    home region per operation (reconnecting around kills), classify
+    unknown-outcome errors as [Info], and are fully deterministic given the
+    cluster seed and the workload seed. *)
+
+module Cluster = Crdb_kv.Cluster
+module History = Crdb_check.History
+
+type config = {
+  seed : int;
+  clients_per_region : int;
+  ops_per_client : int;
+  keys : int;  (** register keyspace ([key000] ...) *)
+  write_ratio : float;  (** YCSB-A = 0.5 *)
+  think_time : int;  (** mean µs between a client's operations *)
+  max_attempts : int;  (** transaction retry budget under chaos *)
+  accounts : int;  (** bank accounts; < 2 disables the bank workload *)
+  bank_clients : int;
+  bank_ops_per_client : int;
+  initial_balance : int;
+  unsafe_stale_reads : bool;
+      (** deliberately broken mode: serve register reads at a bounded-stale
+          timestamp but record them as fresh — the linearizability checker
+          must catch this *)
+}
+
+val default : config
+
+val key_of : int -> string
+val account_of : int -> string
+
+val bank_total : config -> int
+(** The conserved quantity: [accounts * initial_balance]. *)
+
+val setup :
+  ?policy:Cluster.policy -> Cluster.t -> survival:Crdb_kv.Zoneconfig.survival -> config -> unit
+(** Create the register and bank ranges (zone config derived from
+    [survival], leaseholder in the first region), settle the cluster, and
+    preload the account balances. *)
+
+type result = {
+  registers : History.t;
+  bank : History.t;
+  mutable ok : int;
+  mutable failed : int;
+  mutable info : int;
+}
+
+val run : Cluster.t -> Crdb_txn.Txn.manager -> config -> result
+(** Run every client to completion and return the recorded histories.
+    Call inside {!Cluster.run}, typically with a nemesis schedule running
+    concurrently. *)
+
+val finale : Cluster.t -> Crdb_txn.Txn.manager -> config -> result -> unit
+(** Post-chaos audit (call after healing): a fresh read of every register
+    and a final bank snapshot, appended to the same histories. *)

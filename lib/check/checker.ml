@@ -1,0 +1,218 @@
+type verdict =
+  | Valid of { ops : int }
+  | Violation of { message : string; counterexample : string }
+  | Inconclusive of string
+
+let is_valid = function Valid _ -> true | Violation _ | Inconclusive _ -> false
+
+let verdict_to_string = function
+  | Valid { ops } -> Printf.sprintf "valid (%d ops checked)" ops
+  | Violation { message; counterexample } ->
+      Printf.sprintf "VIOLATION: %s\n%s" message counterexample
+  | Inconclusive msg -> Printf.sprintf "inconclusive: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Per-key linearizability (Wing–Gong search)                          *)
+
+(* One operation of a single register's sub-history. [l_completed] is
+   [max_int] for operations with unknown outcome; [l_optional] marks writes
+   that may never have taken effect and are allowed to linearize as no-ops. *)
+type lop = {
+  l_entry : History.entry;
+  l_invoked : int;
+  l_completed : int;
+  l_kind : [ `Read of string option | `Write of string ];
+  l_optional : bool;
+}
+
+exception Linearized
+
+(* The search explores linearization prefixes: a state is (set of linearized
+   ops, register value). An op may be appended when its invocation does not
+   follow the completion of any other un-linearized op (Wing & Gong's rule);
+   reads must match the register. States are memoized so the search is
+   polynomial on the mostly-sequential histories the simulator produces. *)
+let search_key ~budget ops =
+  let n = Array.length ops in
+  let mandatory = ref 0 in
+  Array.iter (fun o -> if not o.l_optional then incr mandatory) ops;
+  let mandatory = !mandatory in
+  let visited = Hashtbl.create 1024 in
+  let explored = ref 0 in
+  let best_count = ref (-1) in
+  let best_set = ref (Bytes.create 0) in
+  let best_value = ref None in
+  let in_set set i = Char.code (Bytes.get set (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+  let add set i =
+    let set = Bytes.copy set in
+    Bytes.set set (i / 8)
+      (Char.chr (Char.code (Bytes.get set (i / 8)) lor (1 lsl (i mod 8))));
+    set
+  in
+  let rec go set value done_mandatory =
+    if done_mandatory = mandatory then raise Linearized;
+    let memo_key = (Bytes.to_string set, value) in
+    if not (Hashtbl.mem visited memo_key) then begin
+      Hashtbl.replace visited memo_key ();
+      incr explored;
+      if !explored > budget then failwith "budget";
+      if done_mandatory > !best_count then begin
+        best_count := done_mandatory;
+        best_set := Bytes.copy set;
+        best_value := value
+      end;
+      let min_end = ref max_int in
+      for i = 0 to n - 1 do
+        if (not (in_set set i)) && ops.(i).l_completed < !min_end then
+          min_end := ops.(i).l_completed
+      done;
+      for i = 0 to n - 1 do
+        if (not (in_set set i)) && ops.(i).l_invoked <= !min_end then begin
+          let bump = if ops.(i).l_optional then 0 else 1 in
+          (match ops.(i).l_kind with
+          | `Write v -> go (add set i) (Some v) (done_mandatory + bump)
+          | `Read v -> if v = value then go (add set i) value (done_mandatory + bump));
+          (* An unknown-outcome write may also never have happened. *)
+          if ops.(i).l_optional then go (add set i) value done_mandatory
+        end
+      done
+    end
+  in
+  let set0 = Bytes.make ((n / 8) + 1) '\000' in
+  match go set0 None 0 with
+  | () ->
+      let remaining =
+        List.filter (fun i -> not (in_set !best_set i)) (List.init n Fun.id)
+      in
+      `Violation (!best_count, mandatory, !best_value, remaining)
+  | exception Linearized -> `Ok
+  | exception Failure _ -> `Budget
+
+let lops_of_entries entries =
+  List.filter_map
+    (fun (e : History.entry) ->
+      let mk kind optional completed =
+        Some
+          {
+            l_entry = e;
+            l_invoked = e.History.invoked;
+            l_completed = completed;
+            l_kind = kind;
+            l_optional = optional;
+          }
+      in
+      match (e.History.op, e.History.outcome) with
+      | History.Read _, Some (History.Ok_read v) -> mk (`Read v) false e.History.completed
+      | History.Read _, _ ->
+          (* A failed or unresolved read returned nothing: no constraint. *)
+          None
+      | History.Write { value; _ }, Some History.Ok_write ->
+          mk (`Write value) false e.History.completed
+      | History.Write _, Some (History.Failed _) -> None
+      | History.Write { value; _ }, (Some (History.Info _) | None) ->
+          (* Unknown outcome: may take effect at any point after invocation,
+             or never. *)
+          mk (`Write value) true max_int
+      | History.Write _, Some _ -> None
+      | (History.Transfer _ | History.Snapshot), _ -> None)
+    entries
+
+let render_violation key ops (count, mandatory, value, remaining) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "key %s: best linearization covers %d/%d committed ops; register then held %s\n"
+       key count mandatory
+       (match value with None -> "nil" | Some v -> Printf.sprintf "%S" v));
+  Buffer.add_string buf "  un-linearizable suffix:\n";
+  List.iteri
+    (fun i idx ->
+      if i < 8 then
+        Buffer.add_string buf
+          (Printf.sprintf "    %s\n" (History.entry_to_string ops.(idx).l_entry)))
+    remaining;
+  if List.length remaining > 8 then
+    Buffer.add_string buf
+      (Printf.sprintf "    ... and %d more\n" (List.length remaining - 8));
+  Buffer.contents buf
+
+let check_linearizable ?(budget = 2_000_000) history =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.History.op with
+      | History.Read { key } | History.Write { key; _ } ->
+          let l =
+            match Hashtbl.find_opt by_key key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace by_key key l;
+                l
+          in
+          l := e :: !l
+      | History.Transfer _ | History.Snapshot -> ())
+    (History.entries history);
+  let keys = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_key []) in
+  let checked = ref 0 in
+  let result =
+    List.fold_left
+      (fun acc key ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            let entries = List.rev !(Hashtbl.find by_key key) in
+            let ops = Array.of_list (lops_of_entries entries) in
+            checked := !checked + Array.length ops;
+            match search_key ~budget ops with
+            | `Ok -> None
+            | `Budget ->
+                Some
+                  (Inconclusive
+                     (Printf.sprintf "key %s: search budget (%d states) exhausted" key budget))
+            | `Violation v ->
+                Some
+                  (Violation
+                     {
+                       message = Printf.sprintf "history is not linearizable at key %s" key;
+                       counterexample = render_violation key ops v;
+                     })))
+      None keys
+  in
+  match result with None -> Valid { ops = !checked } | Some v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Bank-transfer serializability invariant                             *)
+
+(* Generalizes test_txn's bank test: transfers move money between accounts
+   inside serializable transactions, so every transactional snapshot of all
+   accounts must observe the same total. A snapshot summing to anything else
+   exhibits a non-serializable read (e.g. it observed half of a transfer). *)
+let check_bank ~total history =
+  let snapshots = ref 0 and transfers = ref 0 in
+  let bad =
+    List.fold_left
+      (fun acc (e : History.entry) ->
+        match (acc, e.History.op, e.History.outcome) with
+        | Some _, _, _ -> acc
+        | None, History.Transfer _, Some History.Ok_transfer ->
+            incr transfers;
+            acc
+        | None, History.Snapshot, Some (History.Ok_snapshot rows) ->
+            incr snapshots;
+            let sum = List.fold_left (fun s (_, b) -> s + b) 0 rows in
+            if sum = total then acc else Some (e, sum)
+        | None, _, _ -> acc)
+      None (History.entries history)
+  in
+  match bad with
+  | None -> Valid { ops = !snapshots + !transfers }
+  | Some (e, sum) ->
+      Violation
+        {
+          message =
+            Printf.sprintf
+              "bank invariant broken: snapshot totals %d, expected %d (money %s)"
+              sum total
+              (if sum < total then "destroyed" else "created");
+          counterexample = Printf.sprintf "  %s\n" (History.entry_to_string e);
+        }

@@ -1,0 +1,28 @@
+(** Offline consistency checkers over {!History} records.
+
+    Both checkers are pure: they read a completed history and return a
+    verdict, so a failing chaos run can be replayed from its seed and the
+    verdict diffed byte-for-byte. *)
+
+type verdict =
+  | Valid of { ops : int }  (** number of operations the checker examined *)
+  | Violation of { message : string; counterexample : string }
+  | Inconclusive of string  (** search budget exhausted — neither proof *)
+
+val is_valid : verdict -> bool
+val verdict_to_string : verdict -> string
+
+val check_linearizable : ?budget:int -> History.t -> verdict
+(** Per-key linearizability of the register operations (reads and writes) in
+    the history, by Wing–Gong-style search: find an order of the operations,
+    consistent with real-time precedence, under which every read returns the
+    latest written value. Operations with unknown outcomes ([Info], or still
+    pending) are allowed to take effect at any point after invocation or
+    never; [Failed] operations are ignored. [budget] (default 2e6) bounds
+    explored states per key; exceeding it yields [Inconclusive]. On failure
+    the counterexample shows the operations no linearization can explain. *)
+
+val check_bank : total:int -> History.t -> verdict
+(** The bank-transfer serializability invariant (generalized from
+    [test_txn.ml]): every successful [Snapshot] of all accounts must sum to
+    [total], the invariant conserved by every [Transfer]. *)

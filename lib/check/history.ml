@@ -1,0 +1,72 @@
+module Vec = Crdb_stdx.Vec
+
+type op =
+  | Read of { key : string }
+  | Write of { key : string; value : string }
+  | Transfer of { src : string; dst : string; amount : int }
+  | Snapshot
+
+type outcome =
+  | Ok_read of string option
+  | Ok_write
+  | Ok_transfer
+  | Ok_snapshot of (string * int) list
+  | Failed of string
+  | Info of string
+
+type entry = {
+  id : int;
+  client : int;
+  op : op;
+  invoked : int;
+  mutable completed : int;
+  mutable outcome : outcome option;
+}
+
+type t = { entries : entry Vec.t }
+
+let create () = { entries = Vec.create () }
+let length t = Vec.length t.entries
+let entries t = Vec.to_list t.entries
+
+let invoke t ~client ~now op =
+  let e =
+    { id = Vec.length t.entries; client; op; invoked = now; completed = -1; outcome = None }
+  in
+  Vec.push t.entries e;
+  e
+
+let complete e ~now outcome =
+  e.completed <- now;
+  e.outcome <- Some outcome
+
+let op_to_string = function
+  | Read { key } -> Printf.sprintf "read(%s)" key
+  | Write { key; value } -> Printf.sprintf "write(%s, %s)" key value
+  | Transfer { src; dst; amount } -> Printf.sprintf "transfer(%s -> %s, %d)" src dst amount
+  | Snapshot -> "snapshot"
+
+let outcome_to_string = function
+  | Ok_read None -> "ok nil"
+  | Ok_read (Some v) -> Printf.sprintf "ok %s" v
+  | Ok_write -> "ok"
+  | Ok_transfer -> "ok"
+  | Ok_snapshot rows ->
+      Printf.sprintf "ok {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) rows))
+  | Failed msg -> Printf.sprintf "failed (%s)" msg
+  | Info msg -> Printf.sprintf "info (%s)" msg
+
+let entry_to_string e =
+  let completion =
+    match e.outcome with
+    | None -> "info (pending at history end)"
+    | Some o -> outcome_to_string o
+  in
+  let completed = if e.completed < 0 then "-" else string_of_int e.completed in
+  Printf.sprintf "[%6d, %6s] c%d #%d %-28s %s"
+    e.invoked completed e.client e.id (op_to_string e.op) completion
+
+let to_string t =
+  String.concat "\n" (List.map entry_to_string (entries t))

@@ -1,0 +1,47 @@
+(** Jepsen-style operation histories at simulated-time resolution.
+
+    Each client operation is recorded twice: once at invocation and once at
+    completion. An operation whose outcome the client never learned — a
+    timeout, an exhausted retry loop, a history that ended first — stays in
+    the [Info] state and the checkers must consider both possibilities (it
+    may or may not have taken effect). [Failed] is reserved for outcomes the
+    system {e guarantees} had no effect. *)
+
+type op =
+  | Read of { key : string }
+  | Write of { key : string; value : string }
+  | Transfer of { src : string; dst : string; amount : int }
+  | Snapshot  (** read of all bank accounts in one transaction *)
+
+type outcome =
+  | Ok_read of string option
+  | Ok_write
+  | Ok_transfer
+  | Ok_snapshot of (string * int) list  (** account, balance *)
+  | Failed of string  (** definitely did not take effect *)
+  | Info of string  (** unknown: may or may not have taken effect *)
+
+type entry = {
+  id : int;
+  client : int;
+  op : op;
+  invoked : int;  (** simulated microseconds *)
+  mutable completed : int;  (** [-1] while pending *)
+  mutable outcome : outcome option;  (** [None] while pending *)
+}
+
+type t
+
+val create : unit -> t
+val length : t -> int
+
+val entries : t -> entry list
+(** In invocation order (ties broken by recording order, which is
+    deterministic under the simulator). *)
+
+val invoke : t -> client:int -> now:int -> op -> entry
+val complete : entry -> now:int -> outcome -> unit
+
+val entry_to_string : entry -> string
+val to_string : t -> string
+(** Deterministic rendering: one line per entry, for seed-replay diffing. *)

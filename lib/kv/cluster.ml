@@ -302,6 +302,13 @@ let wake_waiters r key =
 
 let conflict_wait_timeout = 10_000_000
 
+(* Bound on waiting for a proposed command to apply locally. A proposal can
+   be lost forever when its leader is deposed or crash-restarts before the
+   entry commits (a restart wipes the volatile log tail's completion ivars);
+   the waiter must not hang — it errors out and the transaction retries,
+   with the outcome reported as ambiguous if retries are exhausted. *)
+let propose_timeout = 15_000_000
+
 (* Returns false if the wait timed out (possible abandoned intent or
    deadlock); callers surface a restartable error. *)
 let wait_for_resolve t r key =
@@ -426,7 +433,24 @@ and raft_callbacks t rg r =
                 | Some raft -> Raft.handle raft ~from:r.r_node msg
                 | None -> ())
             | None -> ()));
-    on_apply = (fun ~index:_ cmd -> apply_cmd r cmd);
+    on_apply =
+      (fun ~index:_ cmd ->
+        (* HLC receive rule: a replica observes every replicated write
+           timestamp, so no future leaseholder's clock is ever behind an
+           applied write — the observed-timestamp uncertainty clamp in
+           [eval_read] is sound only under this invariant. Future-time
+           (Lead) writes are synthetic timestamps and must not drag clocks
+           forward (CRDB's synthetic-timestamp rule); the read clamp
+           exempts Lead ranges for the same reason. *)
+        (match rg.rg_policy with
+        | Lag _ -> (
+            match cmd.op with
+            | Op_put { ts; _ } -> Clock.update t.clocks.(r.r_node) ts
+            | Op_resolve { commit = Some c; _ } ->
+                Clock.update t.clocks.(r.r_node) c
+            | Op_resolve { commit = None; _ } -> ())
+        | Lead -> ());
+        apply_cmd r cmd);
     on_role =
       (fun role ->
         match role with
@@ -437,9 +461,15 @@ and raft_callbacks t rg r =
             Trace.event (Obs.trace t.obs) ~node:r.r_node ~range:rg.rg_id
               "kv.lease_acquired"
               ~attrs:[ ("region", Topology.region_of t.topo r.r_node) ];
-            (* New leaseholder: protect reads served by the previous one. *)
+            (* New leaseholder: no write may land below the lease start.
+               The hybrid clock reading is ahead of every applied write
+               (HLC receive rule at apply) and every read served here is
+               recorded exactly in the shared timestamp cache, so this is
+               the lease-start lower bound CRDB uses — not physical time
+               plus max_offset, which would mint a timestamp above every
+               clock in the cluster and defeat hybrid-clock commit-wait. *)
             Tscache.bump_low_water rg.rg_tscache
-              (Ts.of_wall (Clock.physical_now t.clocks.(r.r_node) + t.cfg.max_offset));
+              (Clock.now t.clocks.(r.r_node));
             (* Honor lease preferences. *)
             let home_ok =
               match rg.rg_zone.Zoneconfig.lease_preferences with
@@ -494,6 +524,7 @@ and raft_callbacks t rg r =
         r.r_applied_closed <- Ts.max r.r_applied_closed s.snap_closed;
         Mvcc.replace_with r.r_store s.snap_store);
     is_node_live = (fun node -> Liveness.believed_live t.live node);
+    node_epoch = (fun node -> Liveness.epoch t.live node);
   }
 
 and add_replica t rg node ~preferred =
@@ -704,6 +735,36 @@ let rebalance_leases t =
         | (Some _ | None), (Some _ | None) -> ())
     t.ranges_tbl
 
+let transfer_lease t rid ~target =
+  match leader_replica t rid with
+  | Some r when r.r_node <> target -> (
+      match (r.r_raft, replica_at (range t rid) target) with
+      | Some raft, Some _ ->
+          note_lease_transfer t ~node:r.r_node ~range:rid ~target;
+          Raft.transfer_leadership raft target
+      | (Some _ | None), (Some _ | None) -> ())
+  | Some _ | None -> ()
+
+let restart_node t node =
+  Transport.revive_node t.net node;
+  Hashtbl.iter
+    (fun _ rg ->
+      if not rg.rg_dropped then
+        match replica_at rg node with
+        | Some r ->
+            (* A restart loses everything held only in process memory: the
+               lock table and parked waiters (connections are gone), and the
+               side-channel closed-timestamp state, which is re-learned from
+               the next publications. Applied MVCC data and the Raft log are
+               disk-backed and survive. *)
+            Hashtbl.reset r.r_locks;
+            Hashtbl.reset r.r_resolve_waiters;
+            r.r_side_closed <- Ts.zero;
+            r.r_pending_side <- [];
+            (match r.r_raft with Some raft -> Raft.restart raft | None -> ())
+        | None -> ())
+    t.ranges_tbl
+
 let run_for t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
 
 let settle t =
@@ -903,8 +964,12 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
     (* Observed timestamps: values above the leaseholder's own clock cannot
        have committed before this request arrived, so they are outside the
        real-time ordering obligation and the uncertainty window shrinks to
-       the leaseholder's now. Future-time (Lead) ranges are exempt: their
-       committed writes legitimately sit above every clock (§6.2). *)
+       the leaseholder's now. Sound only because of the HLC receive rule:
+       replicas ratchet their clock over every write timestamp they evaluate
+       or apply, so an acked write is never above the serving clock (a write
+       can carry a faster gateway clock's timestamp). Future-time (Lead)
+       ranges are exempt: their committed writes are synthetic timestamps
+       that legitimately sit above every clock (§6.2). *)
     let max_ts =
       match r.r_range.rg_policy with
       | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
@@ -1182,6 +1247,13 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                   if Ts.(latest >= ts) then Ts.next latest else ts
                 in
                 let ts = Ts.max ts (Ts.next target) in
+                (* HLC receive rule at request receipt: the leaseholder's
+                   clock must not lag a timestamp it is about to write, or
+                   the observed-timestamp clamp would hide the value from
+                   reads arriving after the writer's commit ack. *)
+                (match rg.rg_policy with
+                | Lag _ -> Clock.update t.clocks.(r.r_node) ts
+                | Lead -> ());
                 let created =
                   match existing with
                   | Some l ->
@@ -1224,9 +1296,12 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                             Transport.send t.net ~src:r.r_node ~dst:gateway
                               (fun () -> ignore (Ivar.try_fill ack () : bool)));
                         `Done (Ok ts)
-                    | None ->
-                        Proc.await done_;
-                        `Done (Ok ts)))))
+                    | None -> (
+                        match
+                          Proc.await_timeout t.sim done_ ~timeout:propose_timeout
+                        with
+                        | Some () -> `Done (Ok ts)
+                        | None -> `Done (Error "proposal lost (leader gone)"))))))
 
 (* One-phase commit: evaluate, then propose the intent and its commit
    resolution back to back in the same Raft log. The lock exists only
@@ -1267,8 +1342,9 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
               `Not_leader
           | Some _ ->
               Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
-              Proc.await done_;
-              `Done (Ok final_ts)))
+              match Proc.await_timeout t.sim done_ ~timeout:propose_timeout with
+              | Some () -> `Done (Ok final_ts)
+              | None -> `Done (Error "proposal lost (leader gone)")))
 
 let write_and_commit t ?span ~gateway ~txn ~key ~value ~ts () =
   match range_of_key t key with
@@ -1317,7 +1393,11 @@ let eval_resolve t r ~txn ~keys ~commit ~span =
             `Not_leader
         | Some _ ->
             Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
-            Proc.await done_;
+            (* Resolution has no error channel: on a lost proposal, give up
+               and let readers clean up the orphaned intents lazily. *)
+            ignore
+              (Proc.await_timeout t.sim done_ ~timeout:propose_timeout
+                : unit option);
             `Done ())
 
 let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =

@@ -118,6 +118,21 @@ val rebalance_leases : t -> unit
 (** Transfer leadership of every range back to its preferred region when a
     live voter exists there (run after failures heal). *)
 
+val transfer_lease : t -> range_id -> target:Crdb_net.Topology.node_id -> unit
+(** Ask the current leaseholder to hand the lease (Raft leadership) to
+    [target], which must hold a voting replica; no-op when there is no live
+    leader, the target holds no replica, or it already leads. The transfer
+    is deferred until the target's log is caught up. *)
+
+val restart_node : t -> Crdb_net.Topology.node_id -> unit
+(** Revive a killed node with {e process-restart} semantics: disk-backed
+    state (Raft term/vote/log, applied MVCC data) survives, while volatile
+    state is discarded — every local replica's lock table, parked conflict
+    waiters and side-channel closed-timestamp bookkeeping are reset, and
+    Raft resumes as a follower that must re-learn the leader and catch up
+    via log replication before its closed timestamps advance again. Pair
+    with [Transport.kill_node] to model a crash-restart cycle. *)
+
 val bulk_load : t -> ?ts:Ts.t -> (string * string) list -> unit
 (** Install committed versions directly in every replica of the covering
     ranges. Administrative fast path for benchmark dataset loading. *)

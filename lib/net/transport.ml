@@ -12,6 +12,9 @@ type t = {
   jitter : float;
   rng : Rng.t;
   dead_since : (Topology.node_id, int) Hashtbl.t;
+  (* Liveness epoch: bumped on every dead->alive transition (a process
+     restart is a new incarnation, per CRDB's epoch-based node liveness). *)
+  epochs : (Topology.node_id, int) Hashtbl.t;
   mutable partitions : (string * string) list;
   mutable messages_sent : int;
   obs : Obs.t;
@@ -33,6 +36,7 @@ let create ?(jitter = 0.05) ?rng ?(obs = Obs.null) ~sim ~topology ~latency () =
     jitter;
     rng;
     dead_since = Hashtbl.create 16;
+    epochs = Hashtbl.create 16;
     partitions = [];
     messages_sent = 0;
     obs;
@@ -48,6 +52,7 @@ let topology t = t.topology
 let latency t = t.latency
 let is_alive t id = not (Hashtbl.mem t.dead_since id)
 let dead_since t id = Hashtbl.find_opt t.dead_since id
+let epoch t id = Option.value ~default:0 (Hashtbl.find_opt t.epochs id)
 
 let base_delay t src dst =
   if src = dst then 25
@@ -112,7 +117,11 @@ let rpc ?span t ~src ~dst handler =
 
 let messages_sent t = t.messages_sent
 let kill_node t id = if is_alive t id then Hashtbl.replace t.dead_since id (Sim.now t.sim)
-let revive_node t id = Hashtbl.remove t.dead_since id
+let revive_node t id =
+  if not (is_alive t id) then begin
+    Hashtbl.replace t.epochs id (epoch t id + 1);
+    Hashtbl.remove t.dead_since id
+  end
 
 let kill_region t region =
   List.iter
@@ -129,5 +138,19 @@ let kill_zone t ~region ~zone =
     (fun n -> kill_node t n.Topology.id)
     (Topology.nodes_in_zone t.topology region zone)
 
-let partition_regions t a b = t.partitions <- (a, b) :: t.partitions
+let revive_zone t ~region ~zone =
+  List.iter
+    (fun n -> revive_node t n.Topology.id)
+    (Topology.nodes_in_zone t.topology region zone)
+
+let same_pair a b (x, y) =
+  (String.equal x a && String.equal y b) || (String.equal x b && String.equal y a)
+
+let partition_regions t a b =
+  if not (List.exists (same_pair a b) t.partitions) then
+    t.partitions <- (a, b) :: t.partitions
+
+let heal_partition t a b =
+  t.partitions <- List.filter (fun p -> not (same_pair a b p)) t.partitions
+
 let heal_partitions t = t.partitions <- []

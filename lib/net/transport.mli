@@ -53,17 +53,37 @@ val messages_sent : t -> int
 (** {2 Failure injection} *)
 
 val kill_node : t -> Topology.node_id -> unit
+(** Stop delivering messages to or from the node. [kill_node] followed by
+    {!revive_node} models a {e process restart}: the transport only governs
+    reachability, so state that would live on disk in a real node (Raft log
+    and term, applied MVCC data) survives, while in-memory state must be
+    discarded by the layers that own it (see [Crdb_kv.Cluster.restart_node],
+    which pairs the revival with a volatile-state reset). *)
+
 val revive_node : t -> Topology.node_id -> unit
 val is_alive : t -> Topology.node_id -> bool
 val kill_region : t -> string -> unit
 val revive_region : t -> string -> unit
 val kill_zone : t -> region:string -> zone:string -> unit
+val revive_zone : t -> region:string -> zone:string -> unit
 
 val partition_regions : t -> string -> string -> unit
-(** Drop all traffic between the two regions (both directions). *)
+(** Drop all traffic between the two regions (both directions). Idempotent:
+    repeating an existing pair does not stack duplicate entries. *)
+
+val heal_partition : t -> string -> string -> unit
+(** Heal the partition between one region pair (order-insensitive); other
+    partitions stay in force. *)
 
 val heal_partitions : t -> unit
+(** Heal every partition at once. *)
 
 val dead_since : t -> Topology.node_id -> int option
 (** Simulation time at which the node died, if currently dead. Used by the
     liveness oracle to model failure-detection delay. *)
+
+val epoch : t -> Topology.node_id -> int
+(** Liveness epoch of the node: incremented on every dead->alive transition.
+    Models CRDB's epoch-based node liveness — trust placed in a node under an
+    earlier incarnation (e.g. a quiesced follower's belief that its leader
+    still holds the range) must be revalidated after a restart. *)

@@ -44,6 +44,7 @@ type ('cmd, 'snap) callbacks = {
   take_snapshot : unit -> 'snap;
   install_snapshot : 'snap -> unit;
   is_node_live : int -> bool;
+  node_epoch : int -> int;
 }
 
 type ('cmd, 'snap) t = {
@@ -79,6 +80,11 @@ type ('cmd, 'snap) t = {
   mutable election_timer : Sim.timer option;
   mutable heartbeat_timer : Sim.timer option;
   mutable quiesced : bool;
+  (* The leader's liveness epoch captured when this follower quiesced. If the
+     leader restarts (epoch bump), its old incarnation's claim to the range
+     dies with it: suppression of campaigns must end, or a quiesced range
+     whose leader crash-restarts stays leaderless forever. *)
+  mutable quiesce_epoch : int;
   mutable last_heartbeat : int;
   mutable last_quorum_contact : int;
   mutable pending_transfer : int option;
@@ -125,6 +131,7 @@ let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
     election_timer = None;
     heartbeat_timer = None;
     quiesced = false;
+    quiesce_epoch = 0;
     last_heartbeat = 0;
     last_quorum_contact = 0;
     pending_transfer = None;
@@ -177,6 +184,18 @@ let last_term t =
 
 let cancel_timer = function Some tm -> Sim.cancel tm | None -> ()
 
+(* May this quiesced replica keep trusting its leader in place of heartbeats?
+   Only while the oracle reports the leader live under the same incarnation
+   it quiesced under — a crash-restarted leader comes back a follower, so its
+   liveness must not keep suppressing elections. *)
+let quiesced_leader_live t =
+  t.quiesced
+  &&
+  match t.leader with
+  | Some l ->
+      l <> t.id && t.cb.is_node_live l && t.cb.node_epoch l = t.quiesce_epoch
+  | None -> false
+
 let rec arm_election_timer t =
   cancel_timer t.election_timer;
   if not t.stopped then begin
@@ -195,14 +214,9 @@ and election_tick t =
         let heard_recently =
           Sim.now t.sim - t.last_heartbeat < t.election_timeout
         in
-        let leader_alive =
-          match t.leader with
-          | Some l -> l <> t.id && t.cb.is_node_live l
-          | None -> false
-        in
         (* A quiesced follower trusts the liveness oracle instead of
            heartbeats (epoch-lease behaviour). *)
-        let suppressed = heard_recently || (t.quiesced && leader_alive) in
+        let suppressed = heard_recently || quiesced_leader_live t in
         if suppressed || not (is_voter t t.id) then arm_election_timer t
         else pre_campaign t
   end
@@ -472,16 +486,11 @@ let handle_pre_vote t ~from ~pterm ~last_log_index ~last_log_term =
     || (last_log_term = last_term t && last_log_index >= last_index t)
   in
   let heard_recently = Sim.now t.sim - t.last_heartbeat < t.election_timeout in
-  let leader_live =
-    match t.leader with
-    | Some l -> l <> t.id && t.cb.is_node_live l
-    | None -> false
-  in
   let granted =
     pterm > t.term && up_to_date
     && (not (is_leader t))
     && (not heard_recently)
-    && not (t.quiesced && leader_live)
+    && not (quiesced_leader_live t)
   in
   t.cb.send from (Pre_vote_reply { term = pterm; granted })
 
@@ -640,6 +649,7 @@ let handle_quiesce t ~from ~qterm ~commit =
     t.leader <- Some from;
     t.last_heartbeat <- Sim.now t.sim;
     t.quiesced <- true;
+    t.quiesce_epoch <- t.cb.node_epoch from;
     let new_commit = min commit (last_index t) in
     if new_commit > t.commit then begin
       t.commit <- new_commit;
@@ -730,3 +740,30 @@ let start ?preferred t =
     | Some _ | None -> List.fold_left min max_int (voters t)
   in
   if t.id = first then campaign t else arm_election_timer t
+
+let restart t =
+  (* Process restart: durable state (term, vote, log, snapshot boundary,
+     commit/applied indices — all fsynced before acknowledgement in a real
+     node) survives; everything held only in memory does not. The replica
+     comes back as a follower with no known leader and re-learns peer
+     progress, exactly as if recovered from its on-disk state. *)
+  t.stopped <- false;
+  t.role <- Follower;
+  t.leader <- None;
+  t.quiesced <- false;
+  t.votes <- [];
+  t.prevotes <- [];
+  t.pending_transfer <- None;
+  Hashtbl.reset t.next_index;
+  Hashtbl.reset t.match_index;
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.sent_commit;
+  Trace.finish (Obs.trace t.obs) t.election_span;
+  t.election_span <- Trace.nil;
+  cancel_timer t.heartbeat_timer;
+  t.heartbeat_timer <- None;
+  (* A freshly booted node waits out a full election timeout before
+     campaigning, giving an incumbent leader the chance to re-assert. *)
+  t.last_heartbeat <- Sim.now t.sim;
+  t.cb.on_role Follower;
+  arm_election_timer t

@@ -77,6 +77,11 @@ type ('cmd, 'snap) callbacks = {
   is_node_live : int -> bool;
       (** liveness oracle: may this node's leader still be alive? Campaigns
           are suppressed while the current leader's node is reported live. *)
+  node_epoch : int -> int;
+      (** liveness epoch (incarnation counter) of a node; bumped by restarts.
+          A quiesced follower only trusts [is_node_live] for the leader
+          incarnation it quiesced under — a restarted leader is a follower
+          again, and must not keep suppressing elections. *)
 }
 
 type ('cmd, 'snap) t
@@ -141,4 +146,12 @@ val start : ?preferred:int -> _ t -> unit
 
 val stop : _ t -> unit
 (** Halt all timers (replica removed or node decommissioned). *)
+
+val restart : _ t -> unit
+(** Model a process restart after a crash: durable state (term, vote, log,
+    snapshot boundary, commit/applied indices) is retained, volatile state
+    (role, known leader, quiescence, vote tallies, per-peer replication
+    progress, pending leadership transfer, timers) is discarded. The replica
+    resumes as a follower and waits a full election timeout before
+    campaigning. Also reverses {!stop}. *)
 

@@ -118,10 +118,15 @@ let bump_and_refresh t new_ts =
   if Ts.(new_ts > t.read_ts) then begin
     if t.reads <> [] then refresh_all t ~to_ts:new_ts;
     t.read_ts <- new_ts;
-    (* A value above the local clock is a future-time write: the reader must
-       commit-wait before completing (§6.2). *)
+    (* A value above the local hybrid clock is a future-time (synthetic)
+       write: the reader must commit-wait before completing (§6.2).
+       Present-time (Lag) values were already folded into the clock by the
+       HLC receive rule at the call site, so they never trip this. *)
     let clock = Cluster.clock t.mgr.cl t.gw in
-    if Ts.wall new_ts > Clock.physical_now clock then t.observed_future <- true
+    if
+      Ts.(new_ts > Clock.last clock)
+      && Ts.wall new_ts > Clock.physical_now clock
+    then t.observed_future <- true
   end
 
 (* ------------------------------------------------------------------ *)
@@ -147,7 +152,13 @@ let get t key =
        this key to apply before reading it. *)
     if own_write then
       List.iter
-        (fun (k, ack) -> if String.equal k key then Proc.await ack)
+        (fun (k, ack) ->
+          if String.equal k key then
+            match
+              Proc.await_timeout (Cluster.sim t.mgr.cl) ack ~timeout:30_000_000
+            with
+            | Some () -> ()
+            | None -> raise (Restart "pipelined write lost"))
         t.outstanding;
     let leaseholder_read () =
       Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~span:t.sp
@@ -168,6 +179,11 @@ let get t key =
         t.reads <- Point key :: t.reads;
         value
     | Cluster.Read_uncertain { value_ts } ->
+        (* HLC receive rule on the response: a present-time uncertain value
+           ratchets the gateway clock. Synthetic (future-time) timestamps
+           from global tables must not — they force a real commit-wait. *)
+        if not (is_global t key) then
+          Clock.update (Cluster.clock t.mgr.cl t.gw) value_ts;
         bump_and_refresh t value_ts;
         go (attempts + 1)
     | Cluster.Read_redirect -> go (attempts + 1)
@@ -205,6 +221,8 @@ let scan t ~start_key ~end_key ?limit () =
         t.reads <- Span (start_key, end_key) :: t.reads;
         rows
     | Cluster.Scan_uncertain { value_ts } ->
+        if not range_is_global then
+          Clock.update (Cluster.clock t.mgr.cl t.gw) value_ts;
         bump_and_refresh t value_ts;
         go (attempts + 1)
     | Cluster.Scan_redirect -> go (attempts + 1)
@@ -214,6 +232,14 @@ let scan t ~start_key ~end_key ?limit () =
 
 (* ------------------------------------------------------------------ *)
 (* Writes                                                              *)
+
+(* HLC receive rule on the write response: the gateway folds a present-time
+   pushed timestamp into its clock, so commit-wait (which waits on the
+   hybrid clock) is a no-op for it. Future-time (Lead) writes stay
+   synthetic and commit-wait for real. *)
+let observe_pushed t key pushed =
+  if not (is_global t key) then
+    Clock.update (Cluster.clock t.mgr.cl t.gw) pushed
 
 let write_value t key value =
   let provisional = Ts.max t.read_ts t.write_ts in
@@ -225,6 +251,7 @@ let write_value t key value =
     with
     | Ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
+        observe_pushed t key pushed;
         t.outstanding <- (key, applied) :: t.outstanding;
         if not (List.mem key t.writes) then t.writes <- key :: t.writes
     | Error e -> raise (Restart e)
@@ -236,6 +263,7 @@ let write_value t key value =
     with
     | Ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
+        observe_pushed t key pushed;
         if not (List.mem key t.writes) then t.writes <- key :: t.writes
     | Error e -> raise (Restart e)
 
@@ -250,13 +278,19 @@ let commit_wait mgr ~gw ts =
   let sim = Cluster.sim mgr.cl in
   let waited = ref 0 in
   let rec loop () =
-    let now = Clock.physical_now clock in
-    if now < Ts.wall ts then begin
-      let d = Ts.wall ts - now + 1 in
-      waited := !waited + d;
-      Proc.sleep sim d;
-      loop ()
-    end
+    (* CRDB waits on the hybrid clock, not the physical one: a timestamp
+       the gateway has already observed (HLC receive rule, e.g. from a
+       write response) needs no physical wait. Only synthetic future-time
+       timestamps — which never ratchet clocks — force a real wait. *)
+    if Ts.(Clock.last clock >= ts) then ()
+    else
+      let now = Clock.physical_now clock in
+      if now < Ts.wall ts then begin
+        let d = Ts.wall ts - now + 1 in
+        waited := !waited + d;
+        Proc.sleep sim d;
+        loop ()
+      end
   in
   loop ();
   !waited

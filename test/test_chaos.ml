@@ -1,0 +1,380 @@
+(* Tests for the chaos subsystem (lib/chaos) and the offline history
+   checkers (lib/check): checker unit tests on hand-built histories,
+   seeded random-nemesis runs under both survivability goals, the
+   deliberately-broken mode the checker must catch, and crash-restart
+   regression coverage for kill + revive as a process restart. *)
+
+module Sim = Crdb_sim.Sim
+module Proc = Crdb_sim.Proc
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Transport = Crdb_net.Transport
+module Ts = Crdb_hlc.Timestamp
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Cluster = Crdb_kv.Cluster
+module Txn = Crdb_txn.Txn
+module History = Crdb_check.History
+module Checker = Crdb_check.Checker
+module Nemesis = Crdb_chaos.Nemesis
+module Workload = Crdb_chaos.Workload
+module Harness = Crdb_chaos.Harness
+
+let check = Alcotest.check
+let regions3 = [ "us-east1"; "us-west1"; "europe-west2" ]
+let home = "us-east1"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit tests (hand-built histories)                           *)
+
+let add h ~client ~at ~dur op outcome =
+  let e = History.invoke h ~client ~now:at op in
+  History.complete e ~now:(at + dur) outcome
+
+let test_checker_linearizable () =
+  let h = History.create () in
+  add h ~client:0 ~at:0 ~dur:10 (History.Write { key = "x"; value = "a" }) History.Ok_write;
+  add h ~client:1 ~at:20 ~dur:10 (History.Read { key = "x" }) (History.Ok_read (Some "a"));
+  add h ~client:0 ~at:40 ~dur:10 (History.Write { key = "x"; value = "b" }) History.Ok_write;
+  add h ~client:1 ~at:60 ~dur:10 (History.Read { key = "x" }) (History.Ok_read (Some "b"));
+  (* Concurrent read may see either side of the overlapping write. *)
+  let w = History.invoke h ~client:0 ~now:80 (History.Write { key = "x"; value = "c" }) in
+  add h ~client:1 ~at:82 ~dur:2 (History.Read { key = "x" }) (History.Ok_read (Some "b"));
+  History.complete w ~now:95 History.Ok_write;
+  check Alcotest.bool "valid" true (Checker.is_valid (Checker.check_linearizable h))
+
+let test_checker_stale_read_rejected () =
+  let h = History.create () in
+  add h ~client:0 ~at:0 ~dur:10 (History.Write { key = "x"; value = "a" }) History.Ok_write;
+  add h ~client:0 ~at:20 ~dur:10 (History.Write { key = "x"; value = "b" }) History.Ok_write;
+  (* Invoked strictly after w(b) completed, yet observes the older value. *)
+  add h ~client:1 ~at:40 ~dur:10 (History.Read { key = "x" }) (History.Ok_read (Some "a"));
+  match Checker.check_linearizable h with
+  | Checker.Violation { message; counterexample } ->
+      check Alcotest.bool "names the key" true
+        (contains ~sub:"x" message);
+      check Alcotest.bool "has a counterexample" true (counterexample <> "")
+  | Checker.Valid _ | Checker.Inconclusive _ -> Alcotest.fail "expected violation"
+
+let test_checker_info_write_optional () =
+  (* An indeterminate write may either have taken effect or not; both
+     completions of the history must be accepted. *)
+  let observed_case result =
+    let h = History.create () in
+    add h ~client:0 ~at:0 ~dur:10 (History.Write { key = "x"; value = "a" }) History.Ok_write;
+    add h ~client:0 ~at:20 ~dur:10
+      (History.Write { key = "x"; value = "b" })
+      (History.Info "rpc timeout");
+    add h ~client:1 ~at:40 ~dur:10 (History.Read { key = "x" }) (History.Ok_read (Some result));
+    Checker.is_valid (Checker.check_linearizable h)
+  in
+  check Alcotest.bool "info write took effect" true (observed_case "b");
+  check Alcotest.bool "info write did not take effect" true (observed_case "a")
+
+let test_checker_failed_write_no_effect () =
+  (* A Failed write is guaranteed to have no effect: observing it is a
+     violation. *)
+  let h = History.create () in
+  add h ~client:0 ~at:0 ~dur:10 (History.Write { key = "x"; value = "a" }) History.Ok_write;
+  add h ~client:0 ~at:20 ~dur:10
+    (History.Write { key = "x"; value = "b" })
+    (History.Failed "aborted");
+  add h ~client:1 ~at:40 ~dur:10 (History.Read { key = "x" }) (History.Ok_read (Some "b"));
+  check Alcotest.bool "violation" false
+    (Checker.is_valid (Checker.check_linearizable h))
+
+let test_checker_bank () =
+  let h = History.create () in
+  add h ~client:0 ~at:0 ~dur:10
+    (History.Transfer { src = "a"; dst = "b"; amount = 5 })
+    History.Ok_transfer;
+  add h ~client:1 ~at:20 ~dur:10 History.Snapshot
+    (History.Ok_snapshot [ ("a", 95); ("b", 105) ]);
+  check Alcotest.bool "conserved" true
+    (Checker.is_valid (Checker.check_bank ~total:200 h));
+  add h ~client:1 ~at:40 ~dur:10 History.Snapshot
+    (History.Ok_snapshot [ ("a", 95); ("b", 104) ]);
+  match Checker.check_bank ~total:200 h with
+  | Checker.Violation { counterexample; _ } ->
+      check Alcotest.bool "shows the snapshot" true
+        (contains ~sub:"snapshot" counterexample)
+  | Checker.Valid _ | Checker.Inconclusive _ -> Alcotest.fail "expected violation"
+
+(* ------------------------------------------------------------------ *)
+(* Random nemesis end-to-end                                           *)
+
+let harness_setup ~survival ~seed =
+  {
+    Harness.default with
+    Harness.survival;
+    cluster_seed = seed;
+    nemesis_seed = seed;
+    workload = { Workload.default with Workload.seed };
+  }
+
+let run_seeds ~survival seeds =
+  List.iter
+    (fun seed ->
+      let o = Harness.run (harness_setup ~survival ~seed) in
+      if not (Harness.passed o) then
+        Alcotest.failf "seed %d (%s): registers %s / bank %s\nfaults:\n%s" seed
+          (Zoneconfig.survival_to_string survival)
+          (Checker.verdict_to_string o.Harness.register_verdict)
+          (Checker.verdict_to_string o.Harness.bank_verdict)
+          o.Harness.fault_log)
+    seeds
+
+let test_random_nemesis_zone () = run_seeds ~survival:Zoneconfig.Zone [ 1; 2 ]
+let test_random_nemesis_region () = run_seeds ~survival:Zoneconfig.Region [ 3; 4 ]
+
+let test_nemesis_deterministic () =
+  let run () =
+    let o = Harness.run (harness_setup ~survival:Zoneconfig.Region ~seed:42) in
+    (o.Harness.fault_log, History.to_string o.Harness.result.Workload.registers)
+  in
+  let log1, hist1 = run () in
+  let log2, hist2 = run () in
+  check Alcotest.string "identical fault logs" log1 log2;
+  check Alcotest.string "identical histories" hist1 hist2;
+  check Alcotest.bool "schedule non-trivial" true (String.length log1 > 0)
+
+let test_unsafe_stale_reads_caught () =
+  (* Deliberately broken config: bounded-stale reads recorded as fresh.
+     The linearizability checker must produce a counterexample. *)
+  let setup = harness_setup ~survival:Zoneconfig.Region ~seed:42 in
+  let setup =
+    {
+      setup with
+      Harness.workload =
+        { setup.Harness.workload with Workload.unsafe_stale_reads = true };
+    }
+  in
+  let o = Harness.run setup in
+  match o.Harness.register_verdict with
+  | Checker.Violation { counterexample; _ } ->
+      check Alcotest.bool "counterexample rendered" true (counterexample <> "")
+  | Checker.Valid _ | Checker.Inconclusive _ ->
+      Alcotest.fail "stale-as-fresh reads were not caught"
+
+let test_quorum_guard_blocks_majority_kill () =
+  (* With the min-healthy invariant on, a SURVIVE ZONE cluster must never
+     lose its home region's write availability to kill faults: the guard
+     refuses kills that would break a voter quorum. *)
+  let o =
+    Harness.run
+      (harness_setup ~survival:Zoneconfig.Zone ~seed:5)
+  in
+  check Alcotest.bool "workload finished consistent" true (Harness.passed o);
+  (* The guard admits at most one concurrent home-zone kill; region kills
+     of the home region are impossible under Zone survival. *)
+  check Alcotest.bool "no home region kill in log" false
+    (contains ~sub:"kill_region(us-east1)" o.Harness.fault_log)
+
+(* ------------------------------------------------------------------ *)
+(* Scripted nemesis: bounded clock skew stays linearizable             *)
+
+let test_clock_skew_script_linearizable () =
+  (* Jump several clocks around within max_offset: histories must stay
+     linearizable (uncertainty restarts absorb the skew, §6.1). *)
+  let script =
+    [
+      (0, Nemesis.Clock_jump (0, 100_000));
+      (1_000_000, Nemesis.Clock_jump (3, -100_000));
+      (2_000_000, Nemesis.Clock_jump (6, 80_000));
+      (8_000_000, Nemesis.Clock_jump (0, -90_000));
+    ]
+  in
+  let setup =
+    {
+      (harness_setup ~survival:Zoneconfig.Zone ~seed:9) with
+      Harness.nemesis = None;
+      script = Some script;
+    }
+  in
+  let o = Harness.run setup in
+  check Alcotest.bool "passed" true (Harness.passed o);
+  check Alcotest.bool "script ran" true
+    (contains ~sub:"clock_jump" o.Harness.fault_log)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-restart semantics (kill + revive as process restart)          *)
+
+let make_cluster () =
+  let topology = Topology.symmetric ~regions:regions3 ~nodes_per_region:3 in
+  Cluster.create ~topology ~latency:Latency.table1 ()
+
+let zone_range ?(survival = Zoneconfig.Zone) cl =
+  let zone = Zoneconfig.derive ~regions:regions3 ~home ~survival ~placement:Zoneconfig.Default in
+  let rid = Cluster.add_range cl ~span:("a", "z") ~zone ~policy:(Cluster.Lag 3_000_000) in
+  Cluster.settle cl;
+  rid
+
+let test_restart_catches_up () =
+  let cl = make_cluster () in
+  let rid = zone_range cl in
+  let mgr = Txn.create_manager cl in
+  let lh = Option.get (Cluster.leaseholder cl rid) in
+  (* Kill a home-region follower replica (not the leaseholder). *)
+  let victim =
+    List.find
+      (fun n -> n <> lh)
+      (List.map fst (Cluster.replica_nodes cl rid))
+  in
+  Cluster.run cl (fun () ->
+      (match Txn.run mgr ~gateway:lh (fun t -> Txn.put t "k" "v1") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "pre-kill write: %a" Txn.pp_error e);
+      Transport.kill_node (Cluster.net cl) victim;
+      Proc.sleep (Cluster.sim cl) 1_000_000;
+      (* Commit while the victim is down: it must catch up on restart. *)
+      (match Txn.run mgr ~gateway:lh (fun t -> Txn.put t "k" "v2") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "during-outage write: %a" Txn.pp_error e);
+      let write_ts = Cluster.now_ts cl lh in
+      Proc.sleep (Cluster.sim cl) 5_000_000;
+      check Alcotest.bool "victim still dead" false
+        (Transport.is_alive (Cluster.net cl) victim);
+      Cluster.restart_node cl victim;
+      (* The restart wiped the replica's volatile closed-timestamp state:
+         catching up to [write_ts] requires replaying replication. *)
+      Proc.sleep (Cluster.sim cl) 10_000_000;
+      check Alcotest.bool "revived" true (Transport.is_alive (Cluster.net cl) victim);
+      check Alcotest.bool "restarted replica closed past the outage write" true
+        (Ts.compare (Cluster.local_closed cl ~at:victim rid) write_ts >= 0);
+      (* And it serves a follower read of the value committed while dead. *)
+      let v =
+        Txn.run_stale_exact mgr ~gateway:victim ~ts:write_ts (fun ro ->
+            Txn.ro_get ro "k")
+      in
+      check Alcotest.(option string) "follower read after restart" (Some "v2") v)
+
+let test_restart_leaseholder_recovers () =
+  let cl = make_cluster () in
+  let rid = zone_range cl in
+  let mgr = Txn.create_manager cl in
+  let lh = Option.get (Cluster.leaseholder cl rid) in
+  Cluster.run cl (fun () ->
+      (match Txn.run mgr ~gateway:lh (fun t -> Txn.put t "k" "v1") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %a" Txn.pp_error e);
+      Transport.kill_node (Cluster.net cl) lh;
+      Proc.sleep (Cluster.sim cl) 8_000_000;
+      (* Another home replica won the election. *)
+      let lh2 = Cluster.leaseholder cl rid in
+      check Alcotest.bool "lease moved" true (lh2 <> None && lh2 <> Some lh);
+      Cluster.restart_node cl lh;
+      Proc.sleep (Cluster.sim cl) 8_000_000;
+      (* The restarted ex-leaseholder rejoined as follower; writes work. *)
+      let gw = Option.get (Cluster.leaseholder cl rid) in
+      match Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "v2") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "post-restart write: %a" Txn.pp_error e)
+
+(* Regression: a quiesced range whose leaseholder crash-restarts within the
+   liveness-oracle grace period must elect a new leader. Without epoch-based
+   liveness the quiesced followers keep believing the restarted process is
+   still leader (the oracle reports the node live again) and suppress
+   elections forever — the range stays leaderless until the horizon. *)
+let test_quiesced_leader_restart () =
+  let cl = make_cluster () in
+  let rid = zone_range cl in
+  let mgr = Txn.create_manager cl in
+  let lh = Option.get (Cluster.leaseholder cl rid) in
+  Cluster.run cl (fun () ->
+      (match Txn.run mgr ~gateway:lh (fun t -> Txn.put t "k" "v1") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %a" Txn.pp_error e);
+      (* Idle long enough for the range to quiesce. *)
+      Proc.sleep (Cluster.sim cl) 5_000_000;
+      (* Crash and restart faster than the liveness record lapses: the
+         followers never see the node reported dead, only its epoch bump. *)
+      Transport.kill_node (Cluster.net cl) lh;
+      Proc.sleep (Cluster.sim cl) 1_000_000;
+      Cluster.restart_node cl lh;
+      Proc.sleep (Cluster.sim cl) 15_000_000;
+      let lh2 = Cluster.leaseholder cl rid in
+      check Alcotest.bool "a leader re-emerged" true (lh2 <> None);
+      match Txn.run mgr ~gateway:(Option.get lh2) (fun t -> Txn.put t "k" "v2") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "post-restart write: %a" Txn.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* kill_zone / revive_region under both survivability goals            *)
+
+let write_ok cl mgr ~gateway =
+  Cluster.run cl (fun () ->
+      match Txn.run mgr ~gateway (fun t -> Txn.put t "k" "v") with
+      | Ok () -> true
+      | Error _ -> false)
+
+let test_zone_survival_outages () =
+  let cl = make_cluster () in
+  let rid = zone_range cl ~survival:Zoneconfig.Zone in
+  let mgr = Txn.create_manager cl in
+  let gw = (List.hd (Topology.nodes_in_region (Cluster.topology cl) "us-west1")).Topology.id in
+  check Alcotest.bool "healthy" true (write_ok cl mgr ~gateway:gw);
+  (* Zone outage in the home region: quorum of 3 voters survives. *)
+  Transport.kill_zone (Cluster.net cl) ~region:home ~zone:(home ^ "-a");
+  Cluster.run_for cl 10_000_000;
+  check Alcotest.bool "writes survive zone loss" true (write_ok cl mgr ~gateway:gw);
+  (* Whole home region down: zone survival cannot ride this out. *)
+  Transport.kill_region (Cluster.net cl) home;
+  Cluster.run_for cl 10_000_000;
+  check Alcotest.(option string) "no leaseholder" None
+    (Option.map (fun _ -> "lh") (Cluster.leaseholder cl rid));
+  (* Revive the region with restart semantics: service returns. *)
+  Nemesis.apply cl (Nemesis.Revive_region home);
+  Cluster.run_for cl 10_000_000;
+  check Alcotest.bool "writes back after revive_region" true
+    (write_ok cl mgr ~gateway:gw)
+
+let test_region_survival_outages () =
+  let cl = make_cluster () in
+  let rid = zone_range cl ~survival:Zoneconfig.Region in
+  let mgr = Txn.create_manager cl in
+  let gw = (List.hd (Topology.nodes_in_region (Cluster.topology cl) "us-west1")).Topology.id in
+  check Alcotest.bool "healthy" true (write_ok cl mgr ~gateway:gw);
+  (* Losing the whole home region keeps a 3/5 voter quorum. *)
+  Transport.kill_region (Cluster.net cl) home;
+  Cluster.run_for cl 12_000_000;
+  check Alcotest.bool "writes survive region loss" true (write_ok cl mgr ~gateway:gw);
+  (match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.bool "lease left the dead region" true (r <> home)
+  | None -> Alcotest.fail "no leaseholder after region loss");
+  Nemesis.apply cl (Nemesis.Revive_region home);
+  Cluster.run_for cl 5_000_000;
+  Cluster.rebalance_leases cl;
+  Cluster.run_for cl 5_000_000;
+  check Alcotest.(option string) "lease back home" (Some home)
+    (Cluster.leaseholder_region cl rid)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "checker: linearizable accepted" `Quick test_checker_linearizable;
+    Alcotest.test_case "checker: stale read rejected" `Quick test_checker_stale_read_rejected;
+    Alcotest.test_case "checker: info write optional" `Quick test_checker_info_write_optional;
+    Alcotest.test_case "checker: failed write has no effect" `Quick
+      test_checker_failed_write_no_effect;
+    Alcotest.test_case "checker: bank conservation" `Quick test_checker_bank;
+    Alcotest.test_case "random nemesis, survive zone" `Slow test_random_nemesis_zone;
+    Alcotest.test_case "random nemesis, survive region" `Slow test_random_nemesis_region;
+    Alcotest.test_case "nemesis determinism" `Slow test_nemesis_deterministic;
+    Alcotest.test_case "unsafe stale reads caught" `Slow test_unsafe_stale_reads_caught;
+    Alcotest.test_case "quorum guard respects survival goal" `Slow
+      test_quorum_guard_blocks_majority_kill;
+    Alcotest.test_case "bounded clock skew linearizable" `Slow
+      test_clock_skew_script_linearizable;
+    Alcotest.test_case "restart catches up" `Quick test_restart_catches_up;
+    Alcotest.test_case "restarted leaseholder recovers" `Quick
+      test_restart_leaseholder_recovers;
+    Alcotest.test_case "quiesced leader restart re-elects" `Quick
+      test_quiesced_leader_restart;
+    Alcotest.test_case "zone survival outages" `Quick test_zone_survival_outages;
+    Alcotest.test_case "region survival outages" `Quick test_region_survival_outages;
+  ]

@@ -14,5 +14,6 @@ let () =
       ("sql", Test_sql.suite);
       ("workload", Test_workload.suite);
       ("clock_skew", Test_clock_skew.suite);
+      ("chaos", Test_chaos.suite);
       ("integration", Test_integration.suite);
     ]

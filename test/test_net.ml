@@ -150,6 +150,36 @@ let test_partition () =
   Sim.run sim;
   check Alcotest.bool "healed" true !delivered
 
+let test_heal_one_partition () =
+  let sim, net = make_transport () in
+  (* Insert one pair twice (dedupe) plus a second distinct pair. *)
+  Transport.partition_regions net "us-east1" "us-west1";
+  Transport.partition_regions net "us-west1" "us-east1";
+  Transport.partition_regions net "us-east1" "europe-west2";
+  (* Healing the deduped pair must clear it entirely... *)
+  Transport.heal_partition net "us-west1" "us-east1";
+  let delivered = ref false in
+  Transport.send net ~src:0 ~dst:3 (fun () -> delivered := true);
+  Sim.run sim;
+  check Alcotest.bool "pair healed despite double insert" true !delivered;
+  (* ... while leaving the other pair in force. *)
+  let delivered_eu = ref false in
+  Transport.send net ~src:0 ~dst:6 (fun () -> delivered_eu := true);
+  Sim.run sim;
+  check Alcotest.bool "other pair still partitioned" false !delivered_eu;
+  Transport.heal_partitions net;
+  Transport.send net ~src:0 ~dst:6 (fun () -> delivered_eu := true);
+  Sim.run sim;
+  check Alcotest.bool "heal-all clears the rest" true !delivered_eu
+
+let test_kill_revive_zone () =
+  let _sim, net = make_transport () in
+  Transport.kill_zone net ~region:"us-east1" ~zone:"us-east1-a";
+  check Alcotest.bool "zone node dead" false (Transport.is_alive net 0);
+  check Alcotest.bool "sibling zone alive" true (Transport.is_alive net 1);
+  Transport.revive_zone net ~region:"us-east1" ~zone:"us-east1-a";
+  check Alcotest.bool "zone node back" true (Transport.is_alive net 0)
+
 let test_kill_region () =
   let _sim, net = make_transport () in
   Transport.kill_region net "europe-west2";
@@ -185,6 +215,8 @@ let suite =
     Alcotest.test_case "kill drops" `Quick test_kill_drops;
     Alcotest.test_case "kill in flight" `Quick test_kill_in_flight;
     Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "heal one partition" `Quick test_heal_one_partition;
+    Alcotest.test_case "kill/revive zone" `Quick test_kill_revive_zone;
     Alcotest.test_case "kill region" `Quick test_kill_region;
     Alcotest.test_case "jitter bounded" `Quick test_jitter_bounded;
   ]

@@ -61,6 +61,7 @@ let make_harness ?(delay = 1_000) ?(seed = 7) ~voters ~learners () =
           take_snapshot = (fun () -> node.applied);
           install_snapshot = (fun apps -> node.applied <- apps);
           is_node_live = (fun peer -> h.nodes.(peer).alive);
+          node_epoch = (fun _ -> 0);
         }
       in
       node.raft <-
