@@ -4,7 +4,7 @@
 
    Usage:   dune exec bench/main.exe [-- EXPERIMENT...]
    where EXPERIMENT is any of: table1 fig3 fig4a fig4b fig4c fig5 fig6
-   table2 ablations chaos micro. With no arguments, everything runs.
+   table2 ablations splits chaos micro. With no arguments, everything runs.
 
    Workload volumes are scaled down from the paper's GCP runs (the paper's
    absolute numbers come from 3-node-per-region clusters and millions of
@@ -539,6 +539,89 @@ let run_ablations () =
     [ ("pipelined (CRDB)", true); ("unpipelined", false) ]
 
 (* ------------------------------------------------------------------ *)
+(* Range lifecycle: latency before vs after 100+ splits                *)
+
+let run_splits () =
+  section "Range lifecycle: read/write latency, 1 range vs 120 ranges";
+  printf
+    "3 regions, one table span, uniform keys. Every request re-resolves@.\
+     its key through the ordered span map, so splitting the span into@.\
+     120 ranges must not change the latency structure (routing is a@.\
+     binary search, not a scan of the range list).@.";
+  let n_keys = 256 and ops = 240 in
+  let run_phase ~label ~target_ranges =
+    let regions = regions3 in
+    let topology =
+      Crdb.Topology.symmetric ~regions ~nodes_per_region:3
+    in
+    let cl = Cluster.create ~topology ~latency:Latency.table1 () in
+    let zone =
+      Crdb.Zoneconfig.derive ~regions ~home:(List.hd regions)
+        ~survival:Crdb.Zoneconfig.Zone ~placement:Crdb.Zoneconfig.Default
+    in
+    ignore
+      (Cluster.add_range cl ~span:("user", "user~") ~zone
+         ~policy:(Cluster.Lag 3_000_000));
+    Cluster.settle cl;
+    let key i = Printf.sprintf "user%04d" i in
+    Cluster.bulk_load cl
+      (List.init n_keys (fun i -> (key i, "v" ^ string_of_int i)));
+    let rec split_loop rounds =
+      if rounds > 0 && List.length (Cluster.ranges cl) < target_ranges then begin
+        List.iter
+          (fun r ->
+            if List.length (Cluster.ranges cl) < target_ranges then
+              match Cluster.split_point cl r with
+              | Some at -> ignore (Cluster.split_range cl r ~at)
+              | None -> ())
+          (Cluster.ranges cl);
+        Cluster.run_for cl 2_000_000;
+        split_loop (rounds - 1)
+      end
+    in
+    split_loop 16;
+    Cluster.run_for cl 5_000_000;
+    let read_h = Hist.create () and write_h = Hist.create () in
+    let gw = 0 in
+    let errors = ref 0 in
+    let sim = Cluster.sim cl in
+    Cluster.run cl (fun () ->
+        for i = 1 to ops do
+          let k = key (i * 7 mod n_keys) in
+          let t0 = Crdb_sim.Sim.now sim in
+          if i mod 2 = 0 then begin
+            let ts = Cluster.now_ts cl gw in
+            (match
+               Cluster.write_and_commit cl ~gateway:gw ~txn:(1000 + i) ~key:k
+                 ~value:(Some "w") ~ts ()
+             with
+            | Ok _ -> ()
+            | Error _ -> incr errors);
+            Hist.add write_h (Crdb_sim.Sim.now sim - t0)
+          end
+          else begin
+            let ts = Cluster.now_ts cl gw in
+            let max_ts =
+              Crdb.Timestamp.add_wall ts (Cluster.config cl).Cluster.max_offset
+            in
+            (match
+               Cluster.read cl ~gateway:gw ~txn:None ~key:k ~ts ~max_ts ()
+             with
+            | Cluster.Read_value _ | Cluster.Read_uncertain _ -> ()
+            | Cluster.Read_redirect | Cluster.Read_err _ -> incr errors);
+            Hist.add read_h (Crdb_sim.Sim.now sim - t0)
+          end
+        done);
+    subsection
+      (Printf.sprintf "%s (%d ranges)" label (List.length (Cluster.ranges cl)));
+    row "  read" read_h;
+    row "  write" write_h;
+    if !errors > 0 then printf "  (%d errors)@." !errors
+  in
+  run_phase ~label:"single range" ~target_ranges:1;
+  run_phase ~label:"after splits" ~target_ranges:120
+
+(* ------------------------------------------------------------------ *)
 (* Chaos smoke: nemesis schedule + history checking                    *)
 
 let run_chaos () =
@@ -656,6 +739,7 @@ let experiments =
     ("fig6", run_fig6);
     ("table2", run_table2);
     ("ablations", run_ablations);
+    ("splits", run_splits);
     ("chaos", run_chaos);
     ("micro", run_micro);
   ]

@@ -6,6 +6,7 @@
      chaos    run a nemesis schedule with Jepsen-style history checking
      ddl      print the DDL statement lists (Table 2 machinery)
      regions  print the latency profiles
+     splits   range-lifecycle demo: 100+ splits, traffic, merges
 
    Examples:
      dune exec bin/crdb_sim.exe -- ycsb --variant global --workload a
@@ -192,6 +193,9 @@ let fault_kind_of_string = function
   | "partition" -> Ok Nemesis.K_partition
   | "clock-jump" -> Ok Nemesis.K_clock_jump
   | "lease-transfer" -> Ok Nemesis.K_lease_transfer
+  | "split-range" -> Ok Nemesis.K_split_range
+  | "merge-range" -> Ok Nemesis.K_merge_range
+  | "rebalance" -> Ok Nemesis.K_rebalance
   | s -> Error (`Msg (Printf.sprintf "unknown fault kind %S" s))
 
 let fault_kind_conv =
@@ -205,7 +209,10 @@ let fault_kind_conv =
           | Nemesis.K_kill_region -> "kill-region"
           | Nemesis.K_partition -> "partition"
           | Nemesis.K_clock_jump -> "clock-jump"
-          | Nemesis.K_lease_transfer -> "lease-transfer") )
+          | Nemesis.K_lease_transfer -> "lease-transfer"
+          | Nemesis.K_split_range -> "split-range"
+          | Nemesis.K_merge_range -> "merge-range"
+          | Nemesis.K_rebalance -> "rebalance") )
 
 let survival_conv =
   Arg.conv
@@ -313,7 +320,10 @@ let chaos_cmd =
   let faults =
     Arg.(value & opt (list fault_kind_conv) Nemesis.all_kinds
          & info [ "faults" ]
-             ~doc:"Comma-separated fault kinds: kill-node,kill-zone,kill-region,partition,clock-jump,lease-transfer")
+             ~doc:
+               "Comma-separated fault kinds: \
+                kill-node,kill-zone,kill-region,partition,clock-jump,\
+                lease-transfer,split-range,merge-range,rebalance")
   in
   let fault_interval =
     Arg.(value & opt int 2000 & info [ "fault-interval" ] ~doc:"Mean ms between fault injections")
@@ -404,6 +414,128 @@ let regions_cmd =
   Cmd.v (Cmd.info "regions" ~doc:"Print latency profiles")
     Term.(const run_regions $ const ())
 
+(* ---------------- splits ---------------- *)
+
+(* Range-lifecycle demo: grow a single range into (at least) --ranges
+   ranges by repeatedly splitting at the store's median key, drive a
+   uniform read/write workload whose every request re-resolves its key
+   through the ordered span map, then merge pairs back down. *)
+let run_splits target_ranges n_keys ops trace metrics =
+  let regions = List.filteri (fun i _ -> i < 3) regions5 in
+  let topology = Crdb.Topology.symmetric ~regions ~nodes_per_region:3 in
+  let cl = Cluster.create ~topology ~latency:Crdb.Latency.table1 () in
+  if trace <> None then Crdb.Obs.enable_tracing (Cluster.obs cl);
+  let zone =
+    Crdb.Zoneconfig.derive ~regions ~home:(List.hd regions)
+      ~survival:Crdb.Zoneconfig.Zone ~placement:Crdb.Zoneconfig.Default
+  in
+  let rid =
+    Cluster.add_range cl ~span:("user", "user~") ~zone
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let key i = Printf.sprintf "user%04d" i in
+  Cluster.bulk_load cl (List.init n_keys (fun i -> (key i, "v" ^ string_of_int i)));
+  (* Split every splittable range, breadth-first, until we reach the target. *)
+  let rec split_loop rounds =
+    let n = List.length (Cluster.ranges cl) in
+    if rounds > 0 && n < target_ranges then begin
+      List.iter
+        (fun r ->
+          if List.length (Cluster.ranges cl) < target_ranges then
+            match Cluster.split_point cl r with
+            | Some at -> ignore (Cluster.split_range cl r ~at)
+            | None -> ())
+        (Cluster.ranges cl);
+      Cluster.run_for cl 2_000_000;
+      split_loop (rounds - 1)
+    end
+  in
+  split_loop 16;
+  Cluster.run_for cl 5_000_000;
+  let n_ranges = List.length (Cluster.ranges cl) in
+  Format.printf "split %d keys into %d ranges (asked for %d)@." n_keys n_ranges
+    target_ranges;
+  (* Every key must route to a range whose span contains it. *)
+  let distinct = Hashtbl.create 64 in
+  for i = 0 to n_keys - 1 do
+    let k = key i in
+    let r = Cluster.range_of_key cl k in
+    let s, e = Cluster.span_of cl r in
+    if not (s <= k && k < e) then
+      Format.printf "BAD ROUTE: %s -> r%d [%s,%s)@." k r s e;
+    Hashtbl.replace distinct r ()
+  done;
+  Format.printf "routing: %d keys resolve onto %d distinct ranges@." n_keys
+    (Hashtbl.length distinct);
+  (* Uniform read/write traffic across all ranges. *)
+  let gw = 0 in
+  let errors = ref 0 in
+  Cluster.run cl (fun () ->
+      for i = 1 to ops do
+        let k = key (i * 7 mod n_keys) in
+        if i mod 2 = 0 then begin
+          let ts = Cluster.now_ts cl gw in
+          match
+            Cluster.write_and_commit cl ~gateway:gw ~txn:(1000 + i) ~key:k
+              ~value:(Some ("w" ^ string_of_int i)) ~ts ()
+          with
+          | Ok _ -> ()
+          | Error _ -> incr errors
+        end
+        else
+          let ts = Cluster.now_ts cl gw in
+          let max_ts =
+            Crdb.Timestamp.add_wall ts (Cluster.config cl).Cluster.max_offset
+          in
+          match Cluster.read cl ~gateway:gw ~txn:None ~key:k ~ts ~max_ts () with
+          | Cluster.Read_value _ | Cluster.Read_uncertain _ -> ()
+          | Cluster.Read_redirect | Cluster.Read_err _ -> incr errors
+      done);
+  Format.printf "workload: %d ops, %d errors@." ops !errors;
+  (* Merge adjacent pairs back down while configs allow it. *)
+  let merged = ref 0 in
+  List.iter
+    (fun r ->
+      if List.mem r (Cluster.ranges cl) && Cluster.merge_range cl r then
+        incr merged)
+    (List.filteri (fun i _ -> i mod 2 = 0) (Cluster.ranges cl));
+  Cluster.run_for cl 2_000_000;
+  Format.printf "merged %d pairs; %d ranges remain@." !merged
+    (List.length (Cluster.ranges cl));
+  let m = Crdb.Obs.metrics (Cluster.obs cl) in
+  Format.printf "counters: kv.splits=%d kv.merges=%d kv.rebalances=%d@."
+    (Crdb.Metrics.total m "kv.splits")
+    (Crdb.Metrics.total m "kv.merges")
+    (Crdb.Metrics.total m "kv.rebalances");
+  (match trace with
+  | Some file -> (
+      let tr = Crdb.Obs.trace (Cluster.obs cl) in
+      match open_out file with
+      | oc ->
+          output_string oc (Crdb.Trace.to_chrome_json tr);
+          close_out oc;
+          Format.printf "trace: %d records -> %s@." (Crdb.Trace.num_records tr)
+            file
+      | exception Sys_error msg -> Format.eprintf "trace: %s@." msg)
+  | None -> ());
+  if metrics then Format.printf "%a@." Crdb.Metrics.pp m;
+  ignore rid;
+  if !errors > 0 then exit 1
+
+let splits_cmd =
+  let ranges =
+    Arg.(value & opt int 120 & info [ "ranges" ] ~doc:"Target range count")
+  in
+  let keys = Arg.(value & opt int 256 & info [ "keys" ] ~doc:"Keys to load") in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Read/write ops") in
+  Cmd.v
+    (Cmd.info "splits"
+       ~doc:
+         "Split one range into 100+, route traffic through the span map, \
+          then merge back down")
+    Term.(const run_splits $ ranges $ keys $ ops $ trace_arg $ metrics_arg)
+
 (* ---------------- default scenario ---------------- *)
 
 (* A small deterministic GLOBAL-table workload touching every layer:
@@ -443,4 +575,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "crdb_sim" ~version:Crdb.version
              ~doc:"Simulated multi-region CockroachDB explorer")
-          [ ycsb_cmd; tpcc_cmd; chaos_cmd; ddl_cmd; regions_cmd ]))
+          [ ycsb_cmd; tpcc_cmd; chaos_cmd; ddl_cmd; regions_cmd; splits_cmd ]))

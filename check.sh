@@ -18,6 +18,15 @@ echo "== chaos gate (seeds 101-104)"
 dune exec bin/crdb_sim.exe -- chaos --seed 101 --seeds 4 --survival region
 dune exec bin/crdb_sim.exe -- chaos --seed 101 --seeds 2 --survival zone
 
+# Range-lifecycle gate: splits, merges and rebalances race node kills and
+# lease transfers under the same checkers. Exits nonzero on any violation.
+echo "== chaos gate with range lifecycle (seeds 201-203)"
+dune exec bin/crdb_sim.exe -- chaos --seed 201 --seeds 3 --survival region \
+  --faults kill-node,lease-transfer,split-range,merge-range,rebalance
+
+echo "== splits demo (routing after 100+ splits)"
+dune exec bin/crdb_sim.exe -- splits --ranges 120
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt

@@ -23,6 +23,9 @@ type fault =
   | Heal_all_partitions
   | Clock_jump of int * int
   | Lease_transfer of Cluster.range_id * int
+  | Split_range of Cluster.range_id * string
+  | Merge_range of Cluster.range_id
+  | Rebalance of Cluster.range_id
 
 let fault_to_string = function
   | Kill_node n -> Printf.sprintf "kill_node(n%d)" n
@@ -36,13 +39,17 @@ let fault_to_string = function
   | Heal_all_partitions -> "heal_partitions"
   | Clock_jump (n, s) -> Printf.sprintf "clock_jump(n%d, %+dus)" n s
   | Lease_transfer (rid, n) -> Printf.sprintf "lease_transfer(r%d -> n%d)" rid n
+  | Split_range (rid, at) -> Printf.sprintf "split_range(r%d @ %S)" rid at
+  | Merge_range rid -> Printf.sprintf "merge_range(r%d)" rid
+  | Rebalance rid -> Printf.sprintf "rebalance(r%d)" rid
 
 let is_heal = function
   | Revive_node _ | Revive_zone _ | Revive_region _ | Heal_partition _
   | Heal_all_partitions ->
       true
   | Kill_node _ | Kill_zone _ | Kill_region _ | Partition_regions _
-  | Clock_jump _ | Lease_transfer _ ->
+  | Clock_jump _ | Lease_transfer _ | Split_range _ | Merge_range _
+  | Rebalance _ ->
       false
 
 (* Revivals go through [Cluster.restart_node] so that coming back means a
@@ -66,6 +73,20 @@ let apply cl fault =
   | Heal_all_partitions -> Transport.heal_partitions net
   | Clock_jump (n, skew) -> Cluster.set_clock_skew cl n skew
   | Lease_transfer (rid, target) -> Cluster.transfer_lease cl rid ~target
+  (* Lifecycle faults are best-effort: the range may have disappeared (or
+     lost its leaseholder) between scheduling and injection. *)
+  | Split_range (rid, at) ->
+      if List.mem rid (Cluster.ranges cl) then begin
+        let s, e = Cluster.span_of cl rid in
+        if String.compare at s > 0 && String.compare at e < 0 then
+          ignore (Cluster.split_range cl rid ~at : Cluster.range_id option)
+      end
+  | Merge_range rid ->
+      if List.mem rid (Cluster.ranges cl) then
+        ignore (Cluster.merge_range cl rid : bool)
+  | Rebalance rid ->
+      if List.mem rid (Cluster.ranges cl) then
+        ignore (Cluster.rebalance_step cl rid : bool)
 
 (* ------------------------------------------------------------------ *)
 (* Safety invariant                                                    *)
@@ -177,10 +198,25 @@ let run_script cl script =
 (* ------------------------------------------------------------------ *)
 (* Seeded random schedules                                             *)
 
-type kind = K_kill_node | K_kill_zone | K_kill_region | K_partition | K_clock_jump | K_lease_transfer
+type kind =
+  | K_kill_node
+  | K_kill_zone
+  | K_kill_region
+  | K_partition
+  | K_clock_jump
+  | K_lease_transfer
+  | K_split_range
+  | K_merge_range
+  | K_rebalance
 
+(* The range-lifecycle kinds are deliberately NOT part of [all_kinds]: the
+   kinds array length feeds the schedule RNG, so adding them here would
+   silently reshuffle every existing seeded schedule. Suites that want
+   splits/merges/rebalances racing the other faults opt in explicitly. *)
 let all_kinds =
   [ K_kill_node; K_kill_zone; K_kill_region; K_partition; K_clock_jump; K_lease_transfer ]
+
+let lifecycle_kinds = [ K_split_range; K_merge_range; K_rebalance ]
 
 type random_config = {
   mean_interval : int;
@@ -280,6 +316,31 @@ let pick_fault t rng cfg kind =
           Option.map
             (fun target -> (Lease_transfer (rid, target), None))
             (pick_list targets))
+  | K_split_range -> (
+      match pick_list (Cluster.ranges cl) with
+      | None -> None
+      | Some rid ->
+          Option.map
+            (fun at -> (Split_range (rid, at), None))
+            (Cluster.split_point cl rid))
+  | K_merge_range ->
+      (* Only ranges whose right-hand neighbor exists and matches (same zone
+         and policy) are candidates; [merge_range] rechecks at injection. *)
+      let mergeable rid =
+        let _, e = Cluster.span_of cl rid in
+        List.exists
+          (fun other ->
+            other <> rid
+            && String.equal (fst (Cluster.span_of cl other)) e
+            && Cluster.zone_of cl other = Cluster.zone_of cl rid
+            && Cluster.policy_of cl other = Cluster.policy_of cl rid)
+          (Cluster.ranges cl)
+      in
+      Option.map
+        (fun rid -> (Merge_range rid, None))
+        (pick_list (List.filter mergeable (Cluster.ranges cl)))
+  | K_rebalance ->
+      Option.map (fun rid -> (Rebalance rid, None)) (pick_list (Cluster.ranges cl))
 
 let run_random ?(config = default_random) cl ~seed ~duration () =
   let t = make cl in

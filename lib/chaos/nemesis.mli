@@ -22,6 +22,11 @@ type fault =
   | Heal_all_partitions
   | Clock_jump of int * int  (** node, new absolute skew in microseconds *)
   | Lease_transfer of Cluster.range_id * int  (** range, target node *)
+  | Split_range of Cluster.range_id * string  (** range, split key *)
+  | Merge_range of Cluster.range_id
+      (** subsume the range's right-hand neighbor *)
+  | Rebalance of Cluster.range_id
+      (** one allocator-driven replica move (add-then-remove) *)
 
 val fault_to_string : fault -> string
 
@@ -54,8 +59,19 @@ type kind =
   | K_partition
   | K_clock_jump
   | K_lease_transfer
+  | K_split_range
+  | K_merge_range
+  | K_rebalance
 
 val all_kinds : kind list
+(** The original six kinds. The range-lifecycle kinds are excluded on
+    purpose — the kinds list length feeds the schedule RNG, so including
+    them would reshuffle every existing seeded schedule; enable them via
+    [kinds] (e.g. [all_kinds @ lifecycle_kinds]) to race splits, merges and
+    rebalances against kills, partitions and lease transfers. *)
+
+val lifecycle_kinds : kind list
+(** [[K_split_range; K_merge_range; K_rebalance]]. *)
 
 type random_config = {
   mean_interval : int;  (** µs between injections (uniform around mean) *)

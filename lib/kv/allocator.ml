@@ -4,9 +4,12 @@ module Raft = Crdb_raft.Raft
 
 type placement = (Topology.node_id * Raft.peer_kind) list
 
-(* Pick [count] nodes from [candidates], preferring zones not yet used
-   (diversity), then lower load. *)
-let pick_diverse ~count ~load ~used_zones candidates =
+(* Pick [count] nodes from [candidates], preferring failure domains not yet
+   used, then lower load. Diversity follows the locality hierarchy: reusing
+   a zone is strictly worse than reusing only the region, which is worse
+   than a fresh region (the paper's diversity-maximizing allocator). [used]
+   accumulates the (region, zone) pairs of every replica placed so far. *)
+let pick_diverse ~count ~load ~used candidates =
   let rec go count used acc candidates =
     if count = 0 then List.rev acc
     else
@@ -14,8 +17,18 @@ let pick_diverse ~count ~load ~used_zones candidates =
       | [] -> failwith "Allocator: not enough nodes to satisfy configuration"
       | _ ->
           let score (n : Topology.node) =
-            let zone_penalty = if List.mem n.zone used then 1 else 0 in
-            (zone_penalty, load n.id, n.id)
+            let zone_reuse =
+              List.length
+                (List.filter
+                   (fun (r, z) ->
+                     String.equal r n.region && String.equal z n.zone)
+                   used)
+            in
+            let region_reuse =
+              List.length
+                (List.filter (fun (r, _) -> String.equal r n.region) used)
+            in
+            (zone_reuse, region_reuse, load n.id, n.id)
           in
           let best =
             List.fold_left
@@ -27,9 +40,9 @@ let pick_diverse ~count ~load ~used_zones candidates =
           in
           let best = Option.get best in
           let rest = List.filter (fun (n : Topology.node) -> n.id <> best.id) candidates in
-          go (count - 1) (best.Topology.zone :: used) (best :: acc) rest
+          go (count - 1) ((best.Topology.region, best.Topology.zone) :: used) (best :: acc) rest
   in
-  go count used_zones [] candidates
+  go count used [] candidates
 
 let place ~topology ~latency ~load ~zone =
   let open Zoneconfig in
@@ -45,8 +58,11 @@ let place ~topology ~latency ~load ~zone =
          (fun (id, _) -> String.equal (Topology.region_of topology id) region)
          placed)
   in
-  let used_zones placed =
-    List.map (fun (id, _) -> Topology.zone_of topology id) placed
+  let used_localities placed =
+    List.map
+      (fun (id, _) ->
+        (Topology.region_of topology id, Topology.zone_of topology id))
+      placed
   in
   let home =
     match zone.lease_preferences with
@@ -69,7 +85,7 @@ let place ~topology ~latency ~load ~zone =
         |> List.filter (fun (n : Topology.node) -> not (Hashtbl.mem taken n.id))
       in
       let chosen =
-        pick_diverse ~count ~load:adjusted_load ~used_zones:(used_zones !placed)
+        pick_diverse ~count ~load:adjusted_load ~used:(used_localities !placed)
           candidates
       in
       List.iter (add Raft.Voter) chosen)
@@ -115,7 +131,7 @@ let place ~topology ~latency ~load ~zone =
               in
               let chosen =
                 pick_diverse ~count:1 ~load:adjusted_load
-                  ~used_zones:(used_zones !placed) candidates
+                  ~used:(used_localities !placed) candidates
               in
               List.iter (add Raft.Voter) chosen;
               top_up_voters ()
@@ -141,7 +157,7 @@ let place ~topology ~latency ~load ~zone =
             | _ ->
                 let chosen =
                   pick_diverse ~count:1 ~load:adjusted_load
-                    ~used_zones:(used_zones !placed) candidates
+                    ~used:(used_localities !placed) candidates
                 in
                 List.iter (add Raft.Voter) chosen
           end;
@@ -161,7 +177,7 @@ let place ~topology ~latency ~load ~zone =
         in
         let chosen =
           pick_diverse ~count:missing ~load:adjusted_load
-            ~used_zones:(used_zones !placed) candidates
+            ~used:(used_localities !placed) candidates
         in
         List.iter (add Raft.Learner) chosen
       end)
@@ -186,7 +202,7 @@ let place ~topology ~latency ~load ~zone =
         | cs -> cs
       in
       let chosen =
-        pick_diverse ~count:1 ~load:adjusted_load ~used_zones:(used_zones !placed)
+        pick_diverse ~count:1 ~load:adjusted_load ~used:(used_localities !placed)
           candidates
       in
       List.iter (add Raft.Learner) chosen;
@@ -195,6 +211,86 @@ let place ~topology ~latency ~load ~zone =
   in
   top_up ();
   !placed
+
+(* ------------------------------------------------------------------ *)
+(* Rebalancing *)
+
+(* Score a whole placement; lower is better. Lexicographic over
+   (constraint violations, diversity penalty, total load): the rebalancer
+   never trades a constraint for load. Dead replicas count as violations so
+   the pass replaces them. The diversity penalty is pairwise over replicas
+   and follows the locality hierarchy — a zone shared by two replicas costs
+   more than a merely shared region. *)
+let placement_score ~topology ~live ~load ~zone placement =
+  let open Zoneconfig in
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  let in_region region (id, _) =
+    String.equal (Topology.region_of topology id) region
+  in
+  let missing want have = max 0 (want - have) in
+  let violations =
+    List.fold_left
+      (fun acc (region, count) ->
+        acc + missing count (List.length (List.filter (in_region region) voters)))
+      0 zone.voter_constraints
+    + List.fold_left
+        (fun acc (region, count) ->
+          acc
+          + missing count (List.length (List.filter (in_region region) placement)))
+        0 zone.constraints
+    + List.length (List.filter (fun (id, _) -> not (live id)) placement)
+  in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  let diversity =
+    List.fold_left
+      (fun acc ((a, _), (b, _)) ->
+        let ra = Topology.region_of topology a
+        and rb = Topology.region_of topology b in
+        if not (String.equal ra rb) then acc
+        else if
+          String.equal (Topology.zone_of topology a) (Topology.zone_of topology b)
+        then acc + 3
+        else acc + 1)
+      0 (pairs placement)
+  in
+  let total_load = List.fold_left (fun acc (id, _) -> acc + load id) 0 placement in
+  (violations, diversity, total_load)
+
+type move = {
+  victim : Topology.node_id;
+  replacement : Topology.node_id;
+  kind : Raft.peer_kind;
+}
+
+let rebalance_move ~topology ~live ~load ~zone placement =
+  let current = placement_score ~topology ~live ~load ~zone placement in
+  let nodes = Array.to_list (Topology.nodes topology) in
+  let best = ref None in
+  List.iter
+    (fun (victim, kind) ->
+      List.iter
+        (fun (n : Topology.node) ->
+          if live n.id && not (List.mem_assoc n.id placement) then begin
+            let candidate =
+              List.map
+                (fun (id, k) -> if id = victim then (n.id, k) else (id, k))
+                placement
+            in
+            let s = placement_score ~topology ~live ~load ~zone candidate in
+            let better =
+              match !best with
+              | None -> s < current
+              | Some (bs, _) -> s < bs
+            in
+            if better then
+              best := Some (s, { victim; replacement = n.id; kind })
+          end)
+        nodes)
+    placement;
+  Option.map snd !best
 
 let preferred_leaseholder ~topology ~live ~zone placement =
   let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in

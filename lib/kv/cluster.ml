@@ -23,6 +23,7 @@ type config = {
   publish_interval : int;
   raft_election_timeout : int;
   raft_heartbeat_interval : int;
+  conflict_wait_timeout : int;
   jitter : float;
   seed : int;
 }
@@ -34,6 +35,7 @@ let default_config =
     publish_interval = 100_000;
     raft_election_timeout = 3_000_000;
     raft_heartbeat_interval = 1_000_000;
+    conflict_wait_timeout = 10_000_000;
     jitter = 0.05;
     seed = 0xC0C;
   }
@@ -63,7 +65,7 @@ type replica = {
 
 and range = {
   rg_id : range_id;
-  rg_span : string * string;
+  mutable rg_span : string * string;
   mutable rg_zone : Zoneconfig.t;
   mutable rg_policy : policy;
   rg_replicas : (int, replica) Hashtbl.t;
@@ -91,6 +93,11 @@ type t = {
   c_fr_hit : Metrics.counter array;
   c_fr_miss : Metrics.counter array;
   c_ct_publish : Metrics.counter array;
+  c_conflict_timeout : Metrics.counter array;
+  c_splits : Metrics.counter;
+  c_merges : Metrics.counter;
+  c_rebalances : Metrics.counter;
+  g_ranges : Metrics.gauge;
 }
 
 and diag = {
@@ -152,6 +159,12 @@ let create ?(config = default_config) ~topology ~latency () =
     c_fr_hit = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_hits");
     c_fr_miss = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_misses");
     c_ct_publish = Array.init n (fun i -> Metrics.counter m ~node:i "kv.ct_publishes");
+    c_conflict_timeout =
+      Array.init n (fun i -> Metrics.counter m ~node:i "kv.conflict_timeouts");
+    c_splits = Metrics.counter m "kv.splits";
+    c_merges = Metrics.counter m "kv.merges";
+    c_rebalances = Metrics.counter m "kv.rebalances";
+    g_ranges = Metrics.gauge m "kv.ranges";
   }
 
 let sim t = t.sim
@@ -300,8 +313,6 @@ let wake_waiters r key =
   | Some _ -> ()
   | None -> ()
 
-let conflict_wait_timeout = 10_000_000
-
 (* Bound on waiting for a proposed command to apply locally. A proposal can
    be lost forever when its leader is deposed or crash-restarts before the
    entry commits (a restart wipes the volatile log tail's completion ivars);
@@ -317,9 +328,12 @@ let wait_for_resolve t r key =
   (match Hashtbl.find_opt r.r_resolve_waiters key with
   | Some ivars -> ivars := iv :: !ivars
   | None -> Hashtbl.replace r.r_resolve_waiters key (ref [ iv ]));
-  match Proc.await_timeout t.sim iv ~timeout:conflict_wait_timeout with
+  match Proc.await_timeout t.sim iv ~timeout:t.cfg.conflict_wait_timeout with
   | Some () -> true
-  | None -> false
+  | None ->
+      t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
+      Metrics.inc t.c_conflict_timeout.(r.r_node);
+      false
 
 let release_lock r key txn =
   match Hashtbl.find_opt r.r_locks key with
@@ -328,35 +342,63 @@ let release_lock r key txn =
       List.iter (fun iv -> ignore (Ivar.try_fill iv ())) l.l_waiters
   | Some _ | None -> ()
 
-let wait_for_lock t l =
+let wait_for_lock t r l =
   t.diag.d_lock_waits <- t.diag.d_lock_waits + 1;
   let iv = Ivar.create () in
   l.l_waiters <- iv :: l.l_waiters;
-  match Proc.await_timeout t.sim iv ~timeout:conflict_wait_timeout with
+  match Proc.await_timeout t.sim iv ~timeout:t.cfg.conflict_wait_timeout with
   | Some () -> true
   | None ->
       t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
+      Metrics.inc t.c_conflict_timeout.(r.r_node);
       false
 
 (* ------------------------------------------------------------------ *)
 (* Command application (the replicated state machine)                  *)
 
-let apply_cmd r cmd =
+let in_span rg key =
+  let s, e = rg.rg_span in
+  String.compare key s >= 0 && String.compare key e < 0
+
+let apply_cmd t r cmd =
   r.r_applied_closed <- Ts.max r.r_applied_closed cmd.closed;
+  (* A log entry can predate a split or merge of its range, in which case
+     the key no longer belongs to the log owner's span. Route the effect to
+     this node's replica of the current owner: the owner's store was seeded
+     with the committed prefix at the split, so replay there is idempotent.
+     With no owner replica on this node the effect is dropped — the owning
+     group carries the authoritative state. *)
+  let owner key =
+    if (not r.r_range.rg_dropped) && in_span r.r_range key then Some r
+    else
+      match Smap.find_last_opt (fun s -> String.compare s key <= 0) t.routing with
+      | None -> None
+      | Some (_, rid) -> (
+          match Hashtbl.find_opt t.ranges_tbl rid with
+          | Some rg when (not rg.rg_dropped) && in_span rg key ->
+              replica_at rg r.r_node
+          | Some _ | None -> None)
+  in
   (match cmd.op with
   | Op_put { txn; ts; key; value } -> (
-      match Mvcc.put_intent r.r_store ~key ~txn_id:txn ~ts ~value with
-      | Mvcc.Written -> ()
-      | Mvcc.Write_blocked _ ->
-          (* The leaseholder's lock table serializes writers, so a foreign
-             intent here means replay after a lease transfer; drop it. *)
-          ())
+      match owner key with
+      | None -> ()
+      | Some owner -> (
+          match Mvcc.put_intent owner.r_store ~key ~txn_id:txn ~ts ~value with
+          | Mvcc.Written -> ()
+          | Mvcc.Write_blocked _ ->
+              (* The leaseholder's lock table serializes writers, so a foreign
+                 intent here means replay after a lease transfer; drop it. *)
+              ()))
   | Op_resolve { txn; keys; commit } ->
       List.iter
         (fun key ->
-          Mvcc.resolve_intent r.r_store ~key ~txn_id:txn ~commit;
-          release_lock r key txn;
-          wake_waiters r key)
+          match owner key with
+          | None -> ()
+          | Some owner ->
+              Mvcc.resolve_intent owner.r_store ~key ~txn_id:txn ~commit;
+              release_lock owner key txn;
+              wake_waiters owner key)
         keys);
   promote_side r;
   if cmd.proposer = r.r_node then ignore (Ivar.try_fill cmd.done_ ())
@@ -450,7 +492,7 @@ and raft_callbacks t rg r =
                 Clock.update t.clocks.(r.r_node) c
             | Op_resolve { commit = None; _ } -> ())
         | Lead -> ());
-        apply_cmd r cmd);
+        apply_cmd t r cmd);
     on_role =
       (fun role ->
         match role with
@@ -501,8 +543,12 @@ and raft_callbacks t rg r =
     on_config =
       (fun change ->
         if not (List.mem_assoc r.r_node change) then begin
-          Hashtbl.remove rg.rg_replicas r.r_node;
-          t.load.(r.r_node) <- max 0 (t.load.(r.r_node) - 1)
+          (* May already have been reaped by [rebalance_step] (a dead
+             victim never applies its own removal); only account once. *)
+          if Hashtbl.mem rg.rg_replicas r.r_node then begin
+            Hashtbl.remove rg.rg_replicas r.r_node;
+            t.load.(r.r_node) <- max 0 (t.load.(r.r_node) - 1)
+          end
         end
         else begin
           match r.r_raft with
@@ -563,6 +609,12 @@ and add_replica t rg node ~preferred =
 (* ------------------------------------------------------------------ *)
 (* Range administration                                                *)
 
+let note_range_count t =
+  Metrics.set t.g_ranges
+    (Hashtbl.fold
+       (fun _ rg n -> if rg.rg_dropped then n else n + 1)
+       t.ranges_tbl 0)
+
 let add_range t ~span ~zone ~policy =
   let start_key, end_key = span in
   if String.compare start_key end_key >= 0 then
@@ -608,10 +660,14 @@ let add_range t ~span ~zone ~policy =
     (fun (node, _) ->
       let r = Hashtbl.find rg.rg_replicas node in
       let raft =
+        (* The boundary places the group's (possibly out-of-band seeded)
+           initial state behind a snapshot index, so replicas added later
+           are seeded with a store snapshot rather than replaying a log
+           that does not contain it (bulk loads, split forks). *)
         Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers:placement
           ~callbacks:(raft_callbacks t rg r) ~obs:t.obs ~range:rg.rg_id
           ~election_timeout:t.cfg.raft_election_timeout
-          ~heartbeat_interval:t.cfg.raft_heartbeat_interval ()
+          ~heartbeat_interval:t.cfg.raft_heartbeat_interval ~boundary:(1, 0) ()
       in
       r.r_raft <- Some raft)
     placement;
@@ -625,6 +681,7 @@ let add_range t ~span ~zone ~policy =
           | None -> Raft.start raft)
       | None -> ())
     placement;
+  note_range_count t;
   rid
 
 let range_opt t rid =
@@ -719,7 +776,361 @@ let drop_range t rid =
     rg.rg_replicas;
   let start_key, _ = rg.rg_span in
   t.routing <- Smap.remove start_key t.routing;
-  Hashtbl.remove t.ranges_tbl rid
+  Hashtbl.remove t.ranges_tbl rid;
+  note_range_count t
+
+(* ------------------------------------------------------------------ *)
+(* Range lifecycle: splits, merges, rebalancing                        *)
+
+(* Split [rid] at key [at], forking its state into a new right-hand range
+   covering [at, end). Runs synchronously (no simulated time passes), so
+   the handoff is atomic with respect to every other process:
+
+   - MVCC state: every replica's store drops its records at or above [at];
+     every right-hand replica is seeded from the leaseholder's fork, which
+     reflects every committed write (the leader applies on commit). A
+     lagging follower re-learns any delta by replaying the left log, whose
+     entries are routed to the current owner at apply time.
+   - Timestamp cache: the right range's low water is the left cache's
+     maximum read over [at, end), so no write the right leaseholder admits
+     can invalidate a read the left one served.
+   - Closed timestamps: the right range inherits the left's closed target,
+     and each right replica its co-located left replica's closed timestamp;
+     writes the right leaseholder admits are pushed above the inherited
+     target, so follower reads stay safe across the split.
+   - Locks and parked intent waiters at or above [at] move to the right
+     replicas; waiters re-resolve their key when woken and retry there.
+   - The right Raft group reuses the left peer set, starts behind a
+     snapshot boundary covering the seeded state, and campaigns first on
+     the left leaseholder's node (lease handoff).
+
+   Returns the new right-hand range id, or [None] when the left range has
+   no leaseholder to fork from. *)
+let split_range t rid ~at =
+  let rg = range t rid in
+  let s, e = rg.rg_span in
+  if not (String.compare at s > 0 && String.compare at e < 0) then
+    invalid_arg "Cluster.split_range: split key outside span";
+  match leader_replica t rid with
+  | None -> None
+  | Some lr ->
+      let peers =
+        match lr.r_raft with Some raft -> Raft.peers raft | None -> []
+      in
+      let seed = ref (Mvcc.create ()) in
+      Hashtbl.iter
+        (fun node r ->
+          let part = Mvcc.split_off r.r_store ~key:at in
+          if node = lr.r_node then seed := part)
+        rg.rg_replicas;
+      let seed = !seed in
+      let new_rid = t.next_range_id in
+      t.next_range_id <- new_rid + 1;
+      let right =
+        {
+          rg_id = new_rid;
+          rg_span = (at, e);
+          rg_zone = rg.rg_zone;
+          rg_policy = rg.rg_policy;
+          rg_replicas = Hashtbl.create 8;
+          rg_closed_target = rg.rg_closed_target;
+          rg_tscache =
+            Tscache.create
+              ~low_water:
+                (Tscache.max_read_span rg.rg_tscache ~for_txn:None
+                   ~start_key:at ~end_key:e);
+          rg_dropped = false;
+        }
+      in
+      Hashtbl.replace t.ranges_tbl new_rid right;
+      rg.rg_span <- (s, at);
+      t.routing <- Smap.add at new_rid t.routing;
+      Hashtbl.iter
+        (fun node lrep ->
+          if List.mem_assoc node peers then begin
+            let rrep = make_replica t right node in
+            Mvcc.replace_with rrep.r_store seed;
+            rrep.r_applied_closed <- replica_closed lrep;
+            let moved_locks =
+              Hashtbl.fold
+                (fun key l acc ->
+                  if String.compare key at >= 0 then (key, l) :: acc else acc)
+                lrep.r_locks []
+            in
+            List.iter
+              (fun (key, l) ->
+                Hashtbl.remove lrep.r_locks key;
+                Hashtbl.replace rrep.r_locks key l)
+              moved_locks;
+            let moved_waiters =
+              Hashtbl.fold
+                (fun key ws acc ->
+                  if String.compare key at >= 0 then (key, ws) :: acc else acc)
+                lrep.r_resolve_waiters []
+            in
+            List.iter
+              (fun (key, ws) ->
+                Hashtbl.remove lrep.r_resolve_waiters key;
+                Hashtbl.replace rrep.r_resolve_waiters key ws)
+              moved_waiters
+          end)
+        rg.rg_replicas;
+      Hashtbl.iter
+        (fun node rrep ->
+          let raft =
+            Raft.create ~sim:t.sim ~rng:(Rng.split t.rng) ~id:node ~peers
+              ~callbacks:(raft_callbacks t right rrep) ~obs:t.obs
+              ~range:new_rid ~election_timeout:t.cfg.raft_election_timeout
+              ~heartbeat_interval:t.cfg.raft_heartbeat_interval
+              ~boundary:(1, 0) ()
+          in
+          rrep.r_raft <- Some raft)
+        right.rg_replicas;
+      Hashtbl.iter
+        (fun _ rrep ->
+          match rrep.r_raft with
+          | Some raft -> Raft.start ~preferred:lr.r_node raft
+          | None -> ())
+        right.rg_replicas;
+      Metrics.inc t.c_splits;
+      Trace.event (Obs.trace t.obs) ~node:lr.r_node ~range:rid "kv.split"
+        ~attrs:[ ("at", at); ("right", string_of_int new_rid) ];
+      note_range_count t;
+      Some new_rid
+
+(* Merge [rid] with its right-hand neighbor (the range starting exactly at
+   its end key), subsuming the neighbor. Requires structurally equal zone
+   configs and policies and a live leaseholder on both sides. Also runs
+   synchronously:
+
+   - MVCC state: the right leaseholder's store — complete for every
+     committed right-span write — is absorbed into every left replica.
+   - Timestamp cache: the left cache's low water ratchets over the right
+     cache's maximum read, so writes admitted after the merge cannot
+     invalidate reads the right leaseholder served.
+   - Closed timestamps: the merged target is the max of both sides; new
+     writes are pushed above it, so an old left closed timestamp never
+     exposes a torn view of the absorbed span.
+   - The right leaseholder's locks move to the left leaseholder replica;
+     every waiter parked on the dying range is woken and re-resolves.
+   - In-flight right-range proposals die with the group: never committed,
+     never acked, and their transactions retry against the merged range.
+
+   Returns [false] (leaving the ranges untouched) when the neighbor is
+   missing or incompatible, or either side lacks a leaseholder. *)
+let merge_range t rid =
+  match range_opt t rid with
+  | None -> false
+  | Some rg -> (
+      let s, e = rg.rg_span in
+      match Smap.find_opt e t.routing with
+      | None -> false
+      | Some right_rid -> (
+          match range_opt t right_rid with
+          | None -> false
+          | Some right -> (
+              if
+                not
+                  (rg.rg_zone = right.rg_zone && rg.rg_policy = right.rg_policy)
+              then false
+              else
+                match (leader_replica t rid, leader_replica t right_rid) with
+                | Some ll, Some rl ->
+                    let _, re = right.rg_span in
+                    Hashtbl.iter
+                      (fun _ lrep -> Mvcc.absorb lrep.r_store rl.r_store)
+                      rg.rg_replicas;
+                    Hashtbl.iter
+                      (fun key l -> Hashtbl.replace ll.r_locks key l)
+                      rl.r_locks;
+                    Hashtbl.iter
+                      (fun _ rrep ->
+                        Hashtbl.iter
+                          (fun _ l ->
+                            List.iter
+                              (fun iv -> ignore (Ivar.try_fill iv () : bool))
+                              l.l_waiters)
+                          rrep.r_locks;
+                        Hashtbl.iter
+                          (fun _ ws ->
+                            List.iter
+                              (fun iv -> ignore (Ivar.try_fill iv () : bool))
+                              !ws)
+                          rrep.r_resolve_waiters)
+                      right.rg_replicas;
+                    Tscache.bump_low_water rg.rg_tscache
+                      (Tscache.max_read_span right.rg_tscache ~for_txn:None
+                         ~start_key:e ~end_key:re);
+                    rg.rg_closed_target <-
+                      Ts.max rg.rg_closed_target right.rg_closed_target;
+                    right.rg_dropped <- true;
+                    Hashtbl.iter
+                      (fun node rrep ->
+                        (match rrep.r_raft with
+                        | Some raft -> Raft.stop raft
+                        | None -> ());
+                        t.load.(node) <- max 0 (t.load.(node) - 1))
+                      right.rg_replicas;
+                    t.routing <- Smap.remove e t.routing;
+                    Hashtbl.remove t.ranges_tbl right_rid;
+                    rg.rg_span <- (s, re);
+                    Metrics.inc t.c_merges;
+                    Trace.event (Obs.trace t.obs) ~node:ll.r_node ~range:rid
+                      "kv.merge"
+                      ~attrs:[ ("subsumed", string_of_int right_rid) ];
+                    note_range_count t;
+                    true
+                | (Some _ | None), (Some _ | None) -> false)))
+
+(* A reasonable split point: the median live key of the leaseholder's
+   store, or [None] when the range holds too few keys to split. *)
+let split_point t rid =
+  match range_opt t rid with
+  | None -> None
+  | Some rg -> (
+      match leader_replica t rid with
+      | None -> None
+      | Some lr ->
+          let keys =
+            Mvcc.fold_latest lr.r_store ~init:[] ~f:(fun acc k _ -> k :: acc)
+          in
+          let keys = List.rev keys in
+          let n = List.length keys in
+          if n < 2 then None
+          else
+            let at = List.nth keys (n / 2) in
+            let s, _ = rg.rg_span in
+            if String.compare at s > 0 then Some at else None)
+
+let ranges_in_span t ~start_key ~end_key =
+  Smap.fold
+    (fun _ rid acc ->
+      match Hashtbl.find_opt t.ranges_tbl rid with
+      | Some rg when not rg.rg_dropped ->
+          let s, e = rg.rg_span in
+          if String.compare s end_key < 0 && String.compare start_key e < 0
+          then rid :: acc
+          else acc
+      | Some _ | None -> acc)
+    t.routing []
+  |> List.rev
+
+(* One allocator-driven rebalance step: if the current placement can be
+   improved, add the replacement replica via a single-step Raft config
+   change and remove the victim once the replacement has caught up. The
+   leaseholder is never removed out from under itself — when it is the
+   victim, the lease moves to another live voter first and a later pass
+   moves the replica. Returns [true] iff a step was initiated. *)
+let rebalance_step t rid =
+  match range_opt t rid with
+  | None -> false
+  | Some rg -> (
+      match leader_replica t rid with
+      | None -> false
+      | Some lr -> (
+          match lr.r_raft with
+          | None -> false
+          | Some raft -> (
+              let placement = Raft.peers raft in
+              (* Score candidates by the load a node carries *besides* this
+                 range: a member's own replica must not make every empty
+                 node look like an improvement, or the allocator ping-pongs
+                 replicas between idle nodes forever. *)
+              let other_load n =
+                if List.mem_assoc n placement then max 0 (t.load.(n) - 1)
+                else t.load.(n)
+              in
+              match
+                Allocator.rebalance_move ~topology:t.topo
+                  ~live:(Transport.is_alive t.net)
+                  ~load:other_load ~zone:rg.rg_zone placement
+              with
+              | None -> false
+              | Some { Allocator.victim; replacement; kind } ->
+                  if victim = lr.r_node then begin
+                    match
+                      List.find_opt
+                        (fun (n, k) ->
+                          k = Raft.Voter && n <> lr.r_node
+                          && Transport.is_alive t.net n)
+                        placement
+                    with
+                    | None -> false
+                    | Some (target, _) ->
+                        note_lease_transfer t ~node:lr.r_node ~range:rid
+                          ~target;
+                        Raft.transfer_leadership raft target;
+                        true
+                  end
+                  else begin
+                    match Raft.add_peer raft replacement kind with
+                    | None -> false
+                    | Some _ ->
+                        Metrics.inc t.c_rebalances;
+                        Trace.event (Obs.trace t.obs) ~node:lr.r_node
+                          ~range:rid "kv.rebalance"
+                          ~attrs:
+                            [
+                              ("victim", string_of_int victim);
+                              ("replacement", string_of_int replacement);
+                            ];
+                        let goal = Raft.commit_index raft in
+                        (* A dead victim never applies its own removal, so
+                           its replica object must be reaped here; a live
+                           one removes itself in [on_config] first, making
+                           this a no-op (guarded by presence). *)
+                        let reap_victim rg =
+                          match replica_at rg victim with
+                          | Some vr ->
+                              (match vr.r_raft with
+                              | Some vraft -> Raft.stop vraft
+                              | None -> ());
+                              Hashtbl.remove rg.rg_replicas victim;
+                              t.load.(victim) <- max 0 (t.load.(victim) - 1)
+                          | None -> ()
+                        in
+                        let rec finish attempts =
+                          match range_opt t rid with
+                          | None -> ()
+                          | Some rg ->
+                              let caught_up =
+                                match replica_at rg replacement with
+                                | Some rr -> (
+                                    match rr.r_raft with
+                                    | Some rraft ->
+                                        Raft.applied_index rraft >= goal
+                                    | None -> false)
+                                | None -> false
+                              in
+                              let removed =
+                                match leader_replica t rid with
+                                | Some l2 -> (
+                                    match l2.r_raft with
+                                    | Some raft2 ->
+                                        (not
+                                           (List.mem_assoc victim
+                                              (Raft.peers raft2)))
+                                        || (caught_up && l2.r_node <> victim
+                                           && Raft.remove_peer raft2 victim
+                                              <> None)
+                                    | None -> false)
+                                | None -> false
+                              in
+                              if removed then
+                                (* Give a live victim time to apply its own
+                                   removal, then reap whatever is left. *)
+                                Sim.schedule t.sim ~after:2_000_000 (fun () ->
+                                    match range_opt t rid with
+                                    | Some rg -> reap_victim rg
+                                    | None -> ())
+                              else if attempts > 0 then
+                                Sim.schedule t.sim ~after:500_000 (fun () ->
+                                    finish (attempts - 1))
+                        in
+                        Sim.schedule t.sim ~after:500_000 (fun () ->
+                            finish 40);
+                        true
+                  end)))
 
 let rebalance_leases t =
   Hashtbl.iter
@@ -903,11 +1314,26 @@ type scan_result =
 let rpc_timeout = 30_000_000
 let op_deadline = 120_000_000
 
-let with_leaseholder t ~gateway ?(span = Trace.nil) ~op rid
+(* Route [op] for [key] to the current leaseholder of the key's range. The
+   key → range binding is re-resolved on every attempt, never cached, so an
+   operation survives splits, merges, and rebalances landing while it is
+   queued, waiting on a conflict, or in flight: an eval that finds its
+   replica no longer owns the key answers [`Range_mismatch] and the gateway
+   immediately retries against the new owner. *)
+let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
     ~(on_fail : string -> 'a)
-    (eval : replica -> Trace.span -> [ `Done of 'a | `Not_leader ]) : 'a =
+    (eval :
+      replica -> Trace.span -> [ `Done of 'a | `Not_leader | `Range_mismatch ])
+    : 'a =
   let tr = Obs.trace t.obs in
-  let sp = Trace.span tr ~parent:span ~node:gateway ~range:rid op in
+  let sp =
+    let range =
+      match range_of_key t key with
+      | rid -> Some rid
+      | exception Not_found -> None
+    in
+    Trace.span tr ~parent:span ~node:gateway ?range op
+  in
   let deadline = Sim.now t.sim + op_deadline in
   let rec go () =
     if Sim.now t.sim > deadline then begin
@@ -916,34 +1342,45 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ~op rid
       on_fail "range unavailable: no leaseholder"
     end
     else
-      match leaseholder t rid with
-      | None ->
-          t.diag.d_lh_misses <- t.diag.d_lh_misses + 1;
-          Proc.sleep t.sim 250_000;
-          go ()
-      | Some lh -> (
-          let rg = range t rid in
-          match replica_at rg lh with
+      match range_of_key t key with
+      | exception Not_found ->
+          Trace.annotate sp "error" "no range";
+          Trace.finish tr sp;
+          on_fail ("no range for key " ^ key)
+      | rid -> (
+          match leaseholder t rid with
           | None ->
+              t.diag.d_lh_misses <- t.diag.d_lh_misses + 1;
               Proc.sleep t.sim 250_000;
               go ()
-          | Some r -> (
-              let reply =
-                Transport.rpc ~span:sp t.net ~src:gateway ~dst:lh (fun out ->
-                    Proc.spawn t.sim (fun () ->
-                        ignore (Ivar.try_fill out (eval r sp) : bool)))
-              in
-              match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
-              | Some (`Done res) ->
-                  Trace.finish tr sp;
-                  res
-              | Some `Not_leader ->
-                  t.diag.d_not_leader <- t.diag.d_not_leader + 1;
-                  Proc.sleep t.sim 100_000;
-                  go ()
+          | Some lh -> (
+              let rg = range t rid in
+              match replica_at rg lh with
               | None ->
-                  t.diag.d_rpc_timeouts <- t.diag.d_rpc_timeouts + 1;
-                  go ()))
+                  Proc.sleep t.sim 250_000;
+                  go ()
+              | Some r -> (
+                  let reply =
+                    Transport.rpc ~span:sp t.net ~src:gateway ~dst:lh
+                      (fun out ->
+                        Proc.spawn t.sim (fun () ->
+                            ignore (Ivar.try_fill out (eval r sp) : bool)))
+                  in
+                  match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
+                  | Some (`Done res) ->
+                      Trace.finish tr sp;
+                      res
+                  | Some `Range_mismatch ->
+                      (* The range split, merged, or was dropped while the
+                         request was in flight; re-resolve and retry now. *)
+                      go ()
+                  | Some `Not_leader ->
+                      t.diag.d_not_leader <- t.diag.d_not_leader + 1;
+                      Proc.sleep t.sim 100_000;
+                      go ()
+                  | None ->
+                      t.diag.d_rpc_timeouts <- t.diag.d_rpc_timeouts + 1;
+                      go ())))
   in
   go ()
 
@@ -959,7 +1396,8 @@ let foreign_lock r ~txn ~key ~max_ts =
   | Some _ | None -> None
 
 let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
   else
     (* Observed timestamps: values above the leaseholder's own clock cannot
        have committed before this request arrived, so they are outside the
@@ -977,7 +1415,8 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
     in
     match foreign_lock r ~txn ~key ~max_ts with
     | Some l ->
-        if wait_for_lock t l then eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
+        if wait_for_lock t r l then
+          eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
         else `Done (Read_err "conflict timeout")
     | None -> (
         match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
@@ -997,12 +1436,9 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
             else `Done (Read_uncertain { value_ts }))
 
 let read t ?(inline_bump = false) ?span ~gateway ~txn ~key ~ts ~max_ts () =
-  match range_of_key t key with
-  | rid ->
-      with_leaseholder t ~gateway ?span ~op:"kv.read" rid
-        ~on_fail:(fun msg -> Read_err msg)
-        (fun r _sp -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
-  | exception Not_found -> Read_err ("no range for key " ^ key)
+  with_leaseholder t ~gateway ?span ~op:"kv.read" ~key
+    ~on_fail:(fun msg -> Read_err msg)
+    (fun r _sp -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
 
 let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
   match range_of_key t key with
@@ -1024,7 +1460,11 @@ let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
       in
       let rg = range t rid in
       let eval r =
-        if Ts.(replica_closed r >= max_ts) then
+        (* A split or merge may land between resolution and evaluation;
+           redirect to the gateway path, which re-resolves the key. *)
+        if r.r_range.rg_dropped || not (in_span r.r_range key) then
+          Read_redirect
+        else if Ts.(replica_closed r >= max_ts) then
           match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
           | Mvcc.Value { value; ts = vts } -> Read_value { value; ts = vts }
           | Mvcc.Uncertain { value_ts } -> Read_uncertain { value_ts }
@@ -1059,8 +1499,13 @@ let clamp_span rg ~start_key ~end_key =
   (lo, hi)
 
 let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped || not (in_span r.r_range start_key) then
+    `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
   else begin
+    (* A scan covers at most one range: clamp to the replica's current span
+       (re-clamped on every retry, since a split may have shrunk it). *)
+    let start_key, end_key = clamp_span r.r_range ~start_key ~end_key in
     let max_ts =
       match r.r_range.rg_policy with
       | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
@@ -1092,7 +1537,7 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
     in
     match (locked, blocked) with
     | Some l, _ ->
-        if wait_for_lock t l then
+        if wait_for_lock t r l then
           eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
         else `Done (Scan_err "conflict timeout")
     | None, Some (key, _) ->
@@ -1128,101 +1573,177 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
             `Done (Scan_rows out))
   end
 
+(* Position [cursor] on a key some live range owns: [cursor] itself, the
+   start of the next range if [cursor] falls in a routing gap and that
+   start is still below [end_key], or [None] when the rest of the request
+   span is uncovered. *)
+let next_covered t ~cursor ~end_key =
+  match range_of_key t cursor with
+  | _ -> Some cursor
+  | exception Not_found -> (
+      match
+        Smap.find_first_opt (fun s -> String.compare s cursor > 0) t.routing
+      with
+      | Some (s, _) when String.compare s end_key < 0 -> Some s
+      | Some _ | None -> None)
+
 let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
-  match range_of_key t start_key with
-  | exception Not_found -> Scan_err ("no range for key " ^ start_key)
-  | rid ->
-      let rg = range t rid in
-      let start_key, end_key = clamp_span rg ~start_key ~end_key in
-      with_leaseholder t ~gateway ?span ~op:"kv.scan" rid
-        ~on_fail:(fun msg -> Scan_err msg)
-        (fun r _sp -> eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit)
+  (* The request span may cover several ranges (splits land at any time):
+     scan left to right, one leaseholder fragment at a time. Each fragment's
+     eval reports the range end it was clamped to, which is where the next
+     fragment starts under the routing in force at evaluation time. *)
+  let rec go acc cursor remaining =
+    let finished () = Scan_rows (List.rev acc) in
+    if String.compare cursor end_key >= 0 then finished ()
+    else if match remaining with Some n -> n <= 0 | None -> false then
+      finished ()
+    else
+      match next_covered t ~cursor ~end_key with
+      | None ->
+          if acc = [] then Scan_err ("no range for key " ^ cursor)
+          else finished ()
+      | Some cursor -> (
+          match
+            with_leaseholder t ~gateway ?span ~op:"kv.scan" ~key:cursor
+              ~on_fail:(fun msg -> (Scan_err msg, end_key))
+              (fun r _sp ->
+                match
+                  eval_scan t r ~txn ~start_key:cursor ~end_key ~ts ~max_ts
+                    ~limit:remaining
+                with
+                | (`Not_leader | `Range_mismatch) as other -> other
+                | `Done res -> `Done (res, snd r.r_range.rg_span))
+          with
+          | Scan_rows rows, next ->
+              let remaining =
+                Option.map (fun n -> n - List.length rows) remaining
+              in
+              go (List.rev_append rows acc) next remaining
+          | ((Scan_uncertain _ | Scan_redirect | Scan_err _) as res), _ ->
+              (* Propagate; the transaction restarts the whole scan. *)
+              res)
+  in
+  go [] start_key limit
 
 let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
     ~max_ts ~limit () =
   match range_of_key t start_key with
   | exception Not_found -> Scan_err ("no range for key " ^ start_key)
-  | rid -> (
-      let tr = Obs.trace t.obs in
-      let sp =
-        Trace.span tr ~parent:span ~node:at ~range:rid "kv.follower_scan"
-      in
-      let note res =
-        (match res with
-        | Scan_rows _ | Scan_uncertain _ -> Metrics.inc t.c_fr_hit.(at)
-        | Scan_redirect ->
-            Trace.annotate sp "redirect" "true";
-            Metrics.inc t.c_fr_miss.(at)
-        | Scan_err _ -> ());
-        Trace.finish tr sp;
-        res
-      in
-      let rg = range t rid in
-      let start_key, end_key = clamp_span rg ~start_key ~end_key in
-      let eval r =
-        if not Ts.(replica_closed r >= max_ts) then Scan_redirect
-        else begin
-          let rows =
-            Mvcc.scan r.r_store ~start_key ~end_key ~ts ~max_ts ~for_txn:txn
-              ~limit
-          in
-          let has_block =
-            List.exists
-              (fun (_, o) ->
-                match o with Mvcc.Intent_blocked _ -> true | _ -> false)
-              rows
-          in
-          if has_block then Scan_redirect
-          else
-            let uncertain =
-              List.fold_left
-                (fun acc (_, o) ->
-                  match o with
-                  | Mvcc.Uncertain { value_ts } -> (
-                      match acc with
-                      | None -> Some value_ts
-                      | Some best -> Some (Ts.max best value_ts))
-                  | Mvcc.Value _ | Mvcc.Intent_blocked _ -> acc)
-                None rows
+  | _ ->
+      (* Stitched like {!scan}: one fragment per covering range, each served
+         by the local (or nearest) replica, redirecting the whole request if
+         any fragment cannot be served locally. *)
+      let one_fragment ~cursor =
+        match range_of_key t cursor with
+        | exception Not_found -> (Scan_err ("no range for key " ^ cursor), end_key)
+        | rid -> (
+            let tr = Obs.trace t.obs in
+            let sp =
+              Trace.span tr ~parent:span ~node:at ~range:rid
+                "kv.follower_scan"
             in
-            match uncertain with
-            | Some value_ts -> Scan_uncertain { value_ts }
-            | None ->
-                Scan_rows
-                  (List.filter_map
-                     (fun (key, o) ->
-                       match o with
-                       | Mvcc.Value { value = Some v; _ } -> Some (key, v)
-                       | Mvcc.Value { value = None; _ }
-                       | Mvcc.Uncertain _ | Mvcc.Intent_blocked _ -> None)
-                     rows)
-        end
-      in
-      match replica_at rg at with
-      | Some r ->
-          Proc.sleep t.sim 50;
-          note (eval r)
-      | None -> (
-          match nearest_replica t rid ~from:at with
-          | None -> note (Scan_err "no live replica")
-          | Some node -> (
-              match replica_at rg node with
-              | None -> note (Scan_err "no live replica")
-              | Some r -> (
-                  let reply =
-                    Transport.rpc ~span:sp t.net ~src:at ~dst:node (fun out ->
-                        Ivar.fill out (eval r))
+            let note ((res, _) as out) =
+              (match res with
+              | Scan_rows _ | Scan_uncertain _ -> Metrics.inc t.c_fr_hit.(at)
+              | Scan_redirect ->
+                  Trace.annotate sp "redirect" "true";
+                  Metrics.inc t.c_fr_miss.(at)
+              | Scan_err _ -> ());
+              Trace.finish tr sp;
+              out
+            in
+            let rg = range t rid in
+            let eval r =
+              if r.r_range.rg_dropped || not (in_span r.r_range cursor) then
+                (Scan_redirect, end_key)
+              else if not Ts.(replica_closed r >= max_ts) then
+                (Scan_redirect, end_key)
+              else begin
+                let start_key, end_key =
+                  clamp_span r.r_range ~start_key:cursor ~end_key
+                in
+                let rows =
+                  Mvcc.scan r.r_store ~start_key ~end_key ~ts ~max_ts
+                    ~for_txn:txn ~limit
+                in
+                let has_block =
+                  List.exists
+                    (fun (_, o) ->
+                      match o with Mvcc.Intent_blocked _ -> true | _ -> false)
+                    rows
+                in
+                let next = snd r.r_range.rg_span in
+                if has_block then (Scan_redirect, next)
+                else
+                  let uncertain =
+                    List.fold_left
+                      (fun acc (_, o) ->
+                        match o with
+                        | Mvcc.Uncertain { value_ts } -> (
+                            match acc with
+                            | None -> Some value_ts
+                            | Some best -> Some (Ts.max best value_ts))
+                        | Mvcc.Value _ | Mvcc.Intent_blocked _ -> acc)
+                      None rows
                   in
-                  match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
-                  | Some res -> note res
-                  | None -> note (Scan_err "follower scan timeout")))))
+                  match uncertain with
+                  | Some value_ts -> (Scan_uncertain { value_ts }, next)
+                  | None ->
+                      ( Scan_rows
+                          (List.filter_map
+                             (fun (key, o) ->
+                               match o with
+                               | Mvcc.Value { value = Some v; _ } ->
+                                   Some (key, v)
+                               | Mvcc.Value { value = None; _ }
+                               | Mvcc.Uncertain _ | Mvcc.Intent_blocked _ ->
+                                   None)
+                             rows),
+                        next )
+              end
+            in
+            match replica_at rg at with
+            | Some r ->
+                Proc.sleep t.sim 50;
+                note (eval r)
+            | None -> (
+                match nearest_replica t rid ~from:at with
+                | None -> note (Scan_err "no live replica", end_key)
+                | Some node -> (
+                    match replica_at rg node with
+                    | None -> note (Scan_err "no live replica", end_key)
+                    | Some r -> (
+                        let reply =
+                          Transport.rpc ~span:sp t.net ~src:at ~dst:node
+                            (fun out -> Ivar.fill out (eval r))
+                        in
+                        match
+                          Proc.await_timeout t.sim reply ~timeout:rpc_timeout
+                        with
+                        | Some res -> note res
+                        | None -> note (Scan_err "follower scan timeout", end_key)
+                        ))))
+      in
+      let rec go acc cursor =
+        if String.compare cursor end_key >= 0 then Scan_rows (List.rev acc)
+        else
+          match next_covered t ~cursor ~end_key with
+          | None -> Scan_rows (List.rev acc)
+          | Some cursor -> (
+              match one_fragment ~cursor with
+              | Scan_rows rows, next -> go (List.rev_append rows acc) next
+              | ((Scan_uncertain _ | Scan_redirect | Scan_err _) as res), _ ->
+                  res)
+      in
+      go [] start_key
 
 let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
   else
     match Hashtbl.find_opt r.r_locks key with
     | Some l when l.l_txn <> txn ->
-        if wait_for_lock t l then
+        if wait_for_lock t r l then
           eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
         else `Done (Error "conflict timeout")
     | existing -> (
@@ -1313,7 +1834,7 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
     eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value
       ~ts ~span
   with
-  | (`Not_leader | `Done (Error _)) as other -> other
+  | (`Not_leader | `Range_mismatch | `Done (Error _)) as other -> other
   | `Done (Ok final_ts) -> (
       match r.r_raft with
       | None -> `Not_leader
@@ -1347,63 +1868,81 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
               | None -> `Done (Error "proposal lost (leader gone)")))
 
 let write_and_commit t ?span ~gateway ~txn ~key ~value ~ts () =
-  match range_of_key t key with
-  | exception Not_found -> Error ("no range for key " ^ key)
-  | rid ->
-      with_leaseholder t ~gateway ?span ~op:"kv.write_1pc" rid
-        ~on_fail:(fun msg -> Error msg)
-        (fun r sp ->
-          eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span:sp)
+  with_leaseholder t ~gateway ?span ~op:"kv.write_1pc" ~key
+    ~on_fail:(fun msg -> Error msg)
+    (fun r sp ->
+      eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span:sp)
 
 let write t ?applied ?span ~gateway ~txn ~key ~value ~ts () =
-  match range_of_key t key with
-  | exception Not_found -> Error ("no range for key " ^ key)
-  | rid ->
-      with_leaseholder t ~gateway ?span ~op:"kv.write" rid
-        ~on_fail:(fun msg -> Error msg)
-        (fun r sp ->
-          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span:sp)
+  with_leaseholder t ~gateway ?span ~op:"kv.write" ~key
+    ~on_fail:(fun msg -> Error msg)
+    (fun r sp -> eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span:sp)
 
+(* Resolve the subset of [keys] this replica's range owns; the rest — keys
+   stranded on the wrong leaseholder by a split racing the resolution — are
+   handed back for the gateway to re-group. *)
 let eval_resolve t r ~txn ~keys ~commit ~span =
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped then `Range_mismatch
   else
-    match r.r_raft with
-    | None -> `Not_leader
-    | Some raft -> (
-        let rg = r.r_range in
-        let target = next_closed_target t rg r.r_node in
-        let done_ = Ivar.create () in
-        let cmd =
-          {
-            closed = target;
-            proposer = r.r_node;
-            op = Op_resolve { txn; keys; commit };
-            done_;
-          }
-        in
-        let tr = Obs.trace t.obs in
-        let rsp =
-          Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
-            "raft.replicate"
-        in
-        match Raft.propose raft cmd with
-        | None ->
-            Trace.annotate rsp "error" "not leader";
-            Trace.finish tr rsp;
-            `Not_leader
-        | Some _ ->
-            Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
-            (* Resolution has no error channel: on a lost proposal, give up
-               and let readers clean up the orphaned intents lazily. *)
-            ignore
-              (Proc.await_timeout t.sim done_ ~timeout:propose_timeout
-                : unit option);
-            `Done ())
+    let mine, leftover = List.partition (in_span r.r_range) keys in
+    if mine = [] then `Range_mismatch
+    else if not (is_leader_now r) then `Not_leader
+    else
+      match r.r_raft with
+      | None -> `Not_leader
+      | Some raft -> (
+          let rg = r.r_range in
+          let target = next_closed_target t rg r.r_node in
+          let done_ = Ivar.create () in
+          let cmd =
+            {
+              closed = target;
+              proposer = r.r_node;
+              op = Op_resolve { txn; keys = mine; commit };
+              done_;
+            }
+          in
+          let tr = Obs.trace t.obs in
+          let rsp =
+            Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
+              "raft.replicate"
+          in
+          match Raft.propose raft cmd with
+          | None ->
+              Trace.annotate rsp "error" "not leader";
+              Trace.finish tr rsp;
+              `Not_leader
+          | Some _ ->
+              Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
+              (* Resolution has no error channel: on a lost proposal, give up
+                 and let readers clean up the orphaned intents lazily. *)
+              ignore
+                (Proc.await_timeout t.sim done_ ~timeout:propose_timeout
+                  : unit option);
+              `Done leftover)
 
 let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
   match keys with
   | [] -> ()
   | anchor_key :: _ ->
+      (* Resolve one group of keys, chasing keys that end up owned by a
+         different range than the one the group was formed against (splits
+         and merges race resolution). Each round re-resolves the remaining
+         keys' leaseholder; a few rounds bound pathological churn. *)
+      let resolve_group ks =
+        let rec go ks rounds =
+          match ks with
+          | [] -> ()
+          | key :: _ ->
+              let leftover =
+                with_leaseholder t ~gateway ?span ~op:"kv.resolve" ~key
+                  ~on_fail:(fun _ -> [])
+                  (fun r sp -> eval_resolve t r ~txn ~keys:ks ~commit ~span:sp)
+              in
+              if rounds > 0 then go leftover (rounds - 1)
+        in
+        go ks 4
+      in
       (* Group keys by range, preserving the anchor first. *)
       let groups = Hashtbl.create 4 in
       let order = ref [] in
@@ -1422,17 +1961,13 @@ let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
       let anchor_rid =
         match range_of_key t anchor_key with
         | rid -> rid
-        | exception Not_found -> List.hd order
+        | exception Not_found -> ( match order with [] -> -1 | rid :: _ -> rid)
       in
       let results =
         List.map
           (fun rid ->
             let ks = !(Hashtbl.find groups rid) in
-            ( rid,
-              Proc.async t.sim (fun () ->
-                  with_leaseholder t ~gateway ?span ~op:"kv.resolve" rid
-                    ~on_fail:(fun _ -> ())
-                    (fun r sp -> eval_resolve t r ~txn ~keys:ks ~commit ~span:sp)) ))
+            (rid, Proc.async t.sim (fun () -> resolve_group ks)))
           order
       in
       List.iter
@@ -1442,7 +1977,8 @@ let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
 
 let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
   ignore t;
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
   else begin
     let lock_conflict =
       match Hashtbl.find_opt r.r_locks key with
@@ -1464,17 +2000,17 @@ let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
   end
 
 let refresh t ?span ~gateway ~txn ~key ~from_ts ~to_ts () =
-  match range_of_key t key with
-  | exception Not_found -> false
-  | rid ->
-      with_leaseholder t ~gateway ?span ~op:"kv.refresh" rid
-        ~on_fail:(fun _ -> false)
-        (fun r _sp -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
+  with_leaseholder t ~gateway ?span ~op:"kv.refresh" ~key
+    ~on_fail:(fun _ -> false)
+    (fun r _sp -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
 
 let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
   ignore t;
-  if not (is_leader_now r) then `Not_leader
+  if r.r_range.rg_dropped || not (in_span r.r_range start_key) then
+    `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
   else begin
+    let start_key, end_key = clamp_span r.r_range ~start_key ~end_key in
     let lock_conflict =
       Hashtbl.fold
         (fun key l acc ->
@@ -1498,15 +2034,30 @@ let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
   end
 
 let refresh_span t ?span ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts () =
-  match range_of_key t start_key with
-  | exception Not_found -> false
-  | rid ->
-      let rg = range t rid in
-      let start_key, end_key = clamp_span rg ~start_key ~end_key in
-      with_leaseholder t ~gateway ?span ~op:"kv.refresh_span" rid
-        ~on_fail:(fun _ -> false)
-        (fun r _sp ->
-          eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts)
+  (* Stitched like {!scan}: every range covering part of the request span
+     must confirm the absence of conflicting writes in the window, however
+     the span is carved up at validation time. *)
+  let rec go cursor =
+    if String.compare cursor end_key >= 0 then true
+    else
+      match next_covered t ~cursor ~end_key with
+      | None -> true
+      | Some cursor ->
+          let ok, next =
+            with_leaseholder t ~gateway ?span ~op:"kv.refresh_span"
+              ~key:cursor
+              ~on_fail:(fun _ -> (false, end_key))
+              (fun r _sp ->
+                match
+                  eval_refresh_span t r ~txn ~start_key:cursor ~end_key
+                    ~from_ts ~to_ts
+                with
+                | (`Not_leader | `Range_mismatch) as other -> other
+                | `Done ok -> `Done (ok, snd r.r_range.rg_span))
+          in
+          if ok then go next else false
+  in
+  go start_key
 
 let local_closed t ~at rid =
   let rg = range t rid in

@@ -30,6 +30,10 @@ type config = {
   publish_interval : int;  (** side-channel period, default 100 ms *)
   raft_election_timeout : int;
   raft_heartbeat_interval : int;
+  conflict_wait_timeout : int;
+      (** how long a read or write waits on a conflicting lock or intent
+          before giving up (default 10 s); every expiry bumps the per-node
+          [kv.conflict_timeouts] counter *)
   jitter : float;
   seed : int;
 }
@@ -81,6 +85,43 @@ val alter_range : t -> range_id -> zone:Zoneconfig.t -> policy:policy -> unit
 
 val drop_range : t -> range_id -> unit
 (** Remove the range and its replicas (table/partition dropped). *)
+
+val split_range : t -> range_id -> at:string -> range_id option
+(** Split the range at [at] (which must lie strictly inside its span),
+    forking its MVCC state, zone config, policy, timestamp cache and closed
+    timestamps into a new right-hand range covering [\[at, end)]. The split
+    is atomic in simulated time; the left leaseholder's node is preferred
+    for the right range's lease. Returns the right range's id, or [None]
+    when the range currently has no leaseholder to fork from.
+    @raise Invalid_argument if [at] is outside the span. *)
+
+val merge_range : t -> range_id -> bool
+(** Merge the range with its right-hand neighbor (the range starting
+    exactly at its end key), subsuming the neighbor: MVCC state is
+    absorbed, the timestamp cache low water and closed timestamp ratchet
+    over the subsumed range's, and waiters parked there are woken to retry
+    against the merged range. [false] (and no effect) when there is no
+    adjacent neighbor, the zone configs or policies differ, or either side
+    lacks a live leaseholder. *)
+
+val split_point : t -> range_id -> string option
+(** The median live key of the range (a reasonable split point), or [None]
+    when it holds fewer than two keys or has no leaseholder. *)
+
+val ranges_in_span :
+  t -> start_key:string -> end_key:string -> range_id list
+(** All live ranges overlapping [\[start_key, end_key)], ascending by span.
+    Resolve spans through this at use time rather than caching range ids:
+    splits and merges invalidate cached ids. *)
+
+val rebalance_step : t -> range_id -> bool
+(** One allocator-driven rebalance step: if a single-replica substitution
+    improves the placement score (constraint violations, then failure-domain
+    diversity, then load), add the replacement through a single-step Raft
+    membership change and remove the victim once the replacement has caught
+    up (add-then-remove, one replica at a time). When the victim is the
+    leaseholder itself, the lease is transferred away instead and the move
+    is left to a later pass. [true] iff a step was initiated. *)
 
 val settle : t -> unit
 (** Run the simulation briefly so that elections complete and initial closed
@@ -200,7 +241,10 @@ val scan :
   limit:int option ->
   unit ->
   scan_result
-(** Leaseholder scan confined to a single range's span intersection. *)
+(** Leaseholder scan over [[start_key, end_key)]. The request is split into
+    per-range fragments resolved left to right through the routing map at
+    use time, so the result is complete even after the span has been split
+    into (or merged from) many ranges. *)
 
 val scan_follower :
   t ->
@@ -295,7 +339,9 @@ val refresh_span :
   unit ->
   bool
 (** Span version of {!refresh}, validating a previous scan (including the
-    absence of phantom rows with live conflicts in the window). *)
+    absence of phantom rows with live conflicts in the window). Like
+    {!scan}, the span is re-resolved into its current covering ranges, so
+    refreshes stay sound across concurrent splits and merges. *)
 
 val negotiate :
   t -> at:Crdb_net.Topology.node_id -> keys:string list -> Ts.t

@@ -101,9 +101,11 @@ type ('cmd, 'snap) t = {
 }
 
 let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
-    ?(election_timeout = 3_000_000) ?(heartbeat_interval = 1_000_000) () =
+    ?(election_timeout = 3_000_000) ?(heartbeat_interval = 1_000_000)
+    ?(boundary = (0, 0)) () =
   if not (List.mem_assoc id peers) then
     invalid_arg "Raft.create: id must be among peers";
+  let snap_index, snap_term = boundary in
   let m = Obs.metrics obs in
   {
     sim;
@@ -116,10 +118,10 @@ let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
     term = 0;
     voted_for = None;
     log = Vec.create ();
-    snap_index = 0;
-    snap_term = 0;
-    commit = 0;
-    applied = 0;
+    snap_index;
+    snap_term;
+    commit = snap_index;
+    applied = snap_index;
     role = Follower;
     leader = None;
     next_index = Hashtbl.create 8;
@@ -708,6 +710,19 @@ let propose_config t change =
       broadcast t;
       maybe_advance_commit t;
       Some index
+
+(* Single-step membership changes: one replica added or removed at a time,
+   so any old-config quorum and any new-config quorum intersect and joint
+   consensus is unnecessary. *)
+let add_peer t node kind =
+  if List.mem_assoc node t.peers then None
+  else propose_config t (t.peers @ [ (node, kind) ])
+
+let remove_peer t node =
+  if node = t.id then
+    invalid_arg "Raft.remove_peer: leader cannot remove itself";
+  if not (List.mem_assoc node t.peers) then None
+  else propose_config t (List.filter (fun (p, _) -> p <> node) t.peers)
 
 let transfer_leadership t target =
   match t.role with

@@ -96,13 +96,21 @@ val create :
   ?range:int ->
   ?election_timeout:int ->
   ?heartbeat_interval:int ->
+  ?boundary:int * int ->
   unit ->
   ('cmd, 'snap) t
 (** [peers] must include [id] itself. Timeouts in microseconds; defaults:
     election 3s (randomized up to 2x), heartbeat 1s. [obs] receives
     [raft.*] counters (elections, leadership changes, append/snapshot
     rounds, quiescence) scoped to this node and [range], plus election
-    spans and leadership-change events when tracing is enabled. *)
+    spans and leadership-change events when tracing is enabled.
+    [boundary] is an [(index, term)] snapshot boundary the log starts
+    after (default [(0, 0)]): replicas of a group whose initial state was
+    installed out-of-band (e.g. the right half of a range split) are
+    created with a non-zero boundary so that replicas added later are
+    seeded with a state snapshot instead of replaying a log that does not
+    contain that initial state. All initial replicas of a group must use
+    the same boundary. *)
 
 val id : _ t -> int
 val role : _ t -> role
@@ -129,6 +137,18 @@ val propose : ('cmd, 'snap) t -> 'cmd -> int option
     is applied on this replica via [on_apply] once committed. *)
 
 val propose_config : ('cmd, 'snap) t -> config_change -> int option
+
+val add_peer : ('cmd, 'snap) t -> int -> peer_kind -> int option
+(** Single-step membership change: propose the current peer set plus one
+    new replica. [None] if not leader or the node is already a peer. The
+    new replica is materialized (and snapshot-seeded) once the entry
+    commits and [on_config] fires. *)
+
+val remove_peer : ('cmd, 'snap) t -> int -> int option
+(** Single-step membership change: propose the current peer set minus one
+    replica. [None] if not leader or the node is not a peer. Raises
+    [Invalid_argument] if asked to remove the leader itself — transfer
+    leadership first. *)
 
 val handle : ('cmd, 'snap) t -> from:int -> ('cmd, 'snap) message -> unit
 

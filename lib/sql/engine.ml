@@ -153,8 +153,23 @@ let create_index_ranges db pt pi =
         (partition, Cluster.add_range db.d_engine.cl ~span ~zone ~policy))
       parts
 
-let drop_index_ranges db pi =
-  List.iter (fun (_, rid) -> Cluster.drop_range db.d_engine.cl rid) pi.pi_ranges;
+(* [pi_ranges] remembers each partition and the range originally created for
+   it, but range ids go stale: the KV layer splits and merges ranges at any
+   time. Everything that acts on a partition's ranges resolves its span
+   through the routing table at use time instead of trusting the cache. *)
+let partition_rids db pt pi partition =
+  let start_key, end_key =
+    Keycodec.partition_span ~table_id:pt.pt_id ~index_no:pi.pi_no ~partition
+  in
+  Cluster.ranges_in_span db.d_engine.cl ~start_key ~end_key
+
+let drop_index_ranges db pt pi =
+  List.iter
+    (fun (partition, _) ->
+      List.iter
+        (fun rid -> Cluster.drop_range db.d_engine.cl rid)
+        (partition_rids db pt pi partition))
+    pi.pi_ranges;
   pi.pi_ranges <- []
 
 let realign_zones db =
@@ -165,9 +180,11 @@ let realign_zones db =
       List.iter
         (fun pi ->
           List.iter
-            (fun (partition, rid) ->
+            (fun (partition, _) ->
               let zone, policy = zone_and_policy db pt ~partition ~pin:pi.pi_pin in
-              Cluster.alter_range db.d_engine.cl rid ~zone ~policy)
+              List.iter
+                (fun rid -> Cluster.alter_range db.d_engine.cl rid ~zone ~policy)
+                (partition_rids db pt pi partition))
             pi.pi_ranges)
         pt.pt_indexes)
     db.d_tables
@@ -923,7 +940,7 @@ let rebuild_table_layout db pt ~new_schema =
   (* Online locality change (§2.4.2): build the new index set, backfill, and
      swap. We model the swap atomically at the end of the backfill. *)
   let old_rows = List.map snd (collect_rows db pt) in
-  List.iter (fun pi -> drop_index_ranges db pi) pt.pt_indexes;
+  List.iter (fun pi -> drop_index_ranges db pt pi) pt.pt_indexes;
   let new_schema =
     match new_schema.Schema.tbl_locality with
     | Schema.Regional_by_row -> Schema.with_region_column new_schema
@@ -997,7 +1014,12 @@ let drop_partition_for_region db region =
           let keep, drop =
             List.partition (fun (p, _) -> p <> Some region) pi.pi_ranges
           in
-          List.iter (fun (_, rid) -> Cluster.drop_range db.d_engine.cl rid) drop;
+          List.iter
+            (fun (partition, _) ->
+              List.iter
+                (fun rid -> Cluster.drop_range db.d_engine.cl rid)
+                (partition_rids db pt pi partition))
+            drop;
           pi.pi_ranges <- keep)
         pt.pt_indexes)
     db.d_tables
@@ -1139,11 +1161,25 @@ let exec_all t stmts = List.iter (exec t) stmts
 
 let ranges_of_table db table =
   let pt = phys_table db table in
-  List.concat_map (fun pi -> List.map snd pi.pi_ranges) pt.pt_indexes
+  List.concat_map
+    (fun pi ->
+      List.concat_map
+        (fun (partition, _) -> partition_rids db pt pi partition)
+        pi.pi_ranges)
+    pt.pt_indexes
+  |> List.sort_uniq Int.compare
 
 let partition_ranges db table =
   let pt = phys_table db table in
-  (primary_of pt).pi_ranges
+  let primary = primary_of pt in
+  List.map
+    (fun (partition, rid) ->
+      (* Re-resolve in case the partition's original range has split or
+         merged; the first covering range anchors the partition. *)
+      match partition_rids db pt primary partition with
+      | first :: _ -> (partition, first)
+      | [] -> (partition, rid))
+    primary.pi_ranges
 
 let leaseholder_store db rid =
   match Cluster.leaseholder db.d_engine.cl rid with
@@ -1152,17 +1188,35 @@ let leaseholder_store db rid =
 
 let row_count db table =
   let pt = phys_table db table in
+  let primary = primary_of pt in
   List.fold_left
-    (fun acc (_, rid) ->
-      match leaseholder_store db rid with
-      | None -> acc
-      | Some store -> acc + Mvcc.fold_latest store ~init:0 ~f:(fun n _ _ -> n + 1))
-    0 (primary_of pt).pi_ranges
+    (fun acc (partition, _) ->
+      let start_key, end_key =
+        Keycodec.partition_span ~table_id:pt.pt_id
+          ~index_no:Keycodec.primary_index ~partition
+      in
+      List.fold_left
+        (fun acc rid ->
+          match leaseholder_store db rid with
+          | None -> acc
+          | Some store ->
+              (* A range can cover more than this partition after a merge;
+                 count only keys inside the partition span. *)
+              acc
+              + Mvcc.fold_latest store ~init:0 ~f:(fun n key _ ->
+                    if
+                      String.compare key start_key >= 0
+                      && String.compare key end_key < 0
+                    then n + 1
+                    else n))
+        acc
+        (partition_rids db pt primary partition))
+    0 primary.pi_ranges
 
 let region_of_row db ~table pk =
   let pt = phys_table db table in
   List.fold_left
-    (fun acc (partition, rid) ->
+    (fun acc (partition, _) ->
       match acc with
       | Some _ -> acc
       | None -> (
@@ -1170,16 +1224,19 @@ let region_of_row db ~table pk =
             Keycodec.row_key ~table_id:pt.pt_id ~index_no:Keycodec.primary_index
               ~partition pk
           in
-          match leaseholder_store db rid with
-          | None -> None
-          | Some store -> (
-              match
-                Mvcc.read store ~key ~ts:Crdb_hlc.Timestamp.max_value
-                  ~max_ts:Crdb_hlc.Timestamp.max_value ~for_txn:None
-              with
-              | Mvcc.Value { value = Some _; _ } ->
-                  (match partition with Some r -> Some r | None -> Some "")
-              | Mvcc.Value { value = None; _ } | Mvcc.Uncertain _
-              | Mvcc.Intent_blocked _ ->
-                  None)))
+          match Cluster.range_of_key db.d_engine.cl key with
+          | exception Not_found -> None
+          | rid -> (
+              match leaseholder_store db rid with
+              | None -> None
+              | Some store -> (
+                  match
+                    Mvcc.read store ~key ~ts:Crdb_hlc.Timestamp.max_value
+                      ~max_ts:Crdb_hlc.Timestamp.max_value ~for_txn:None
+                  with
+                  | Mvcc.Value { value = Some _; _ } ->
+                      (match partition with Some r -> Some r | None -> Some "")
+                  | Mvcc.Value { value = None; _ } | Mvcc.Uncertain _
+                  | Mvcc.Intent_blocked _ ->
+                      None))))
     None (primary_of pt).pi_ranges

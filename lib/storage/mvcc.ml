@@ -173,6 +173,19 @@ let copy t =
         t.records;
   }
 
+let split_off t ~key =
+  let left, at, right = Smap.split key t.records in
+  let right = match at with None -> right | Some r -> Smap.add key r right in
+  t.records <- left;
+  { records = right }
+
+let absorb t src =
+  Smap.iter
+    (fun key r ->
+      t.records <-
+        Smap.add key { versions = r.versions; intent = r.intent } t.records)
+    src.records
+
 let replace_with t src = t.records <- (copy src).records
 
 let put_version t ~key ~ts ~value =

@@ -92,6 +92,16 @@ val fold_latest : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
 val copy : t -> t
 (** Deep copy (Raft snapshot transfer). *)
 
+val split_off : t -> key:string -> t
+(** [split_off t ~key] removes every record with key [>= key] from [t] and
+    returns them as a fresh store. Records are moved, not copied — the
+    caller owns the returned store (range split). *)
+
+val absorb : t -> t -> unit
+(** [absorb t src] deep-copies every record of [src] into [t], replacing
+    any record [t] already holds for the same key (range merge: the
+    subsumed right-hand store wins for its own span). *)
+
 val replace_with : t -> t -> unit
 (** [replace_with t src] makes [t]'s contents a deep copy of [src]
     (snapshot installation on a follower). *)

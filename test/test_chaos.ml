@@ -142,6 +142,50 @@ let test_nemesis_deterministic () =
   check Alcotest.string "identical histories" hist1 hist2;
   check Alcotest.bool "schedule non-trivial" true (String.length log1 > 0)
 
+(* Range-lifecycle faults (splits, merges, rebalances) racing kills,
+   partitions and lease transfers. These kinds are opt-in so the seeded
+   schedules above stay stable. *)
+let lifecycle_setup ~survival ~seed =
+  let nemesis =
+    {
+      Nemesis.default_random with
+      Nemesis.kinds = Nemesis.all_kinds @ Nemesis.lifecycle_kinds;
+    }
+  in
+  { (harness_setup ~survival ~seed) with Harness.nemesis = Some nemesis }
+
+let test_lifecycle_nemesis () =
+  let logs =
+    List.map
+      (fun (survival, seed) ->
+        let o = Harness.run (lifecycle_setup ~survival ~seed) in
+        if not (Harness.passed o) then
+          Alcotest.failf "lifecycle seed %d (%s): registers %s / bank %s\nfaults:\n%s"
+            seed
+            (Zoneconfig.survival_to_string survival)
+            (Checker.verdict_to_string o.Harness.register_verdict)
+            (Checker.verdict_to_string o.Harness.bank_verdict)
+            o.Harness.fault_log;
+        o.Harness.fault_log)
+      [ (Zoneconfig.Zone, 1); (Zoneconfig.Region, 3) ]
+  in
+  (* The schedules must actually exercise the lifecycle, not just kills. *)
+  let combined = String.concat "\n" logs in
+  check Alcotest.bool "a split or merge or rebalance was injected" true
+    (contains ~sub:"split_range(" combined
+    || contains ~sub:"merge_range(" combined
+    || contains ~sub:"rebalance(" combined)
+
+let test_lifecycle_nemesis_deterministic () =
+  let run () =
+    let o = Harness.run (lifecycle_setup ~survival:Zoneconfig.Region ~seed:3) in
+    (o.Harness.fault_log, History.to_string o.Harness.result.Workload.registers)
+  in
+  let log1, hist1 = run () in
+  let log2, hist2 = run () in
+  check Alcotest.string "identical fault logs" log1 log2;
+  check Alcotest.string "identical histories" hist1 hist2
+
 let test_unsafe_stale_reads_caught () =
   (* Deliberately broken config: bounded-stale reads recorded as fresh.
      The linearizability checker must produce a counterexample. *)
@@ -365,6 +409,10 @@ let suite =
     Alcotest.test_case "random nemesis, survive zone" `Slow test_random_nemesis_zone;
     Alcotest.test_case "random nemesis, survive region" `Slow test_random_nemesis_region;
     Alcotest.test_case "nemesis determinism" `Slow test_nemesis_deterministic;
+    Alcotest.test_case "lifecycle nemesis, splits and merges race kills" `Slow
+      test_lifecycle_nemesis;
+    Alcotest.test_case "lifecycle nemesis determinism" `Slow
+      test_lifecycle_nemesis_deterministic;
     Alcotest.test_case "unsafe stale reads caught" `Slow test_unsafe_stale_reads_caught;
     Alcotest.test_case "quorum guard respects survival goal" `Slow
       test_quorum_guard_blocks_majority_kill;

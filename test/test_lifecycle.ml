@@ -1,0 +1,343 @@
+(* Tests for the range lifecycle: splits, merges, allocator-driven
+   rebalancing, and routing through the ordered span map. *)
+
+module Sim = Crdb_sim.Sim
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Transport = Crdb_net.Transport
+module Ts = Crdb_hlc.Timestamp
+module Raft = Crdb_raft.Raft
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Allocator = Crdb_kv.Allocator
+module Cluster = Crdb_kv.Cluster
+
+let check = Alcotest.check
+let regions5 = Latency.table1_regions
+let home = "us-east1"
+let topo5 = Topology.symmetric ~regions:regions5 ~nodes_per_region:3
+
+let zone_config ?(survival = Zoneconfig.Zone) ?(placement = Zoneconfig.Default)
+    ?(home = home) () =
+  Zoneconfig.derive ~regions:regions5 ~home ~survival ~placement
+
+let make_cluster ?config () =
+  Cluster.create ?config ~topology:topo5 ~latency:Latency.table1 ()
+
+let node_in cl region i =
+  (List.nth (Topology.nodes_in_region (Cluster.topology cl) region) i).Topology.id
+
+let put cl ~gateway ~txn key value =
+  let ts = Cluster.now_ts cl gateway in
+  match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
+  | Error e -> Alcotest.failf "write failed: %s" e
+  | Ok commit_ts ->
+      Cluster.resolve cl ~gateway ~txn ~commit:(Some commit_ts) ~keys:[ key ]
+        ~sync_all:true ();
+      commit_ts
+
+let get cl ~gateway ?txn key =
+  let ts = Cluster.now_ts cl gateway in
+  let max_ts = Ts.add_wall ts (Cluster.config cl).Cluster.max_offset in
+  let rec go ts attempts =
+    match Cluster.read cl ~inline_bump:true ~gateway ~txn ~key ~ts ~max_ts () with
+    | Cluster.Read_value { value; _ } -> value
+    | Cluster.Read_uncertain { value_ts } when attempts < 10 ->
+        go value_ts (attempts + 1)
+    | Cluster.Read_uncertain _ -> Alcotest.fail "uncertainty loop"
+    | Cluster.Read_redirect -> Alcotest.fail "unexpected redirect"
+    | Cluster.Read_err e -> Alcotest.failf "read error: %s" e
+  in
+  go ts 0
+
+let scan_keys cl ~gateway ~start_key ~end_key =
+  let ts = Cluster.now_ts cl gateway in
+  let max_ts = Ts.add_wall ts (Cluster.config cl).Cluster.max_offset in
+  match
+    Cluster.scan cl ~gateway ~txn:None ~start_key ~end_key ~ts ~max_ts
+      ~limit:None ()
+  with
+  | Cluster.Scan_rows rows -> List.map fst rows
+  | Cluster.Scan_uncertain _ -> Alcotest.fail "scan uncertain"
+  | Cluster.Scan_redirect -> Alcotest.fail "scan redirect"
+  | Cluster.Scan_err e -> Alcotest.failf "scan error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Split                                                               *)
+
+let test_split_preserves_data () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "apple" "red");
+      ignore (put cl ~gateway:gw ~txn:2 "orange" "juicy"));
+  let right =
+    match Cluster.split_range cl rid ~at:"m" with
+    | Some r -> r
+    | None -> Alcotest.fail "split must succeed with a settled leaseholder"
+  in
+  Cluster.run_for cl 3_000_000;
+  check Alcotest.int "left keeps its id" rid (Cluster.range_of_key cl "apple");
+  check Alcotest.int "right half routes to the new range" right
+    (Cluster.range_of_key cl "orange");
+  check
+    Alcotest.(pair string string)
+    "left span shrinks" ("a", "m") (Cluster.span_of cl rid);
+  check
+    Alcotest.(pair string string)
+    "right span" ("m", "z")
+    (Cluster.span_of cl right);
+  Cluster.run cl (fun () ->
+      check Alcotest.(option string) "left data survives" (Some "red")
+        (get cl ~gateway:gw "apple");
+      check Alcotest.(option string) "right data survives" (Some "juicy")
+        (get cl ~gateway:gw "orange");
+      (* Writes keep working on both halves after the split. *)
+      ignore (put cl ~gateway:gw ~txn:3 "banana" "yellow");
+      ignore (put cl ~gateway:gw ~txn:4 "pear" "green");
+      check Alcotest.(option string) "post-split left write" (Some "yellow")
+        (get cl ~gateway:gw "banana");
+      check Alcotest.(option string) "post-split right write" (Some "green")
+        (get cl ~gateway:gw "pear"));
+  Alcotest.check_raises "split key outside span rejected"
+    (Invalid_argument "Cluster.split_range: split key outside span") (fun () ->
+      ignore (Cluster.split_range cl rid ~at:"zz"))
+
+let test_merge_subsumes_right () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "apple" "red");
+      ignore (put cl ~gateway:gw ~txn:2 "orange" "juicy"));
+  let right = Option.get (Cluster.split_range cl rid ~at:"m") in
+  Cluster.run_for cl 3_000_000;
+  check Alcotest.int "two ranges before merge" 2
+    (List.length (Cluster.ranges cl));
+  check Alcotest.bool "merge succeeds" true (Cluster.merge_range cl rid);
+  check Alcotest.int "one range after merge" 1 (List.length (Cluster.ranges cl));
+  check
+    Alcotest.(pair string string)
+    "span restored" ("a", "z") (Cluster.span_of cl rid);
+  check Alcotest.int "right keys route back to the left range" rid
+    (Cluster.range_of_key cl "orange");
+  check Alcotest.bool "subsumed range is gone" false
+    (List.mem right (Cluster.ranges cl));
+  Cluster.run_for cl 2_000_000;
+  Cluster.run cl (fun () ->
+      check Alcotest.(option string) "left data intact" (Some "red")
+        (get cl ~gateway:gw "apple");
+      check Alcotest.(option string) "absorbed data readable" (Some "juicy")
+        (get cl ~gateway:gw "orange");
+      ignore (put cl ~gateway:gw ~txn:3 "pear" "green");
+      check Alcotest.(option string) "post-merge write" (Some "green")
+        (get cl ~gateway:gw "pear"))
+
+let test_merge_requires_matching_config () =
+  let cl = make_cluster () in
+  let r1 =
+    Cluster.add_range cl ~span:("a", "m") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  ignore
+    (Cluster.add_range cl ~span:("m", "z")
+       ~zone:(zone_config ~home:"europe-west2" ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  check Alcotest.bool "mismatched zones refuse to merge" false
+    (Cluster.merge_range cl r1)
+
+let test_hundred_splits_route () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("k", "k~") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let n_keys = 150 in
+  let key i = Printf.sprintf "k%03d" i in
+  Cluster.bulk_load cl
+    (List.init n_keys (fun i -> (key i, "v" ^ string_of_int i)));
+  (* Split every splittable range until the span map holds > 100 ranges. *)
+  let target = 101 in
+  let rec split_loop rounds =
+    if rounds > 0 && List.length (Cluster.ranges cl) < target then begin
+      List.iter
+        (fun r ->
+          if List.length (Cluster.ranges cl) < target then
+            match Cluster.split_point cl r with
+            | Some at -> ignore (Cluster.split_range cl r ~at)
+            | None -> ())
+        (Cluster.ranges cl);
+      Cluster.run_for cl 2_000_000;
+      split_loop (rounds - 1)
+    end
+  in
+  split_loop 10;
+  let n_ranges = List.length (Cluster.ranges cl) in
+  check Alcotest.bool
+    (Printf.sprintf "at least %d ranges (got %d)" target n_ranges)
+    true
+    (n_ranges >= target);
+  (* Every key routes to a range whose span actually contains it. *)
+  for i = 0 to n_keys - 1 do
+    let k = key i in
+    let r = Cluster.range_of_key cl k in
+    let s, e = Cluster.span_of cl r in
+    check Alcotest.bool ("span contains " ^ k) true (s <= k && k < e)
+  done;
+  check Alcotest.int "original id still routes its leftmost key" rid
+    (Cluster.range_of_key cl (key 0));
+  Cluster.run_for cl 5_000_000;
+  let gw = node_in cl home 1 in
+  Cluster.run cl (fun () ->
+      check Alcotest.(option string) "read across many splits" (Some "v17")
+        (get cl ~gateway:gw (key 17));
+      check Alcotest.(option string) "read near the right edge" (Some "v149")
+        (get cl ~gateway:gw (key 149));
+      (* A single scan stitches all fragments back together. *)
+      let keys = scan_keys cl ~gateway:gw ~start_key:"k" ~end_key:"k~" in
+      check Alcotest.int "scan sees every row across all ranges" n_keys
+        (List.length keys);
+      check Alcotest.(list string) "scan ordered"
+        (List.init n_keys key) keys)
+
+(* ------------------------------------------------------------------ *)
+(* Allocator diversity and rebalancing                                 *)
+
+let test_allocator_skewed_diversity () =
+  (* Region survival on a skewed topology: us-west1 has three zones while
+     the remaining regions have one node each. The unpinned voters must
+     spread across distinct *regions* even though piling into us-west1's
+     zones would also avoid zone reuse. *)
+  let topo =
+    Topology.create
+      [
+        ("us-east1", "a"); ("us-east1", "b"); ("us-east1", "c");
+        ("us-west1", "a"); ("us-west1", "b"); ("us-west1", "c");
+        ("europe-west2", "a");
+        ("asia-northeast1", "a");
+        ("australia-southeast1", "a");
+      ]
+  in
+  let zone =
+    Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Region
+      ~placement:Zoneconfig.Default
+  in
+  let placement =
+    Allocator.place ~topology:topo ~latency:Latency.table1
+      ~load:(fun _ -> 0)
+      ~zone
+  in
+  let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in
+  check Alcotest.int "five voters" 5 (List.length voters);
+  let unpinned_regions =
+    List.filter_map
+      (fun (n, _) ->
+        let r = Topology.region_of topo n in
+        if String.equal r home then None else Some r)
+      voters
+  in
+  check Alcotest.int "three unpinned voters" 3 (List.length unpinned_regions);
+  check Alcotest.int "unpinned voters in three distinct regions" 3
+    (List.length (List.sort_uniq String.compare unpinned_regions))
+
+let test_lease_preference_pinning () =
+  let cl = make_cluster () in
+  let pref = "europe-west2" in
+  (* Region survival spreads voters across regions, so there is always a
+     voter outside the preferred region to push the lease to. *)
+  let rid =
+    Cluster.add_range cl ~span:("a", "z")
+      ~zone:(zone_config ~survival:Zoneconfig.Region ~home:pref ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  (match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.string "lease starts in preferred region" pref r
+  | None -> Alcotest.fail "no leaseholder after settle");
+  (* Push the lease away, then let the lease rebalancer pin it back. *)
+  let away =
+    match
+      List.find_opt
+        (fun (n, k) ->
+          k = Raft.Voter && Topology.region_of (Cluster.topology cl) n <> pref)
+        (Cluster.replica_nodes cl rid)
+    with
+    | Some (n, _) -> n
+    | None -> Alcotest.fail "expected a voter outside the preferred region"
+  in
+  Cluster.transfer_lease cl rid ~target:away;
+  Cluster.run_for cl 5_000_000;
+  Cluster.rebalance_leases cl;
+  Cluster.run_for cl 5_000_000;
+  match Cluster.leaseholder_region cl rid with
+  | Some r -> check Alcotest.string "lease pinned back" pref r
+  | None -> Alcotest.fail "no leaseholder after rebalance"
+
+let test_rebalance_convergence () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let lh = Option.get (Cluster.leaseholder cl rid) in
+  (* Kill a home-region voter that is not the leaseholder; the allocator
+     must walk the replica off the dead node, one move at a time. *)
+  let victim =
+    match
+      List.find_opt
+        (fun (n, k) -> k = Raft.Voter && n <> lh)
+        (Cluster.replica_nodes cl rid)
+    with
+    | Some (n, _) -> n
+    | None -> Alcotest.fail "expected a non-leaseholder voter"
+  in
+  Transport.kill_node (Cluster.net cl) victim;
+  Cluster.run_for cl 20_000_000;
+  let rec converge steps =
+    if steps = 0 then Alcotest.fail "rebalance did not converge"
+    else if Cluster.rebalance_step cl rid then begin
+      Cluster.run_for cl 30_000_000;
+      converge (steps - 1)
+    end
+  in
+  converge 8;
+  let placement = Cluster.replica_nodes cl rid in
+  check Alcotest.bool "dead node no longer holds a replica" false
+    (List.mem_assoc victim placement);
+  check Alcotest.int "replica count preserved"
+    (Cluster.zone_of cl rid).Zoneconfig.num_replicas
+    (List.length placement);
+  (* A second pass finds nothing to do once the placement is clean. *)
+  check Alcotest.bool "placement locally optimal" false
+    (Cluster.rebalance_step cl rid);
+  (* The range still serves traffic afterwards. *)
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:9 "k" "v");
+      check Alcotest.(option string) "write after rebalance" (Some "v")
+        (get cl ~gateway:gw "k"))
+
+let suite =
+  [
+    Alcotest.test_case "split preserves data" `Quick test_split_preserves_data;
+    Alcotest.test_case "merge subsumes right" `Quick test_merge_subsumes_right;
+    Alcotest.test_case "merge requires matching config" `Quick
+      test_merge_requires_matching_config;
+    Alcotest.test_case "100+ splits route" `Quick test_hundred_splits_route;
+    Alcotest.test_case "allocator skewed diversity" `Quick
+      test_allocator_skewed_diversity;
+    Alcotest.test_case "lease preference pinning" `Quick
+      test_lease_preference_pinning;
+    Alcotest.test_case "rebalance convergence" `Quick test_rebalance_convergence;
+  ]

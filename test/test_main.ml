@@ -10,6 +10,7 @@ let () =
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
       ("kv", Test_kv.suite);
+      ("lifecycle", Test_lifecycle.suite);
       ("txn", Test_txn.suite);
       ("sql", Test_sql.suite);
       ("workload", Test_workload.suite);
