@@ -627,10 +627,12 @@ let run_splits () =
 let run_chaos () =
   section "Chaos smoke: random nemesis + Jepsen-style history checking";
   printf
-    "3 regions, register (YCSB-A style) + bank workloads, random fault@.\
-     schedule (kills, partitions, bounded clock jumps, lease transfers)@.\
-     respecting the survivability goal's quorum invariant. Histories are@.\
-     checked offline: per-key linearizability and bank-balance conservation.@.";
+    "3 regions, register (YCSB-A style) + bank + multi-key transactional@.\
+     workloads, random fault schedule (kills, partitions, bounded clock@.\
+     jumps, lease transfers) respecting the survivability goal's quorum@.\
+     invariant. Histories are checked offline: per-key linearizability,@.\
+     bank-balance conservation, and multi-key serializability (dependency-@.\
+     graph cycle detection).@.";
   List.iter
     (fun (label, survival, seed) ->
       let setup =
@@ -639,6 +641,7 @@ let run_chaos () =
           Crdb_chaos.Harness.survival;
           cluster_seed = seed;
           nemesis_seed = seed;
+          workload = { Crdb_chaos.Workload.default with txn_clients = 2 };
         }
       in
       let o = Crdb_chaos.Harness.run setup in
@@ -654,7 +657,9 @@ let run_chaos () =
       printf "  registers: %s@."
         (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.register_verdict);
       printf "  bank:      %s@."
-        (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.bank_verdict))
+        (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.bank_verdict);
+      printf "  txns:      %s@."
+        (Crdb_check.Checker.verdict_to_string o.Crdb_chaos.Harness.txn_verdict))
     [
       ("SURVIVE ZONE", Crdb.Zoneconfig.Zone, 11);
       ("SURVIVE REGION", Crdb.Zoneconfig.Region, 42);

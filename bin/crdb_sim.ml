@@ -4,6 +4,7 @@
      ycsb     run a YCSB workload against a chosen table locality
      tpcc     run TPC-C across N regions
      chaos    run a nemesis schedule with Jepsen-style history checking
+     check    re-run the checkers over a dumped chaos history
      ddl      print the DDL statement lists (Table 2 machinery)
      regions  print the latency profiles
      splits   range-lifecycle demo: 100+ splits, traffic, merges
@@ -184,7 +185,20 @@ module Cluster = Crdb.Cluster
 module Nemesis = Crdb_chaos.Nemesis
 module Chaos_workload = Crdb_chaos.Workload
 module Harness = Crdb_chaos.Harness
+module Dump = Crdb_chaos.Dump
 module Checker = Crdb_check.Checker
+
+let checker_conv =
+  Arg.conv
+    ( (function
+      | "linearizability" | "lin" -> Ok `Linearizability
+      | "serializability" | "ser" -> Ok `Serializability
+      | s -> Error (`Msg (Printf.sprintf "unknown checker %S" s))),
+      fun ppf c ->
+        Format.pp_print_string ppf
+          (match c with
+          | `Linearizability -> "linearizability"
+          | `Serializability -> "serializability") )
 
 let fault_kind_of_string = function
   | "kill-node" -> Ok Nemesis.K_kill_node
@@ -225,7 +239,30 @@ let survival_conv =
 
 let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
-    ~write_ratio ~accounts ~unsafe_stale ~show_history ~trace ~metrics =
+    ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
+    ~txn_keys ~txn_ranges ~unsafe_no_refresh ~dump_history ~show_history
+    ~trace ~metrics =
+  (* [--checker serializability] implies the transactional workload. *)
+  let txn_clients =
+    if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
+  in
+  let workload =
+    {
+      Chaos_workload.default with
+      Chaos_workload.seed;
+      clients_per_region = clients;
+      ops_per_client = ops;
+      keys;
+      write_ratio;
+      accounts;
+      unsafe_stale_reads = unsafe_stale;
+      txn_clients;
+      txn_ops_per_client = txn_ops;
+      txn_keys;
+      txn_ranges;
+      unsafe_no_refresh;
+    }
+  in
   let setup =
     {
       Harness.default with
@@ -244,17 +281,7 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
             mean_duration = fault_duration * 1_000;
             enforce_quorum = not no_quorum_guard;
           };
-      workload =
-        {
-          Chaos_workload.default with
-          Chaos_workload.seed;
-          clients_per_region = clients;
-          ops_per_client = ops;
-          keys;
-          write_ratio;
-          accounts;
-          unsafe_stale_reads = unsafe_stale;
-        };
+      workload;
     }
   in
   let arm cl = if trace <> None then Crdb.Obs.enable_tracing (Cluster.obs cl) in
@@ -268,12 +295,32 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     Format.printf "register history:@.%s@."
       (Crdb_check.History.to_string r.Chaos_workload.registers);
     Format.printf "bank history:@.%s@."
-      (Crdb_check.History.to_string r.Chaos_workload.bank)
+      (Crdb_check.History.to_string r.Chaos_workload.bank);
+    if txn_clients > 0 then
+      Format.printf "txn history:@.%s@."
+        (Crdb_check.History.txns_to_string r.Chaos_workload.txns)
   end;
   Format.printf "registers linearizable: %s@."
     (Checker.verdict_to_string o.Harness.register_verdict);
   Format.printf "bank serializable: %s@."
     (Checker.verdict_to_string o.Harness.bank_verdict);
+  if txn_clients > 0 then
+    Format.printf "txns serializable: %s@."
+      (Checker.verdict_to_string o.Harness.txn_verdict);
+  (match dump_history with
+  | Some file -> (
+      let d =
+        Dump.of_result ~bank_total:(Chaos_workload.bank_total workload) r
+      in
+      match open_out file with
+      | oc ->
+          output_string oc (Dump.serialize d);
+          close_out oc;
+          Format.printf "history dump -> %s@." file
+      | exception Sys_error msg ->
+          Format.eprintf "crdb_sim: cannot write history dump: %s@." msg;
+          exit 2)
+  | None -> ());
   let obs = Cluster.obs o.Harness.cluster in
   (match trace with
   | Some file -> (
@@ -292,14 +339,22 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
 
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
-    unsafe_stale show_history trace metrics =
+    unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges
+    unsafe_no_refresh dump_history show_history trace metrics =
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
+    let dump_history =
+      match dump_history with
+      | Some file when seeds > 1 -> Some (Printf.sprintf "%s.%d" file s)
+      | d -> d
+    in
     if
       not
         (run_chaos_one ~seed:s ~nregions ~survival ~global ~duration ~faults
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
-           ~write_ratio ~accounts ~unsafe_stale ~show_history ~trace ~metrics)
+           ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
+           ~txn_keys ~txn_ranges ~unsafe_no_refresh ~dump_history ~show_history
+           ~trace ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -348,6 +403,40 @@ let chaos_cmd =
          & info [ "unsafe-stale-reads" ]
              ~doc:"Deliberately broken mode: record bounded-stale reads as fresh; the checker must object")
   in
+  let checker =
+    Arg.(value & opt checker_conv `Linearizability
+         & info [ "checker" ]
+             ~doc:
+               "Consistency checker emphasis: linearizability (register \
+                history, the default) or serializability (enables the \
+                multi-key transactional workload and the dependency-graph \
+                cycle checker)")
+  in
+  let txn_clients =
+    Arg.(value & opt int 0
+         & info [ "txn-clients" ]
+             ~doc:"Multi-key transactional clients (0 disables; --checker serializability implies 2)")
+  in
+  let txn_ops = Arg.(value & opt int 12 & info [ "txn-ops" ] ~doc:"Transactions per transactional client") in
+  let txn_keys = Arg.(value & opt int 12 & info [ "txn-keys" ] ~doc:"Transactional keyspace") in
+  let txn_ranges =
+    Arg.(value & opt int 3 & info [ "txn-ranges" ] ~doc:"Ranges the transactional keyspace is carved into")
+  in
+  let unsafe_no_refresh =
+    Arg.(value & flag
+         & info [ "unsafe-no-refresh" ]
+             ~doc:
+               "Deliberately broken mode: skip read-span refreshes on \
+                timestamp pushes; the serializability checker must object")
+  in
+  let dump_history =
+    Arg.(value & opt (some string) None
+         & info [ "dump-history" ] ~docv:"FILE"
+             ~doc:
+               "Serialize the recorded histories to FILE for offline \
+                checking with 'crdb_sim check' (with --seeds N, one file \
+                per seed, suffixed .SEED)")
+  in
   let show_history = Arg.(value & flag & info [ "history" ] ~doc:"Print the full operation histories") in
   Cmd.v
     (Cmd.info "chaos"
@@ -355,8 +444,48 @@ let chaos_cmd =
     Term.(
       const run_chaos $ seed $ seeds $ nregions $ survival $ global $ duration
       $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
-      $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ show_history
-      $ trace_arg $ metrics_arg)
+      $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
+      $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ unsafe_no_refresh
+      $ dump_history $ show_history $ trace_arg $ metrics_arg)
+
+(* ---------------- check (offline) ---------------- *)
+
+let run_check file =
+  let contents =
+    match open_in_bin file with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error msg ->
+        Format.eprintf "crdb_sim: %s@." msg;
+        exit 2
+  in
+  match Dump.deserialize contents with
+  | Error msg ->
+      Format.eprintf "crdb_sim: cannot load %s: %s@." file msg;
+      exit 2
+  | Ok d ->
+      let verdicts = Dump.check d in
+      List.iter
+        (fun (label, v) ->
+          Format.printf "%s: %s@." label (Checker.verdict_to_string v))
+        verdicts;
+      if not (List.for_all (fun (_, v) -> Checker.is_valid v) verdicts) then begin
+        Format.eprintf "check: consistency violation detected@.";
+        exit 1
+      end
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"History dump written by chaos --dump-history")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Re-run the consistency checkers over a dumped chaos history")
+    Term.(const run_check $ file)
 
 (* ---------------- ddl ---------------- *)
 
@@ -575,4 +704,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "crdb_sim" ~version:Crdb.version
              ~doc:"Simulated multi-region CockroachDB explorer")
-          [ ycsb_cmd; tpcc_cmd; chaos_cmd; ddl_cmd; regions_cmd; splits_cmd ]))
+          [ ycsb_cmd; tpcc_cmd; chaos_cmd; check_cmd; ddl_cmd; regions_cmd; splits_cmd ]))

@@ -27,6 +27,43 @@ dune exec bin/crdb_sim.exe -- chaos --seed 201 --seeds 3 --survival region \
 echo "== splits demo (routing after 100+ splits)"
 dune exec bin/crdb_sim.exe -- splits --ranges 120
 
+# Serializability gate: multi-key transactions spanning several ranges race
+# the full fault mix (kills, partitions, clock jumps, lease transfers and
+# the range lifecycle); the dependency-graph checker must find no cycle.
+echo "== serializability chaos gate (seeds 101-103)"
+dune exec bin/crdb_sim.exe -- chaos --seed 101 --seeds 3 --survival region \
+  --checker serializability \
+  --faults kill-node,partition,clock-jump,lease-transfer,split-range,merge-range,rebalance
+
+# The deliberately broken mode (no read-span refresh on timestamp pushes)
+# must be caught and classified, with the dump/offline-check path agreeing.
+echo "== serializability catches --unsafe-no-refresh (seed 303)"
+tmpdump=$(mktemp)
+trap 'rm -f "$tmpdump"' EXIT
+if out=$(dune exec bin/crdb_sim.exe -- chaos --seed 303 --survival region \
+  --checker serializability --unsafe-no-refresh --dump-history "$tmpdump" \
+  --faults kill-node,partition,clock-jump,lease-transfer,split-range,merge-range,rebalance 2>&1); then
+  echo "$out"
+  echo "BUG NOT CAUGHT: --unsafe-no-refresh exited zero"
+  exit 1
+fi
+echo "$out" | grep -q "G2-item" || {
+  echo "$out"
+  echo "expected a G2-item classification"
+  exit 1
+}
+# Offline re-check of the dumped history reaches the same verdict.
+if out=$(dune exec bin/crdb_sim.exe -- check "$tmpdump" 2>&1); then
+  echo "$out"
+  echo "BUG NOT CAUGHT: offline check of the dump exited zero"
+  exit 1
+fi
+echo "$out" | grep -q "G2-item" || {
+  echo "$out"
+  echo "offline check lost the G2-item classification"
+  exit 1
+}
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt

@@ -1,0 +1,92 @@
+module History = Crdb_check.History
+module Checker = Crdb_check.Checker
+
+type t = {
+  bank_total : int;
+  registers : History.t;
+  bank : History.t;
+  txns : History.t;
+}
+
+let header = "crdb-chaos-dump v1"
+
+let of_result ~bank_total (r : Workload.result) =
+  { bank_total; registers = r.Workload.registers; bank = r.Workload.bank; txns = r.Workload.txns }
+
+let serialize d =
+  let buf = Buffer.create 8192 in
+  let section name h =
+    Buffer.add_string buf (Printf.sprintf "section %s\n" name);
+    Buffer.add_string buf (History.serialize h);
+    Buffer.add_string buf (Printf.sprintf "end %s\n" name)
+  in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "bank_total %d\n" d.bank_total);
+  section "registers" d.registers;
+  section "bank" d.bank;
+  section "txns" d.txns;
+  Buffer.contents buf
+
+exception Parse of string
+
+let deserialize s =
+  let lines = String.split_on_char '\n' s in
+  try
+    match lines with
+    | hd :: rest when String.trim hd = header ->
+        let bank_total = ref 0 in
+        let sections = Hashtbl.create 4 in
+        let current = ref None in
+        let acc = Buffer.create 4096 in
+        List.iter
+          (fun line ->
+            let trimmed = String.trim line in
+            match (!current, String.split_on_char ' ' trimmed) with
+            | None, [ "" ] -> ()
+            | None, [ "bank_total"; n ] -> (
+                match int_of_string_opt n with
+                | Some v -> bank_total := v
+                | None -> raise (Parse ("bad bank_total " ^ n)))
+            | None, [ "section"; name ] ->
+                if Hashtbl.mem sections name then
+                  raise (Parse ("duplicate section " ^ name));
+                Buffer.clear acc;
+                current := Some name
+            | None, _ -> raise (Parse ("unexpected line " ^ trimmed))
+            | Some name, [ "end"; name' ] when name = name' ->
+                (match History.deserialize (Buffer.contents acc) with
+                | Ok h -> Hashtbl.replace sections name h
+                | Error msg ->
+                    raise (Parse (Printf.sprintf "section %s: %s" name msg)));
+                current := None
+            | Some _, _ ->
+                Buffer.add_string acc line;
+                Buffer.add_char acc '\n')
+          rest;
+        (match !current with
+        | Some name -> raise (Parse ("unterminated section " ^ name))
+        | None -> ());
+        let find name =
+          match Hashtbl.find_opt sections name with
+          | Some h -> h
+          | None -> raise (Parse ("missing section " ^ name))
+        in
+        Ok
+          {
+            bank_total = !bank_total;
+            registers = find "registers";
+            bank = find "bank";
+            txns = find "txns";
+          }
+    | hd :: _ ->
+        Error (Printf.sprintf "bad header %S (expected %S)" (String.trim hd) header)
+    | [] -> Error "empty input"
+  with Parse msg -> Error msg
+
+let check d =
+  [
+    ("registers linearizable", Checker.check_linearizable d.registers);
+    ("bank serializable", Checker.check_bank ~total:d.bank_total d.bank);
+    ("txns serializable", Checker.check_serializable d.txns);
+  ]

@@ -1,0 +1,30 @@
+(** Offline history dumps: everything a chaos run recorded, serialized so a
+    later process can re-run the checkers without re-running the simulation
+    ([crdb_sim chaos --dump-history] / [crdb_sim check]).
+
+    The format is line-based and versioned: a header, the conserved bank
+    total, then one section per history framed by [section NAME]/[end NAME]
+    lines, each containing {!Crdb_check.History.serialize} output verbatim.
+    The round trip is the identity on every history, so the offline verdicts
+    are byte-identical to the in-process ones. *)
+
+module History = Crdb_check.History
+module Checker = Crdb_check.Checker
+
+type t = {
+  bank_total : int;  (** conserved bank sum, for {!Checker.check_bank} *)
+  registers : History.t;
+  bank : History.t;
+  txns : History.t;
+}
+
+val of_result : bank_total:int -> Workload.result -> t
+
+val serialize : t -> string
+val deserialize : string -> (t, string) result
+
+val check : t -> (string * Checker.verdict) list
+(** Run every checker over its history: registers through
+    {!Checker.check_linearizable}, bank through {!Checker.check_bank}, txns
+    through {!Checker.check_serializable}; labelled like the [crdb_sim
+    chaos] output. *)

@@ -37,9 +37,13 @@ type outcome = {
   result : Workload.result;
   register_verdict : Checker.verdict;
   bank_verdict : Checker.verdict;
+  txn_verdict : Checker.verdict;
 }
 
-let passed o = Checker.is_valid o.register_verdict && Checker.is_valid o.bank_verdict
+let passed o =
+  Checker.is_valid o.register_verdict
+  && Checker.is_valid o.bank_verdict
+  && Checker.is_valid o.txn_verdict
 
 (* Build a cluster over the paper's Table 1 regions, run the workload with
    the configured nemesis schedule alongside it, heal, audit, check. [arm]
@@ -55,6 +59,7 @@ let run ?(arm = fun (_ : Cluster.t) -> ()) s =
   Workload.setup ~policy:s.policy cl ~survival:s.survival s.workload;
   arm cl;
   let mgr = Txn.create_manager cl in
+  if s.workload.Workload.unsafe_no_refresh then Txn.set_unsafe_no_refresh mgr true;
   let result, fault_log =
     Cluster.run cl (fun () ->
         let nem =
@@ -85,4 +90,9 @@ let run ?(arm = fun (_ : Cluster.t) -> ()) s =
       Checker.check_bank ~total:(Workload.bank_total s.workload) result.Workload.bank
     else Checker.Valid { ops = 0 }
   in
-  { cluster = cl; fault_log; result; register_verdict; bank_verdict }
+  let txn_verdict =
+    if s.workload.Workload.txn_clients > 0 then
+      Checker.check_serializable result.Workload.txns
+    else Checker.Valid { ops = 0 }
+  in
+  { cluster = cl; fault_log; result; register_verdict; bank_verdict; txn_verdict }

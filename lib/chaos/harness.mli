@@ -32,10 +32,13 @@ type outcome = {
   result : Workload.result;
   register_verdict : Checker.verdict;
   bank_verdict : Checker.verdict;
+  txn_verdict : Checker.verdict;
+      (** {!Checker.check_serializable} over the multi-key transactional
+          history; trivially valid when [txn_clients = 0] *)
 }
 
 val passed : outcome -> bool
-(** Both verdicts valid. *)
+(** All verdicts valid. *)
 
 val run : ?arm:(Cluster.t -> unit) -> setup -> outcome
 (** Execute the run. [arm] is called after range setup and before the

@@ -21,6 +21,11 @@ type config = {
   bank_ops_per_client : int;
   initial_balance : int;
   unsafe_stale_reads : bool;
+  txn_clients : int;
+  txn_ops_per_client : int;
+  txn_keys : int;
+  txn_ranges : int;
+  unsafe_no_refresh : bool;
 }
 
 let default =
@@ -37,10 +42,16 @@ let default =
     bank_ops_per_client = 12;
     initial_balance = 100;
     unsafe_stale_reads = false;
+    txn_clients = 0;
+    txn_ops_per_client = 12;
+    txn_keys = 12;
+    txn_ranges = 3;
+    unsafe_no_refresh = false;
   }
 
 let key_of i = Printf.sprintf "key%03d" i
 let account_of i = Printf.sprintf "acct%02d" i
+let txn_key_of i = Printf.sprintf "tk%02d" i
 let bank_total cfg = cfg.accounts * cfg.initial_balance
 
 (* One range for the registers and one for the bank accounts, replicated
@@ -53,6 +64,19 @@ let setup ?(policy = Cluster.Lag 3_000_000) cl ~survival cfg =
   let zone = Zoneconfig.derive ~regions ~home ~survival ~placement:Zoneconfig.Default in
   let _bank = Cluster.add_range cl ~span:("acct", "acct~") ~zone ~policy in
   let _regs = Cluster.add_range cl ~span:("key", "key~") ~zone ~policy in
+  (* The transactional keyspace is deliberately carved into several ranges so
+     every multi-key transaction crosses range (and thus leaseholder)
+     boundaries; only materialized when transactional clients are enabled so
+     existing seeded histories stay byte-identical. *)
+  if cfg.txn_clients > 0 then begin
+    let nranges = max 1 (min cfg.txn_ranges cfg.txn_keys) in
+    let per = max 1 (cfg.txn_keys / nranges) in
+    for r = 0 to nranges - 1 do
+      let start_key = if r = 0 then "tk" else txn_key_of (r * per) in
+      let end_key = if r = nranges - 1 then "tk~" else txn_key_of ((r + 1) * per) in
+      ignore (Cluster.add_range cl ~span:(start_key, end_key) ~zone ~policy)
+    done
+  end;
   Cluster.settle cl;
   Cluster.bulk_load cl
     (List.init cfg.accounts (fun i -> (account_of i, string_of_int cfg.initial_balance)))
@@ -60,6 +84,7 @@ let setup ?(policy = Cluster.Lag 3_000_000) cl ~survival cfg =
 type result = {
   registers : History.t;
   bank : History.t;
+  txns : History.t;
   mutable ok : int;
   mutable failed : int;
   mutable info : int;
@@ -193,6 +218,84 @@ let bank_client cl mgr cfg r ~client ~region rng =
     end
   done
 
+let txn_status_of_outcome = function
+  | Txn.Attempt_committed ts -> History.T_committed { commit_ts = ts }
+  | Txn.Attempt_aborted _ -> History.T_aborted
+  | Txn.Attempt_indeterminate (_, ts) -> History.T_indeterminate { commit_ts = Some ts }
+
+(* Multi-key read-write transactions for the serializability checker: each
+   picks 2-4 distinct keys guaranteed to span at least two ranges, reads all
+   of them, then overwrites a strict subset with values unique to the
+   attempt ([a<txn_id>.<key>]) so the checker can infer which version every
+   read observed. Every physical attempt — including retried and
+   indeterminate ones — is recorded via [on_attempt]. *)
+let txn_client cl mgr cfg r ~client ~region rng =
+  let sim = Cluster.sim cl in
+  let h = r.txns in
+  let nranges = max 1 (min cfg.txn_ranges cfg.txn_keys) in
+  let per = max 1 (cfg.txn_keys / nranges) in
+  let in_bucket b =
+    let lo = b * per in
+    let hi = if b = nranges - 1 then cfg.txn_keys else min cfg.txn_keys (lo + per) in
+    lo + Rng.int rng (max 1 (hi - lo))
+  in
+  let pick_keys () =
+    let nkeys = min cfg.txn_keys (2 + Rng.int rng 3) in
+    let b1 = Rng.int rng nranges in
+    let b2 =
+      if nranges > 1 then (b1 + 1 + Rng.int rng (nranges - 1)) mod nranges else b1
+    in
+    let first = in_bucket b1 in
+    let second =
+      let k = in_bucket b2 in
+      if k = first then (k + 1) mod cfg.txn_keys else k
+    in
+    let rec fill acc n =
+      if n <= 0 then List.rev acc
+      else
+        let k = Rng.int rng cfg.txn_keys in
+        if List.mem k acc then fill acc n else fill (k :: acc) (n - 1)
+    in
+    List.map txn_key_of (fill [ second; first ] (nkeys - 2))
+  in
+  for _ = 0 to cfg.txn_ops_per_client - 1 do
+    Proc.sleep sim ((cfg.think_time / 2) + Rng.int rng (max 1 cfg.think_time));
+    let gateway = pick_gateway cl rng region in
+    let keys = pick_keys () in
+    (* Strictly fewer writes than reads: every transaction carries at least
+       one read-only key, the source of pure anti-dependencies. *)
+    let nwrites = 1 + Rng.int rng (List.length keys - 1) in
+    let ops = ref [] in
+    let began = ref 0 in
+    let outcome =
+      Txn.run mgr ~gateway ~max_attempts:cfg.max_attempts
+        ~on_attempt:(fun t o ->
+          History.record_txn h ~tid:(Txn.txn_id t) ~client ~began:!began
+            ~ended:(Sim.now sim) ~ops:(List.rev !ops)
+            ~status:(txn_status_of_outcome o))
+        (fun tx ->
+          ops := [];
+          began := Sim.now sim;
+          List.iter
+            (fun key ->
+              let value = Txn.get tx key in
+              ops := History.T_read { key; value } :: !ops)
+            keys;
+          List.iteri
+            (fun j key ->
+              if j < nwrites then begin
+                let value = Printf.sprintf "a%d.%s" (Txn.txn_id tx) key in
+                Txn.put tx key value;
+                ops := History.T_write { key; value } :: !ops
+              end)
+            keys)
+    in
+    (match outcome with
+    | Ok () -> r.ok <- r.ok + 1
+    | Error (Txn.Aborted _) -> r.failed <- r.failed + 1
+    | Error (Txn.Unavailable _) -> r.info <- r.info + 1)
+  done
+
 (* Run every client to completion; call inside [Cluster.run]. Client procs
    are spawned in a fixed order with RNG streams split off one base stream,
    so a (cluster seed, workload seed) pair fully determines the history. *)
@@ -200,7 +303,14 @@ let run cl mgr cfg =
   let sim = Cluster.sim cl in
   let regions = Topology.regions (Cluster.topology cl) in
   let r =
-    { registers = History.create (); bank = History.create (); ok = 0; failed = 0; info = 0 }
+    {
+      registers = History.create ();
+      bank = History.create ();
+      txns = History.create ();
+      ok = 0;
+      failed = 0;
+      info = 0;
+    }
   in
   let base = Rng.create ~seed:cfg.seed in
   let zipf = Rng.Zipf.create ~n:cfg.keys () in
@@ -223,6 +333,14 @@ let run cl mgr cfg =
     let region = List.nth regions (b mod List.length regions) in
     let rng = Rng.split base in
     procs := Proc.async sim (fun () -> bank_client cl mgr cfg r ~client ~region rng) :: !procs
+  done;
+  (* Transactional clients are split off the base stream last, so enabling
+     them leaves every pre-existing client's stream untouched. *)
+  for tcl = 0 to (if cfg.txn_keys > 1 then cfg.txn_clients else 0) - 1 do
+    let client = 2000 + tcl in
+    let region = List.nth regions (tcl mod List.length regions) in
+    let rng = Rng.split base in
+    procs := Proc.async sim (fun () -> txn_client cl mgr cfg r ~client ~region rng) :: !procs
   done;
   ignore (Proc.await_all (List.rev !procs) : unit list);
   r
@@ -252,6 +370,29 @@ let finale cl mgr cfg r =
     record r outcome;
     History.complete e ~now:(Sim.now sim) outcome
   done;
+  if cfg.txn_clients > 0 then begin
+    (* One final read of every transactional key, recorded as a transaction:
+       it anchors the serialization graph on the converged state, giving the
+       checker anti-dependency edges out of the last committed writers. *)
+    let keys = List.init cfg.txn_keys txn_key_of in
+    let ops = ref [] in
+    let began = ref 0 in
+    ignore
+      (Txn.run mgr ~gateway ~max_attempts:cfg.max_attempts
+         ~on_attempt:(fun t o ->
+           History.record_txn r.txns ~tid:(Txn.txn_id t) ~client:9999
+             ~began:!began ~ended:(Sim.now sim) ~ops:(List.rev !ops)
+             ~status:(txn_status_of_outcome o))
+         (fun tx ->
+           ops := [];
+           began := Sim.now sim;
+           List.iter
+             (fun key ->
+               let value = Txn.get tx key in
+               ops := History.T_read { key; value } :: !ops)
+             keys)
+        : (unit, Txn.error) Stdlib.result)
+  end;
   if cfg.accounts > 1 then begin
     let accounts = List.init cfg.accounts account_of in
     let e = History.invoke r.bank ~client:9999 ~now:(Sim.now sim) History.Snapshot in

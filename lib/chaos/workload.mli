@@ -30,12 +30,25 @@ type config = {
       (** deliberately broken mode: serve register reads at a bounded-stale
           timestamp but record them as fresh — the linearizability checker
           must catch this *)
+  txn_clients : int;
+      (** multi-key transactional clients; 0 (the default) disables the
+          workload and leaves all pre-existing seeded histories unchanged *)
+  txn_ops_per_client : int;
+  txn_keys : int;  (** transactional keyspace ([tk00] ...) *)
+  txn_ranges : int;
+      (** ranges the transactional keyspace is carved into, so every
+          transaction spans range boundaries *)
+  unsafe_no_refresh : bool;
+      (** deliberately broken mode: transactions skip read-span refreshes on
+          timestamp pushes (see {!Crdb_txn.Txn.set_unsafe_no_refresh}) — the
+          serializability checker must catch this *)
 }
 
 val default : config
 
 val key_of : int -> string
 val account_of : int -> string
+val txn_key_of : int -> string
 
 val bank_total : config -> int
 (** The conserved quantity: [accounts * initial_balance]. *)
@@ -49,6 +62,7 @@ val setup :
 type result = {
   registers : History.t;
   bank : History.t;
+  txns : History.t;  (** whole-transaction records of the multi-key workload *)
   mutable ok : int;
   mutable failed : int;
   mutable info : int;

@@ -21,6 +21,10 @@ type manager = {
   mutable hold_locks_during_commit_wait : bool;
       (* Spanner-style ablation: resolve intents only after commit wait *)
   mutable pipelined_writes : bool;
+  mutable unsafe_no_refresh : bool;
+      (* deliberately broken mode: timestamp pushes skip read-span
+         validation, so stale reads can commit (the serializability checker
+         must catch the resulting anti-dependency cycles) *)
   obs : Obs.t;
   c_attempts : Metrics.counter array;
   c_commits : Metrics.counter array;
@@ -40,6 +44,7 @@ let create_manager cl =
     next_txn_id = 1;
     hold_locks_during_commit_wait = false;
     pipelined_writes = true;
+    unsafe_no_refresh = false;
     stats =
       {
         commits = 0;
@@ -60,6 +65,7 @@ let cluster mgr = mgr.cl
 let stats mgr = mgr.stats
 let set_hold_locks_during_commit_wait mgr v = mgr.hold_locks_during_commit_wait <- v
 let set_pipelined_writes mgr v = mgr.pipelined_writes <- v
+let set_unsafe_no_refresh mgr v = mgr.unsafe_no_refresh <- v
 
 type read_span = Point of string | Span of string * string
 
@@ -75,6 +81,9 @@ type t = {
   mutable outstanding : (string * unit Crdb_sim.Ivar.t) list;
       (* pipelined write acks, keyed for read-your-own-writes *)
   mutable observed_future : bool;
+  mutable commit_initiated : bool;
+      (* the commit record may have been proposed: a failure after this
+         point leaves the outcome indeterminate, not aborted *)
   mutable sp : Trace.span;  (* this attempt's span; KV ops parent under it *)
 }
 
@@ -95,6 +104,8 @@ let gateway t = t.gw
 (* Read refresh (§5.1)                                                 *)
 
 let refresh_all t ~to_ts =
+  if t.mgr.unsafe_no_refresh then ()
+  else begin
   (* Validate every read span in parallel (CRDB batches the refresh). *)
   let sim = Cluster.sim t.mgr.cl in
   Metrics.inc t.mgr.c_refreshes.(t.gw);
@@ -113,6 +124,7 @@ let refresh_all t ~to_ts =
   in
   if not (List.for_all Proc.await_catch results) then
     raise (Restart "read refresh failed")
+  end
 
 let bump_and_refresh t new_ts =
   if Ts.(new_ts > t.read_ts) then begin
@@ -300,6 +312,7 @@ let resolve_intents t commit_ts =
      pipelined intent confirmations proceed concurrently; the transaction is
      committed once both complete. *)
   let sim = Cluster.sim t.mgr.cl in
+  t.commit_initiated <- true;
   let resolve_done =
     Proc.async sim (fun () ->
         Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
@@ -372,10 +385,28 @@ let fresh_txn mgr ~gateway =
     writes = [];
     outstanding = [];
     observed_future = false;
+    commit_initiated = false;
     sp = Trace.nil;
   }
 
-let run mgr ~gateway ?(max_attempts = 25) body =
+type attempt_outcome =
+  | Attempt_committed of Ts.t
+  | Attempt_aborted of string
+  | Attempt_indeterminate of string * Ts.t
+
+(* The outcome of an attempt the client lost track of: before the commit
+   record could have been proposed the abort is authoritative; after, the
+   transaction may have committed at the timestamp the commit was initiated
+   with. *)
+let failed_attempt_outcome t reason =
+  if t.commit_initiated then
+    Attempt_indeterminate (reason, Ts.max t.read_ts t.write_ts)
+  else Attempt_aborted reason
+
+let report on_attempt t outcome =
+  match on_attempt with None -> () | Some f -> f t outcome
+
+let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
   let sim = Cluster.sim mgr.cl in
   let tr = Obs.trace mgr.obs in
   let root = Trace.span tr ~node:gateway "txn.run" in
@@ -388,10 +419,12 @@ let run mgr ~gateway ?(max_attempts = 25) body =
       result
     with
     | result ->
+        report on_attempt t (Attempt_committed (Ts.max t.read_ts t.write_ts));
         Trace.finish tr t.sp;
         (n, Ok result)
     | exception Restart reason ->
         abort t;
+        report on_attempt t (failed_attempt_outcome t reason);
         mgr.stats.restarts <- mgr.stats.restarts + 1;
         Metrics.inc mgr.c_restarts.(gateway);
         Trace.annotate t.sp "restart" reason;
@@ -404,6 +437,7 @@ let run mgr ~gateway ?(max_attempts = 25) body =
         end
     | exception Fatal reason ->
         abort t;
+        report on_attempt t (failed_attempt_outcome t reason);
         Trace.annotate t.sp "fatal" reason;
         Trace.finish tr t.sp;
         (n, Error (Unavailable reason))

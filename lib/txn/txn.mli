@@ -49,17 +49,31 @@ exception Fatal of string
     example, a bounded-staleness read whose bound is not locally closed and
     whose leaseholder is unavailable). *)
 
+type attempt_outcome =
+  | Attempt_committed of Ts.t  (** committed at this MVCC timestamp *)
+  | Attempt_aborted of string  (** definitely had no effect *)
+  | Attempt_indeterminate of string * Ts.t
+      (** the commit record may have been proposed before the failure: the
+          attempt either aborted or committed at exactly this timestamp *)
+
 val run :
   manager ->
   gateway:Crdb_net.Topology.node_id ->
   ?max_attempts:int ->
+  ?on_attempt:(t -> attempt_outcome -> unit) ->
   (t -> 'a) ->
   ('a, error) result
 (** Execute the body as a serializable transaction; commits on return,
     aborts if the body raises. Automatically retried (fresh timestamp and
     txn id) on restartable errors, [max_attempts] times (default 25). The
     result is returned only after the commit point {e and} any commit wait,
-    so client-observed latency is faithful. *)
+    so client-observed latency is faithful.
+
+    [on_attempt] is called once per physical attempt, after it committed or
+    failed but before any retry, with the attempt's handle (so [txn_id] and
+    [read_ts] remain readable) and its precise fate — the hook history
+    recorders use to log every attempt, including ones whose commit record
+    raced a failure and whose outcome the client never learned. *)
 
 val get : t -> string -> string option
 val put : t -> string -> string -> unit
@@ -142,3 +156,11 @@ val set_hold_locks_during_commit_wait : manager -> bool -> unit
 val set_pipelined_writes : manager -> bool -> unit
 (** Ablation: disable CRDB-style write pipelining so every intent write
     awaits its consensus round. Default [true]. *)
+
+val set_unsafe_no_refresh : manager -> bool -> unit
+(** Deliberately broken mode for checker validation: skip read-span
+    refreshes when a transaction's timestamp is pushed (uncertainty
+    restarts and commit-time pushes alike), silently advancing [read_ts]
+    without validating that the reads still hold. Transactions can then
+    commit having read stale versions; the serializability checker must
+    flag the resulting anti-dependency cycles. Default [false]. *)

@@ -186,6 +186,121 @@ let test_lifecycle_nemesis_deterministic () =
   check Alcotest.string "identical fault logs" log1 log2;
   check Alcotest.string "identical histories" hist1 hist2
 
+(* ------------------------------------------------------------------ *)
+(* Multi-key serializability under chaos                               *)
+
+(* Transactional clients racing the full fault mix, lifecycle kinds
+   included: every transaction spans keys on different ranges while splits,
+   merges, rebalances, kills, partitions and clock jumps fire. *)
+let serializability_setup ~seed =
+  let setup = lifecycle_setup ~survival:Zoneconfig.Region ~seed in
+  {
+    setup with
+    Harness.workload = { setup.Harness.workload with Workload.txn_clients = 2 };
+  }
+
+let test_serializability_under_chaos () =
+  List.iter
+    (fun seed ->
+      let o = Harness.run (serializability_setup ~seed) in
+      if not (Harness.passed o) then
+        Alcotest.failf "seed %d: registers %s / bank %s / txns %s\nfaults:\n%s" seed
+          (Checker.verdict_to_string o.Harness.register_verdict)
+          (Checker.verdict_to_string o.Harness.bank_verdict)
+          (Checker.verdict_to_string o.Harness.txn_verdict)
+          o.Harness.fault_log;
+      check Alcotest.bool "transactions were recorded" true
+        (History.num_txns o.Harness.result.Workload.txns > 0))
+    [ 42; 101 ]
+
+let test_unsafe_no_refresh_caught () =
+  (* Deliberately broken transaction layer: timestamp pushes skip the
+     read-span refresh, so transactions commit on stale reads. The
+     dependency-graph checker must find a cycle. *)
+  let setup = serializability_setup ~seed:303 in
+  let setup =
+    {
+      setup with
+      Harness.workload = { setup.Harness.workload with Workload.unsafe_no_refresh = true };
+    }
+  in
+  let o = Harness.run setup in
+  match o.Harness.txn_verdict with
+  | Checker.Violation { message; counterexample } ->
+      check Alcotest.bool "names an anomaly class" true
+        (contains ~sub:"G2-item" message || contains ~sub:"lost update" message
+        || contains ~sub:"G1c" message || contains ~sub:"G0" message);
+      check Alcotest.bool "witness cycle rendered" true
+        (contains ~sub:"cycle:" counterexample)
+  | Checker.Valid _ | Checker.Inconclusive _ ->
+      Alcotest.fail "skipped read refreshes were not caught"
+
+let test_serializability_deterministic () =
+  (* Same seeded run twice: byte-identical transaction histories and
+     verdicts; and re-checking one recorded history is pure. *)
+  let run () =
+    let o = Harness.run (serializability_setup ~seed:42) in
+    ( o.Harness.fault_log,
+      History.txns_to_string o.Harness.result.Workload.txns,
+      Checker.verdict_to_string o.Harness.txn_verdict,
+      o.Harness.result.Workload.txns )
+  in
+  let log1, hist1, verdict1, h1 = run () in
+  let log2, hist2, verdict2, _ = run () in
+  check Alcotest.string "identical fault logs" log1 log2;
+  check Alcotest.string "identical txn histories" hist1 hist2;
+  check Alcotest.string "identical verdicts" verdict1 verdict2;
+  check Alcotest.string "re-check is byte-identical" verdict1
+    (Checker.verdict_to_string (Checker.check_serializable h1));
+  (* Also on a violating history: same counterexample, byte for byte. *)
+  let broken_setup =
+    let s = serializability_setup ~seed:303 in
+    { s with Harness.workload = { s.Harness.workload with Workload.unsafe_no_refresh = true } }
+  in
+  let v1 = (Harness.run broken_setup).Harness.txn_verdict in
+  let v2 = (Harness.run broken_setup).Harness.txn_verdict in
+  check Alcotest.string "identical counterexamples" (Checker.verdict_to_string v1)
+    (Checker.verdict_to_string v2)
+
+let test_dump_roundtrip () =
+  (* Dump -> load -> identical checker verdicts, and the reserialization is
+     the identity. *)
+  let setup = serializability_setup ~seed:42 in
+  let o = Harness.run setup in
+  let d =
+    Crdb_chaos.Dump.of_result
+      ~bank_total:(Workload.bank_total setup.Harness.workload)
+      o.Harness.result
+  in
+  let s = Crdb_chaos.Dump.serialize d in
+  match Crdb_chaos.Dump.deserialize s with
+  | Error msg -> Alcotest.failf "dump did not load back: %s" msg
+  | Ok d' ->
+      check Alcotest.string "reserialization is the identity" s
+        (Crdb_chaos.Dump.serialize d');
+      List.iter2
+        (fun (label, v) (label', v') ->
+          check Alcotest.string "same checker" label label';
+          check Alcotest.string
+            (label ^ ": same verdict offline")
+            (Checker.verdict_to_string v)
+            (Checker.verdict_to_string v'))
+        (Crdb_chaos.Dump.check d)
+        (Crdb_chaos.Dump.check d');
+      (* The offline verdicts match the harness's in-process ones. *)
+      (match Crdb_chaos.Dump.check d' with
+      | [ (_, regs); (_, bank); (_, txns) ] ->
+          check Alcotest.string "registers verdict matches"
+            (Checker.verdict_to_string o.Harness.register_verdict)
+            (Checker.verdict_to_string regs);
+          check Alcotest.string "bank verdict matches"
+            (Checker.verdict_to_string o.Harness.bank_verdict)
+            (Checker.verdict_to_string bank);
+          check Alcotest.string "txns verdict matches"
+            (Checker.verdict_to_string o.Harness.txn_verdict)
+            (Checker.verdict_to_string txns)
+      | _ -> Alcotest.fail "unexpected checker list")
+
 let test_unsafe_stale_reads_caught () =
   (* Deliberately broken config: bounded-stale reads recorded as fresh.
      The linearizability checker must produce a counterexample. *)
@@ -413,6 +528,12 @@ let suite =
       test_lifecycle_nemesis;
     Alcotest.test_case "lifecycle nemesis determinism" `Slow
       test_lifecycle_nemesis_deterministic;
+    Alcotest.test_case "serializability under chaos" `Slow
+      test_serializability_under_chaos;
+    Alcotest.test_case "unsafe no-refresh caught" `Slow test_unsafe_no_refresh_caught;
+    Alcotest.test_case "serializability determinism" `Slow
+      test_serializability_deterministic;
+    Alcotest.test_case "history dump round trip" `Slow test_dump_roundtrip;
     Alcotest.test_case "unsafe stale reads caught" `Slow test_unsafe_stale_reads_caught;
     Alcotest.test_case "quorum guard respects survival goal" `Slow
       test_quorum_guard_blocks_majority_kill;

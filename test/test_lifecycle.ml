@@ -155,6 +155,41 @@ let test_merge_requires_matching_config () =
   check Alcotest.bool "mismatched zones refuse to merge" false
     (Cluster.merge_range cl r1)
 
+let test_merge_requires_adjacency () =
+  (* A range whose right edge is not another range's left edge has no merge
+     partner: merging must be refused cleanly, leaving spans and routing
+     untouched. Exercises both a keyspace gap and the rightmost range. *)
+  let cl = make_cluster () in
+  let r1 =
+    Cluster.add_range cl ~span:("a", "m") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  let r2 =
+    Cluster.add_range cl ~span:("q", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  check Alcotest.bool "gap on the right refuses to merge" false
+    (Cluster.merge_range cl r1);
+  check Alcotest.bool "rightmost range refuses to merge" false
+    (Cluster.merge_range cl r2);
+  check
+    Alcotest.(pair string string)
+    "left span untouched" ("a", "m") (Cluster.span_of cl r1);
+  check
+    Alcotest.(pair string string)
+    "right span untouched" ("q", "z") (Cluster.span_of cl r2);
+  check Alcotest.int "both ranges still route" 2 (List.length (Cluster.ranges cl));
+  (* Both ranges still serve traffic after the refused merges. *)
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "apple" "red");
+      ignore (put cl ~gateway:gw ~txn:2 "rhubarb" "tart");
+      check Alcotest.(option string) "left range write" (Some "red")
+        (get cl ~gateway:gw "apple");
+      check Alcotest.(option string) "right range write" (Some "tart")
+        (get cl ~gateway:gw "rhubarb"))
+
 let test_hundred_splits_route () =
   let cl = make_cluster () in
   let rid =
@@ -334,6 +369,8 @@ let suite =
     Alcotest.test_case "merge subsumes right" `Quick test_merge_subsumes_right;
     Alcotest.test_case "merge requires matching config" `Quick
       test_merge_requires_matching_config;
+    Alcotest.test_case "merge requires adjacency" `Quick
+      test_merge_requires_adjacency;
     Alcotest.test_case "100+ splits route" `Quick test_hundred_splits_route;
     Alcotest.test_case "allocator skewed diversity" `Quick
       test_allocator_skewed_diversity;

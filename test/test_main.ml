@@ -15,6 +15,7 @@ let () =
       ("sql", Test_sql.suite);
       ("workload", Test_workload.suite);
       ("clock_skew", Test_clock_skew.suite);
+      ("check", Test_check.suite);
       ("chaos", Test_chaos.suite);
       ("integration", Test_integration.suite);
     ]
