@@ -608,7 +608,9 @@ let run_splits () =
                Cluster.read cl ~gateway:gw ~txn:None ~key:k ~ts ~max_ts ()
              with
             | Cluster.Read_value _ | Cluster.Read_uncertain _ -> ()
-            | Cluster.Read_redirect | Cluster.Read_err _ -> incr errors);
+            | Cluster.Read_redirect | Cluster.Read_wounded _
+            | Cluster.Read_err _ ->
+                incr errors);
             Hist.add read_h (Crdb_sim.Sim.now sim - t0)
           end
         done);
@@ -620,6 +622,91 @@ let run_splits () =
   in
   run_phase ~label:"single range" ~target_ranges:1;
   run_phase ~label:"after splits" ~target_ranges:120
+
+(* ------------------------------------------------------------------ *)
+(* Wound-wait vs timeout-only conflict resolution                      *)
+
+let run_conflicts () =
+  section "Conflict resolution: wound-wait vs 10s-timeout baseline";
+  printf
+    "6 clients hammer 4 hot keys with two-key transactions that acquire@.\
+     locks in random order (deadlock-prone); the hot range's leaseholder@.\
+     is killed mid-run, orphaning in-flight intents. The baseline sets@.\
+     push_delay = conflict_wait_timeout, disabling pushes: every deadlock@.\
+     and orphaned intent costs the full 10s timeout. Wound-wait pushes@.\
+     after 100ms and wounds the younger transaction instead.@.";
+  let run_one ~label ~push_delay =
+    let regions = regions3 in
+    let topology = Crdb.Topology.symmetric ~regions ~nodes_per_region:3 in
+    let config = { Cluster.default with Cluster.push_delay } in
+    let cl = Cluster.create ~config ~topology ~latency:Latency.table1 () in
+    let zone =
+      Crdb.Zoneconfig.derive ~regions ~home:(List.hd regions)
+        ~survival:Crdb.Zoneconfig.Zone ~placement:Crdb.Zoneconfig.Default
+    in
+    let rid =
+      Cluster.add_range cl ~span:("hot", "hot~") ~zone
+        ~policy:(Cluster.Lag 3_000_000)
+    in
+    Cluster.settle cl;
+    let mgr = Txn.create_manager cl in
+    let sim = Cluster.sim cl in
+    let rng = Crdb_stdx.Rng.create ~seed:7 in
+    let lat = Hist.create () in
+    let key i = Printf.sprintf "hot%02d" i in
+    let nclients = 6 and ops = 8 and hot = 4 in
+    let ok = ref 0 and failed = ref 0 in
+    let home_nodes =
+      Crdb.Topology.nodes_in_region (Cluster.topology cl) (List.hd regions)
+    in
+    Cluster.run cl (fun () ->
+        Crdb_sim.Proc.spawn sim (fun () ->
+            Crdb_sim.Proc.sleep sim 2_000_000;
+            match Cluster.leaseholder cl rid with
+            | Some lh ->
+                Crdb.Transport.kill_node (Cluster.net cl) lh;
+                Crdb_sim.Proc.sleep sim 4_000_000;
+                Crdb.Transport.revive_node (Cluster.net cl) lh
+            | None -> ());
+        let clients =
+          List.init nclients (fun c ->
+              let crng = Crdb_stdx.Rng.split rng in
+              Crdb_sim.Proc.async sim (fun () ->
+                  let gw =
+                    (List.nth home_nodes (c mod List.length home_nodes))
+                      .Crdb.Topology.id
+                  in
+                  for _ = 1 to ops do
+                    Crdb_sim.Proc.sleep sim
+                      (50_000 + Crdb_stdx.Rng.int crng 100_000);
+                    let a = Crdb_stdx.Rng.int crng hot in
+                    let b = (a + 1 + Crdb_stdx.Rng.int crng (hot - 1)) mod hot in
+                    let t0 = Crdb_sim.Sim.now sim in
+                    (match
+                       Txn.run mgr ~gateway:gw (fun t ->
+                           Txn.put t (key a) "x";
+                           Crdb_sim.Proc.sleep sim 20_000;
+                           Txn.put t (key b) "y")
+                     with
+                    | Ok () -> incr ok
+                    | Error _ -> incr failed);
+                    Hist.add lat (Crdb_sim.Sim.now sim - t0)
+                  done))
+        in
+        List.iter Crdb_sim.Proc.await clients);
+    subsection label;
+    row "  txn latency" lat;
+    let m = Crdb.Obs.metrics (Cluster.obs cl) in
+    printf "  %d ok, %d failed; %d pushes, %d wounds, %d conflict timeouts@."
+      !ok !failed
+      (Crdb.Metrics.total m "kv.txn_pushes")
+      (Crdb.Metrics.total m "kv.txn_wounds")
+      (Crdb.Metrics.total m "kv.conflict_timeouts")
+  in
+  run_one ~label:"timeout-only baseline (pushes disabled)"
+    ~push_delay:Cluster.default.Cluster.conflict_wait_timeout;
+  run_one ~label:"wound-wait (100ms push delay)"
+    ~push_delay:Cluster.default.Cluster.push_delay
 
 (* ------------------------------------------------------------------ *)
 (* Chaos smoke: nemesis schedule + history checking                    *)
@@ -744,6 +831,7 @@ let experiments =
     ("fig6", run_fig6);
     ("table2", run_table2);
     ("ablations", run_ablations);
+    ("conflicts", run_conflicts);
     ("splits", run_splits);
     ("chaos", run_chaos);
     ("micro", run_micro);

@@ -240,8 +240,8 @@ let survival_conv =
 let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
     ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
-    ~txn_keys ~txn_ranges ~unsafe_no_refresh ~dump_history ~show_history
-    ~trace ~metrics =
+    ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
+    ~max_conflict_timeouts ~dump_history ~show_history ~trace ~metrics =
   (* [--checker serializability] implies the transactional workload. *)
   let txn_clients =
     if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
@@ -260,6 +260,7 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
       txn_ops_per_client = txn_ops;
       txn_keys;
       txn_ranges;
+      txn_hot_keys;
       unsafe_no_refresh;
     }
   in
@@ -335,12 +336,27 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
           exit 1)
   | None -> ());
   if metrics then Format.printf "%a" Crdb.Metrics.pp (Crdb.Obs.metrics obs);
-  Harness.passed o
+  let m = Crdb.Obs.metrics obs in
+  let conflict_timeouts = Crdb.Metrics.total m "kv.conflict_timeouts" in
+  Format.printf "conflicts: %d pushes, %d wounds, %d cleanups, %d timeouts@."
+    (Crdb.Metrics.total m "kv.txn_pushes")
+    (Crdb.Metrics.total m "kv.txn_wounds")
+    (Crdb.Metrics.total m "kv.intent_cleanups")
+    conflict_timeouts;
+  let timeouts_ok =
+    max_conflict_timeouts < 0 || conflict_timeouts <= max_conflict_timeouts
+  in
+  if not timeouts_ok then
+    Format.eprintf
+      "chaos: %d conflict timeouts exceed --max-conflict-timeouts %d@."
+      conflict_timeouts max_conflict_timeouts;
+  Harness.passed o && timeouts_ok
 
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
-    unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges
-    unsafe_no_refresh dump_history show_history trace metrics =
+    unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges txn_hot_keys
+    unsafe_no_refresh max_conflict_timeouts dump_history show_history trace
+    metrics =
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
     let dump_history =
@@ -353,8 +369,8 @@ let run_chaos seed seeds nregions survival global duration faults fault_interval
         (run_chaos_one ~seed:s ~nregions ~survival ~global ~duration ~faults
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
            ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
-           ~txn_keys ~txn_ranges ~unsafe_no_refresh ~dump_history ~show_history
-           ~trace ~metrics)
+           ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
+           ~max_conflict_timeouts ~dump_history ~show_history ~trace ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -422,6 +438,21 @@ let chaos_cmd =
   let txn_ranges =
     Arg.(value & opt int 3 & info [ "txn-ranges" ] ~doc:"Ranges the transactional keyspace is carved into")
   in
+  let txn_hot_keys =
+    Arg.(value & opt int 0
+         & info [ "txn-hot-keys" ]
+             ~doc:
+               "Confine transactional clients to the first N keys, forcing \
+                write-write conflicts that exercise wound-wait (0 keeps the \
+                uniform picker)")
+  in
+  let max_conflict_timeouts =
+    Arg.(value & opt int (-1)
+         & info [ "max-conflict-timeouts" ]
+             ~doc:
+               "Fail the run if kv.conflict_timeouts exceeds this bound \
+                (-1 disables the gate); healthy wound-wait runs expect 0")
+  in
   let unsafe_no_refresh =
     Arg.(value & flag
          & info [ "unsafe-no-refresh" ]
@@ -445,8 +476,9 @@ let chaos_cmd =
       const run_chaos $ seed $ seeds $ nregions $ survival $ global $ duration
       $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
       $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
-      $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ unsafe_no_refresh
-      $ dump_history $ show_history $ trace_arg $ metrics_arg)
+      $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ txn_hot_keys
+      $ unsafe_no_refresh $ max_conflict_timeouts $ dump_history $ show_history
+      $ trace_arg $ metrics_arg)
 
 (* ---------------- check (offline) ---------------- *)
 
@@ -619,7 +651,9 @@ let run_splits target_ranges n_keys ops trace metrics =
           in
           match Cluster.read cl ~gateway:gw ~txn:None ~key:k ~ts ~max_ts () with
           | Cluster.Read_value _ | Cluster.Read_uncertain _ -> ()
-          | Cluster.Read_redirect | Cluster.Read_err _ -> incr errors
+          | Cluster.Read_redirect | Cluster.Read_wounded _ | Cluster.Read_err _
+            ->
+              incr errors
       done);
   Format.printf "workload: %d ops, %d errors@." ops !errors;
   (* Merge adjacent pairs back down while configs allow it. *)

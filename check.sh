@@ -64,6 +64,15 @@ echo "$out" | grep -q "G2-item" || {
   exit 1
 }
 
+# Wound-wait conflict gate: a conflict-heavy transactional workload (all
+# clients hammering 4 hot keys) racing leaseholder kills must finish with
+# zero 10s conflict timeouts — deadlocks and orphaned intents are resolved
+# by the push/wound protocol — and a clean serializability verdict.
+echo "== wound-wait conflict gate (seeds 501-503)"
+dune exec bin/crdb_sim.exe -- chaos --seed 501 --seeds 3 --survival region \
+  --checker serializability --txn-clients 6 --txn-hot-keys 4 \
+  --faults kill-node,lease-transfer --max-conflict-timeouts 0
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt

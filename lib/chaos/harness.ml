@@ -16,6 +16,7 @@ type setup = {
   script : (int * Nemesis.fault) list option;
   duration : int;
   workload : Workload.config;
+  cluster_config : Cluster.config option;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     script = None;
     duration = 20_000_000;
     workload = Workload.default;
+    cluster_config = None;
   }
 
 type outcome = {
@@ -51,15 +53,18 @@ let passed o =
 let run ?(arm = fun (_ : Cluster.t) -> ()) s =
   let regions = List.filteri (fun i _ -> i < s.regions) Latency.table1_regions in
   let topology = Topology.symmetric ~regions ~nodes_per_region:3 in
+  let base = Option.value s.cluster_config ~default:Cluster.default in
   let cl =
     Cluster.create
-      ~config:{ Cluster.default_config with seed = s.cluster_seed }
+      ~config:{ base with Cluster.seed = s.cluster_seed }
       ~topology ~latency:Latency.table1 ()
   in
   Workload.setup ~policy:s.policy cl ~survival:s.survival s.workload;
   arm cl;
   let mgr = Txn.create_manager cl in
-  if s.workload.Workload.unsafe_no_refresh then Txn.set_unsafe_no_refresh mgr true;
+  if s.workload.Workload.unsafe_no_refresh then
+    Txn.set_options mgr
+      { (Txn.options mgr) with Txn.Options.unsafe_no_refresh = true };
   let result, fault_log =
     Cluster.run cl (fun () ->
         let nem =

@@ -20,6 +20,9 @@ type setup = {
   script : (int * Nemesis.fault) list option;  (** timed script, wins over random *)
   duration : int;  (** µs the random nemesis stays active *)
   workload : Workload.config;
+  cluster_config : Cluster.config option;
+      (** base KV config; [seed] is overridden by [cluster_seed]. [None]
+          means {!Cluster.default} *)
 }
 
 val default : setup

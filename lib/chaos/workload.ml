@@ -25,6 +25,7 @@ type config = {
   txn_ops_per_client : int;
   txn_keys : int;
   txn_ranges : int;
+  txn_hot_keys : int;
   unsafe_no_refresh : bool;
 }
 
@@ -46,6 +47,7 @@ let default =
     txn_ops_per_client = 12;
     txn_keys = 12;
     txn_ranges = 3;
+    txn_hot_keys = 0;
     unsafe_no_refresh = false;
   }
 
@@ -239,6 +241,21 @@ let txn_client cl mgr cfg r ~client ~region rng =
     let hi = if b = nranges - 1 then cfg.txn_keys else min cfg.txn_keys (lo + per) in
     lo + Rng.int rng (max 1 (hi - lo))
   in
+  (* Conflict-heavy mode: confine every transaction to the first
+     [txn_hot_keys] keys so writers pile onto the same locks (wound-wait
+     exercise). Off ([= 0]) by default, leaving the code path — and thus
+     seeded histories — untouched. *)
+  let pick_hot_keys () =
+    let hot = min cfg.txn_hot_keys cfg.txn_keys in
+    let nkeys = min hot (2 + Rng.int rng 3) in
+    let rec fill acc n =
+      if n <= 0 then List.rev acc
+      else
+        let k = Rng.int rng hot in
+        if List.mem k acc then fill acc n else fill (k :: acc) (n - 1)
+    in
+    List.map txn_key_of (fill [] nkeys)
+  in
   let pick_keys () =
     let nkeys = min cfg.txn_keys (2 + Rng.int rng 3) in
     let b1 = Rng.int rng nranges in
@@ -261,7 +278,9 @@ let txn_client cl mgr cfg r ~client ~region rng =
   for _ = 0 to cfg.txn_ops_per_client - 1 do
     Proc.sleep sim ((cfg.think_time / 2) + Rng.int rng (max 1 cfg.think_time));
     let gateway = pick_gateway cl rng region in
-    let keys = pick_keys () in
+    let keys =
+      if cfg.txn_hot_keys >= 2 then pick_hot_keys () else pick_keys ()
+    in
     (* Strictly fewer writes than reads: every transaction carries at least
        one read-only key, the source of pure anti-dependencies. *)
     let nwrites = 1 + Rng.int rng (List.length keys - 1) in

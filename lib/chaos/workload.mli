@@ -38,9 +38,14 @@ type config = {
   txn_ranges : int;
       (** ranges the transactional keyspace is carved into, so every
           transaction spans range boundaries *)
+  txn_hot_keys : int;
+      (** when [>= 2], transactional clients pick all their keys from the
+          first [txn_hot_keys] keys, forcing write-write conflicts that
+          exercise wound-wait; 0 (the default) keeps the uniform key picker
+          and leaves seeded histories unchanged *)
   unsafe_no_refresh : bool;
       (** deliberately broken mode: transactions skip read-span refreshes on
-          timestamp pushes (see {!Crdb_txn.Txn.set_unsafe_no_refresh}) — the
+          timestamp pushes (see {!Crdb_txn.Txn.Options}) — the
           serializability checker must catch this *)
 }
 

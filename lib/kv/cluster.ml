@@ -24,11 +24,13 @@ type config = {
   raft_election_timeout : int;
   raft_heartbeat_interval : int;
   conflict_wait_timeout : int;
+  push_delay : int;
+  txn_heartbeat_interval : int;
   jitter : float;
   seed : int;
 }
 
-let default_config =
+let default =
   {
     max_offset = 250_000;
     close_lag = 3_000_000;
@@ -36,9 +38,13 @@ let default_config =
     raft_election_timeout = 3_000_000;
     raft_heartbeat_interval = 1_000_000;
     conflict_wait_timeout = 10_000_000;
+    push_delay = 100_000;
+    txn_heartbeat_interval = 1_000_000;
     jitter = 0.05;
     seed = 0xC0C;
   }
+
+let default_config = default
 
 type range_id = int
 
@@ -49,8 +55,6 @@ type op =
 type cmd = { closed : Ts.t; proposer : int; op : op; done_ : unit Ivar.t }
 type snap = { snap_store : Mvcc.t; snap_closed : Ts.t }
 
-type lock = { l_txn : int; mutable l_ts : Ts.t; mutable l_waiters : unit Ivar.t list }
-
 type replica = {
   r_node : int;
   r_range : range;
@@ -59,8 +63,7 @@ type replica = {
   mutable r_applied_closed : Ts.t;
   mutable r_side_closed : Ts.t;
   mutable r_pending_side : (int * Ts.t) list;
-  r_locks : (string, lock) Hashtbl.t;
-  r_resolve_waiters : (string, unit Ivar.t list ref) Hashtbl.t;
+  r_lt : Lock_table.t;
 }
 
 and range = {
@@ -89,15 +92,21 @@ type t = {
   load : int array; (* replicas per node *)
   diag : diag;
   obs : Obs.t;
+  txns : Txnrec.t;
+  mutable waiting : int; (* parked conflict waiters, mirrors g_waiters *)
   (* Cached per-node counters for per-operation paths. *)
   c_fr_hit : Metrics.counter array;
   c_fr_miss : Metrics.counter array;
   c_ct_publish : Metrics.counter array;
   c_conflict_timeout : Metrics.counter array;
+  c_push : Metrics.counter array;
+  c_wound : Metrics.counter array;
+  c_cleanup : Metrics.counter array;
   c_splits : Metrics.counter;
   c_merges : Metrics.counter;
   c_rebalances : Metrics.counter;
   g_ranges : Metrics.gauge;
+  g_waiters : Metrics.gauge;
 }
 
 and diag = {
@@ -107,6 +116,8 @@ and diag = {
   mutable d_not_leader : int;
   mutable d_lock_waits : int;
   mutable d_intent_waits : int;
+  mutable d_pushes : int;
+  mutable d_wounds : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -154,17 +165,25 @@ let create ?(config = default_config) ~topology ~latency () =
         d_not_leader = 0;
         d_lock_waits = 0;
         d_intent_waits = 0;
+        d_pushes = 0;
+        d_wounds = 0;
       };
     obs;
+    txns = Txnrec.create ();
+    waiting = 0;
     c_fr_hit = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_hits");
     c_fr_miss = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_misses");
     c_ct_publish = Array.init n (fun i -> Metrics.counter m ~node:i "kv.ct_publishes");
     c_conflict_timeout =
       Array.init n (fun i -> Metrics.counter m ~node:i "kv.conflict_timeouts");
+    c_push = Array.init n (fun i -> Metrics.counter m ~node:i "kv.txn_pushes");
+    c_wound = Array.init n (fun i -> Metrics.counter m ~node:i "kv.txn_wounds");
+    c_cleanup = Array.init n (fun i -> Metrics.counter m ~node:i "kv.intent_cleanups");
     c_splits = Metrics.counter m "kv.splits";
     c_merges = Metrics.counter m "kv.merges";
     c_rebalances = Metrics.counter m "kv.rebalances";
     g_ranges = Metrics.gauge m "kv.ranges";
+    g_waiters = Metrics.gauge m "kv.conflict_waiters";
   }
 
 let sim t = t.sim
@@ -300,18 +319,7 @@ let promote_side r =
       r.r_pending_side <- pending
 
 (* ------------------------------------------------------------------ *)
-(* Lock table and intent waiters                                       *)
-
-let wake_waiters r key =
-  (match Hashtbl.find_opt r.r_resolve_waiters key with
-  | Some ivars ->
-      let ws = !ivars in
-      Hashtbl.remove r.r_resolve_waiters key;
-      List.iter (fun iv -> ignore (Ivar.try_fill iv ())) ws
-  | None -> ());
-  match Hashtbl.find_opt r.r_locks key with
-  | Some _ -> ()
-  | None -> ()
+(* Conflict resolution: lock table waits plus the push/wound protocol  *)
 
 (* Bound on waiting for a proposed command to apply locally. A proposal can
    be lost forever when its leader is deposed or crash-restarts before the
@@ -320,45 +328,126 @@ let wake_waiters r key =
    with the outcome reported as ambiguous if retries are exhausted. *)
 let propose_timeout = 15_000_000
 
-(* Returns false if the wait timed out (possible abandoned intent or
-   deadlock); callers surface a restartable error. *)
-let wait_for_resolve t r key =
-  t.diag.d_intent_waits <- t.diag.d_intent_waits + 1;
-  let iv = Ivar.create () in
-  (match Hashtbl.find_opt r.r_resolve_waiters key with
-  | Some ivars -> ivars := iv :: !ivars
-  | None -> Hashtbl.replace r.r_resolve_waiters key (ref [ iv ]));
-  match Proc.await_timeout t.sim iv ~timeout:t.cfg.conflict_wait_timeout with
-  | Some () -> true
-  | None ->
-      t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
-      Metrics.inc t.c_conflict_timeout.(r.r_node);
-      false
-
-let release_lock r key txn =
-  match Hashtbl.find_opt r.r_locks key with
-  | Some l when l.l_txn = txn ->
-      Hashtbl.remove r.r_locks key;
-      List.iter (fun iv -> ignore (Ivar.try_fill iv ())) l.l_waiters
-  | Some _ | None -> ()
-
-let wait_for_lock t r l =
-  t.diag.d_lock_waits <- t.diag.d_lock_waits + 1;
-  let iv = Ivar.create () in
-  l.l_waiters <- iv :: l.l_waiters;
-  match Proc.await_timeout t.sim iv ~timeout:t.cfg.conflict_wait_timeout with
-  | Some () -> true
-  | None ->
-      t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
-      Metrics.inc t.c_conflict_timeout.(r.r_node);
-      false
-
-(* ------------------------------------------------------------------ *)
-(* Command application (the replicated state machine)                  *)
-
 let in_span rg key =
   let s, e = rg.rg_span in
   String.compare key s >= 0 && String.compare key e < 0
+
+(* How the waiting transaction itself has fared in the registry. Checked at
+   the head of every evaluation and on every wait tick: a wounded writer must
+   not lay new intents after a pusher started cleaning up its old ones. *)
+let own_fate t ~txn =
+  match txn with
+  | None -> `Live
+  | Some txn -> (
+      match Txnrec.status t.txns ~txn with
+      | Some (Txnrec.Aborted { reason; wound = true }) -> `Wounded reason
+      | Some (Txnrec.Aborted { wound = false; _ }) -> `Aborted
+      | Some Txnrec.Pending | Some (Txnrec.Committed _) | None -> `Live)
+
+(* Fire-and-forget resolution of a finished (wounded / aborted / committed /
+   abandoned) blocker's intent on one key. The apply of the Op_resolve both
+   removes the intent and wakes the key's waiters, so the pusher simply goes
+   back to waiting for that wakeup. Proposing is idempotent: resolving an
+   already-resolved intent is a no-op, and a duplicate only occupies one log
+   slot. Not proposable when this replica lost leadership — the next wait
+   tick notices and re-routes instead. *)
+let propose_cleanup t r ~key ~blocker ~commit =
+  match r.r_raft with
+  | Some raft when Raft.is_leader raft ->
+      let target = next_closed_target t r.r_range r.r_node in
+      let cmd =
+        {
+          closed = target;
+          proposer = r.r_node;
+          op = Op_resolve { txn = blocker; keys = [ key ]; commit };
+          done_ = Ivar.create ();
+        }
+      in
+      ignore (Raft.propose raft cmd : int option)
+  | Some _ | None -> ()
+
+(* Park on [key] until the conflict with [blocker] clears, pushing the
+   blocker's transaction record every [push_delay]. The wound-wait rule is
+   what makes this deadlock-free: a push only ever aborts a strictly younger
+   blocker, so every waits-for edge that survives points from younger to
+   older and no cycle can persist. [conflict_wait_timeout] remains as a
+   last-resort backstop only. *)
+let wait_on_conflict t r ~key ~kind ~blocker ~waiter =
+  (match kind with
+  | `Lock -> t.diag.d_lock_waits <- t.diag.d_lock_waits + 1
+  | `Intent -> t.diag.d_intent_waits <- t.diag.d_intent_waits + 1);
+  let iv = Lock_table.park r.r_lt ~key in
+  t.waiting <- t.waiting + 1;
+  Metrics.set t.g_waiters t.waiting;
+  let deadline = Sim.now t.sim + t.cfg.conflict_wait_timeout in
+  let liveness = 3 * t.cfg.txn_heartbeat_interval in
+  let finish outcome =
+    Lock_table.unpark r.r_lt ~key iv;
+    t.waiting <- t.waiting - 1;
+    Metrics.set t.g_waiters t.waiting;
+    (match outcome with
+    | Lock_table.Timed_out ->
+        t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
+        Metrics.inc t.c_conflict_timeout.(r.r_node)
+    | Lock_table.Acquired | Lock_table.Wounded _ | Lock_table.Pusher_aborted ->
+        ());
+    outcome
+  in
+  let leader () =
+    match r.r_raft with Some raft -> Raft.is_leader raft | None -> false
+  in
+  let rec loop () =
+    let now = Sim.now t.sim in
+    if now >= deadline then finish Lock_table.Timed_out
+    else
+      let slice = min t.cfg.push_delay (deadline - now) in
+      match Proc.await_timeout t.sim iv ~timeout:slice with
+      | Some () -> finish Lock_table.Acquired
+      | None ->
+          if r.r_range.rg_dropped || (not (leader ())) || not (in_span r.r_range key)
+          then
+            (* Routing moved while we were parked; force a re-evaluation,
+               which redirects to the current leaseholder. *)
+            finish Lock_table.Acquired
+          else begin
+            match own_fate t ~txn:waiter with
+            | `Wounded reason -> finish (Lock_table.Wounded reason)
+            | `Aborted -> finish Lock_table.Pusher_aborted
+            | `Live ->
+                let pusher =
+                  Option.bind waiter (fun w -> Txnrec.priority t.txns ~txn:w)
+                in
+                t.diag.d_pushes <- t.diag.d_pushes + 1;
+                Metrics.inc t.c_push.(r.r_node);
+                (match Txnrec.push t.txns ~blocker ~pusher ~now ~liveness with
+                | Txnrec.Wait -> ()
+                | Txnrec.Wound _ ->
+                    t.diag.d_wounds <- t.diag.d_wounds + 1;
+                    Metrics.inc t.c_wound.(r.r_node);
+                    Trace.event (Obs.trace t.obs) ~node:r.r_node
+                      ~range:r.r_range.rg_id
+                      ~attrs:
+                        [
+                          ("blocker", string_of_int blocker);
+                          ("key", key);
+                          ( "pusher",
+                            match waiter with
+                            | Some w -> string_of_int w
+                            | None -> "-" );
+                        ]
+                      "kv.wound";
+                    Metrics.inc t.c_cleanup.(r.r_node);
+                    propose_cleanup t r ~key ~blocker ~commit:None
+                | Txnrec.Cleanup commit ->
+                    Metrics.inc t.c_cleanup.(r.r_node);
+                    propose_cleanup t r ~key ~blocker ~commit);
+                loop ()
+          end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Command application (the replicated state machine)                  *)
 
 let apply_cmd t r cmd =
   r.r_applied_closed <- Ts.max r.r_applied_closed cmd.closed;
@@ -397,8 +486,7 @@ let apply_cmd t r cmd =
           | None -> ()
           | Some owner ->
               Mvcc.resolve_intent owner.r_store ~key ~txn_id:txn ~commit;
-              release_lock owner key txn;
-              wake_waiters owner key)
+              Lock_table.release owner.r_lt ~key ~txn)
         keys);
   promote_side r;
   if cmd.proposer = r.r_node then ignore (Ivar.try_fill cmd.done_ ())
@@ -456,8 +544,7 @@ let rec make_replica t rg node =
       r_applied_closed = Ts.zero;
       r_side_closed = Ts.zero;
       r_pending_side = [];
-      r_locks = Hashtbl.create 16;
-      r_resolve_waiters = Hashtbl.create 16;
+      r_lt = Lock_table.create ();
     }
   in
   Hashtbl.replace rg.rg_replicas node r;
@@ -566,7 +653,7 @@ and raft_callbacks t rg r =
       (fun () -> { snap_store = Mvcc.copy r.r_store; snap_closed = r.r_applied_closed });
     install_snapshot =
       (fun s ->
-        Hashtbl.reset r.r_locks;
+        Lock_table.clear_locks r.r_lt;
         r.r_applied_closed <- Ts.max r.r_applied_closed s.snap_closed;
         Mvcc.replace_with r.r_store s.snap_store);
     is_node_live = (fun node -> Liveness.believed_live t.live node);
@@ -851,28 +938,7 @@ let split_range t rid ~at =
             let rrep = make_replica t right node in
             Mvcc.replace_with rrep.r_store seed;
             rrep.r_applied_closed <- replica_closed lrep;
-            let moved_locks =
-              Hashtbl.fold
-                (fun key l acc ->
-                  if String.compare key at >= 0 then (key, l) :: acc else acc)
-                lrep.r_locks []
-            in
-            List.iter
-              (fun (key, l) ->
-                Hashtbl.remove lrep.r_locks key;
-                Hashtbl.replace rrep.r_locks key l)
-              moved_locks;
-            let moved_waiters =
-              Hashtbl.fold
-                (fun key ws acc ->
-                  if String.compare key at >= 0 then (key, ws) :: acc else acc)
-                lrep.r_resolve_waiters []
-            in
-            List.iter
-              (fun (key, ws) ->
-                Hashtbl.remove lrep.r_resolve_waiters key;
-                Hashtbl.replace rrep.r_resolve_waiters key ws)
-              moved_waiters
+            Lock_table.split_move lrep.r_lt ~into:rrep.r_lt ~at
           end)
         rg.rg_replicas;
       Hashtbl.iter
@@ -940,23 +1006,9 @@ let merge_range t rid =
                     Hashtbl.iter
                       (fun _ lrep -> Mvcc.absorb lrep.r_store rl.r_store)
                       rg.rg_replicas;
+                    Lock_table.absorb ll.r_lt ~from:rl.r_lt;
                     Hashtbl.iter
-                      (fun key l -> Hashtbl.replace ll.r_locks key l)
-                      rl.r_locks;
-                    Hashtbl.iter
-                      (fun _ rrep ->
-                        Hashtbl.iter
-                          (fun _ l ->
-                            List.iter
-                              (fun iv -> ignore (Ivar.try_fill iv () : bool))
-                              l.l_waiters)
-                          rrep.r_locks;
-                        Hashtbl.iter
-                          (fun _ ws ->
-                            List.iter
-                              (fun iv -> ignore (Ivar.try_fill iv () : bool))
-                              !ws)
-                          rrep.r_resolve_waiters)
+                      (fun _ rrep -> Lock_table.wake_all rrep.r_lt)
                       right.rg_replicas;
                     Tscache.bump_low_water rg.rg_tscache
                       (Tscache.max_read_span right.rg_tscache ~for_txn:None
@@ -1168,8 +1220,7 @@ let restart_node t node =
                side-channel closed-timestamp state, which is re-learned from
                the next publications. Applied MVCC data and the Raft log are
                disk-backed and survive. *)
-            Hashtbl.reset r.r_locks;
-            Hashtbl.reset r.r_resolve_waiters;
+            Lock_table.reset r.r_lt;
             r.r_side_closed <- Ts.zero;
             r.r_pending_side <- [];
             (match r.r_raft with Some raft -> Raft.restart raft | None -> ())
@@ -1303,13 +1354,20 @@ type read_result =
   | Read_value of { value : string option; ts : Ts.t }
   | Read_uncertain of { value_ts : Ts.t }
   | Read_redirect
+  | Read_wounded of string
   | Read_err of string
 
 type scan_result =
   | Scan_rows of (string * string) list
   | Scan_uncertain of { value_ts : Ts.t }
   | Scan_redirect
+  | Scan_wounded of string
   | Scan_err of string
+
+type write_result =
+  | Write_ok of Ts.t
+  | Write_wounded of string
+  | Write_err of string
 
 let rpc_timeout = 30_000_000
 let op_deadline = 120_000_000
@@ -1387,18 +1445,14 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
 let is_leader_now r =
   match r.r_raft with Some raft -> Raft.is_leader raft | None -> false
 
-let foreign_lock r ~txn ~key ~max_ts =
-  match Hashtbl.find_opt r.r_locks key with
-  | Some l
-    when (match txn with Some x -> x <> l.l_txn | None -> true)
-         && Ts.(l.l_ts <= max_ts) ->
-      Some l
-  | Some _ | None -> None
-
 let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
+    match own_fate t ~txn with
+    | `Wounded reason -> `Done (Read_wounded reason)
+    | `Aborted -> `Done (Read_err "transaction aborted")
+    | `Live ->
     (* Observed timestamps: values above the leaseholder's own clock cannot
        have committed before this request arrived, so they are outside the
        real-time ordering obligation and the uncertainty window shrinks to
@@ -1413,17 +1467,18 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
       | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
       | Lead -> max_ts
     in
-    match foreign_lock r ~txn ~key ~max_ts with
-    | Some l ->
-        if wait_for_lock t r l then
-          eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
-        else `Done (Read_err "conflict timeout")
+    let wait ~kind ~blocker =
+      match wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn with
+      | Lock_table.Acquired -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
+      | Lock_table.Wounded reason -> `Done (Read_wounded reason)
+      | Lock_table.Pusher_aborted -> `Done (Read_err "transaction aborted")
+      | Lock_table.Timed_out -> `Done (Read_err "conflict timeout")
+    in
+    match Lock_table.foreign r.r_lt ~key ~txn ~max_ts with
+    | Some l -> wait ~kind:`Lock ~blocker:(Lock_table.holder l)
     | None -> (
         match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
-        | Mvcc.Intent_blocked _ ->
-            if wait_for_resolve t r key then
-              eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
-            else `Done (Read_err "conflict timeout")
+        | Mvcc.Intent_blocked { txn_id; _ } -> wait ~kind:`Intent ~blocker:txn_id
         | Mvcc.Value { value; ts = vts } ->
             Tscache.record_read r.r_range.rg_tscache ~txn ~key ~ts;
             `Done (Read_value { value; ts = vts })
@@ -1454,7 +1509,7 @@ let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
         | Read_redirect ->
             Trace.annotate sp "redirect" "true";
             Metrics.inc t.c_fr_miss.(at)
-        | Read_err _ -> ());
+        | Read_wounded _ | Read_err _ -> ());
         Trace.finish tr sp;
         res
       in
@@ -1503,6 +1558,10 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
     `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else begin
+    match own_fate t ~txn with
+    | `Wounded reason -> `Done (Scan_wounded reason)
+    | `Aborted -> `Done (Scan_err "transaction aborted")
+    | `Live ->
     (* A scan covers at most one range: clamp to the replica's current span
        (re-clamped on every retry, since a split may have shrunk it). *)
     let start_key, end_key = clamp_span r.r_range ~start_key ~end_key in
@@ -1521,29 +1580,22 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
     in
     let locked =
       (* A scan must also respect locks on keys it covers. *)
-      Hashtbl.fold
-        (fun key l acc ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-              if
-                String.compare key start_key >= 0
-                && String.compare key end_key < 0
-                && (match txn with Some x -> x <> l.l_txn | None -> true)
-                && Ts.(l.l_ts <= max_ts)
-              then Some l
-              else None)
-        r.r_locks None
+      Lock_table.foreign_in_span r.r_lt ~start_key ~end_key ~txn ~max_ts
+    in
+    let wait ~key ~kind ~blocker =
+      match wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn with
+      | Lock_table.Acquired ->
+          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
+      | Lock_table.Wounded reason -> `Done (Scan_wounded reason)
+      | Lock_table.Pusher_aborted -> `Done (Scan_err "transaction aborted")
+      | Lock_table.Timed_out -> `Done (Scan_err "conflict timeout")
     in
     match (locked, blocked) with
-    | Some l, _ ->
-        if wait_for_lock t r l then
-          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
-        else `Done (Scan_err "conflict timeout")
-    | None, Some (key, _) ->
-        if wait_for_resolve t r key then
-          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
-        else `Done (Scan_err "conflict timeout")
+    | Some (key, l), _ ->
+        wait ~key ~kind:`Lock ~blocker:(Lock_table.holder l)
+    | None, Some (key, Mvcc.Intent_blocked { txn_id; _ }) ->
+        wait ~key ~kind:`Intent ~blocker:txn_id
+    | None, Some _ -> assert false
     | None, None -> (
         let uncertain =
           List.fold_left
@@ -1619,7 +1671,8 @@ let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
                 Option.map (fun n -> n - List.length rows) remaining
               in
               go (List.rev_append rows acc) next remaining
-          | ((Scan_uncertain _ | Scan_redirect | Scan_err _) as res), _ ->
+          | ((Scan_uncertain _ | Scan_redirect | Scan_wounded _ | Scan_err _) as res), _
+            ->
               (* Propagate; the transaction restarts the whole scan. *)
               res)
   in
@@ -1648,7 +1701,7 @@ let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
               | Scan_redirect ->
                   Trace.annotate sp "redirect" "true";
                   Metrics.inc t.c_fr_miss.(at)
-              | Scan_err _ -> ());
+              | Scan_wounded _ | Scan_err _ -> ());
               Trace.finish tr sp;
               out
             in
@@ -1732,7 +1785,9 @@ let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
           | Some cursor -> (
               match one_fragment ~cursor with
               | Scan_rows rows, next -> go (List.rev_append rows acc) next
-              | ((Scan_uncertain _ | Scan_redirect | Scan_err _) as res), _ ->
+              | ( (Scan_uncertain _ | Scan_redirect | Scan_wounded _ | Scan_err _) as
+                  res ),
+                  _ ->
                   res)
       in
       go [] start_key
@@ -1741,50 +1796,53 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
-    match Hashtbl.find_opt r.r_locks key with
-    | Some l when l.l_txn <> txn ->
-        if wait_for_lock t r l then
-          eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
-        else `Done (Error "conflict timeout")
-    | existing -> (
-        match Mvcc.intent_on r.r_store ~key with
-        | Some i when i.Mvcc.txn_id <> txn ->
-            if wait_for_resolve t r key then
+    (* A wounded or aborted writer must not lay new intents: a pusher may
+       already have cleaned up its old ones, and nothing would remove a
+       late-laid intent until abandonment kicked in. *)
+    match own_fate t ~txn:(Some txn) with
+    | `Wounded reason -> `Done (Write_wounded reason)
+    | `Aborted -> `Done (Write_err "transaction aborted")
+    | `Live -> (
+        let wait ~kind ~blocker =
+          match wait_on_conflict t r ~key ~kind ~blocker ~waiter:(Some txn) with
+          | Lock_table.Acquired ->
               eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
-            else `Done (Error "conflict timeout")
-        | Some _ | None -> (
-            match r.r_raft with
-            | None -> `Not_leader
-            | Some raft ->
-                let rg = r.r_range in
-                let target = next_closed_target t rg r.r_node in
-                let ts =
-                  Ts.max ts
-                    (Ts.next
-                       (Tscache.max_read rg.rg_tscache ~for_txn:(Some txn) ~key))
-                in
-                let ts =
-                  let latest = Mvcc.latest_ts r.r_store ~key in
-                  if Ts.(latest >= ts) then Ts.next latest else ts
-                in
-                let ts = Ts.max ts (Ts.next target) in
-                (* HLC receive rule at request receipt: the leaseholder's
-                   clock must not lag a timestamp it is about to write, or
-                   the observed-timestamp clamp would hide the value from
-                   reads arriving after the writer's commit ack. *)
-                (match rg.rg_policy with
-                | Lag _ -> Clock.update t.clocks.(r.r_node) ts
-                | Lead -> ());
-                let created =
-                  match existing with
-                  | Some l ->
-                      l.l_ts <- Ts.max l.l_ts ts;
-                      false
-                  | None ->
-                      Hashtbl.replace r.r_locks key
-                        { l_txn = txn; l_ts = ts; l_waiters = [] };
-                      true
-                in
+          | Lock_table.Wounded reason -> `Done (Write_wounded reason)
+          | Lock_table.Pusher_aborted -> `Done (Write_err "transaction aborted")
+          | Lock_table.Timed_out -> `Done (Write_err "conflict timeout")
+        in
+        match Lock_table.find r.r_lt ~key with
+        | Some l when Lock_table.holder l <> txn ->
+            wait ~kind:`Lock ~blocker:(Lock_table.holder l)
+        | _ -> (
+            match Mvcc.intent_on r.r_store ~key with
+            | Some i when i.Mvcc.txn_id <> txn ->
+                wait ~kind:`Intent ~blocker:i.Mvcc.txn_id
+            | Some _ | None -> (
+                match r.r_raft with
+                | None -> `Not_leader
+                | Some raft ->
+                    let rg = r.r_range in
+                    let target = next_closed_target t rg r.r_node in
+                    let ts =
+                      Ts.max ts
+                        (Ts.next
+                           (Tscache.max_read rg.rg_tscache ~for_txn:(Some txn)
+                              ~key))
+                    in
+                    let ts =
+                      let latest = Mvcc.latest_ts r.r_store ~key in
+                      if Ts.(latest >= ts) then Ts.next latest else ts
+                    in
+                    let ts = Ts.max ts (Ts.next target) in
+                    (* HLC receive rule at request receipt: the leaseholder's
+                       clock must not lag a timestamp it is about to write, or
+                       the observed-timestamp clamp would hide the value from
+                       reads arriving after the writer's commit ack. *)
+                    (match rg.rg_policy with
+                    | Lag _ -> Clock.update t.clocks.(r.r_node) ts
+                    | Lead -> ());
+                    let created = Lock_table.acquire r.r_lt ~key ~txn ~ts in
                 let done_ = Ivar.create () in
                 let cmd =
                   {
@@ -1803,7 +1861,7 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                 | None ->
                     Trace.annotate rsp "error" "not leader";
                     Trace.finish tr rsp;
-                    if created then release_lock r key txn;
+                    if created then Lock_table.release r.r_lt ~key ~txn;
                     `Not_leader
                 | Some _ -> (
                     Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
@@ -1816,13 +1874,14 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                         Ivar.on_fill done_ (fun () ->
                             Transport.send t.net ~src:r.r_node ~dst:gateway
                               (fun () -> ignore (Ivar.try_fill ack () : bool)));
-                        `Done (Ok ts)
+                        `Done (Write_ok ts)
                     | None -> (
                         match
                           Proc.await_timeout t.sim done_ ~timeout:propose_timeout
                         with
-                        | Some () -> `Done (Ok ts)
-                        | None -> `Done (Error "proposal lost (leader gone)"))))))
+                        | Some () -> `Done (Write_ok ts)
+                        | None ->
+                            `Done (Write_err "proposal lost (leader gone)")))))))
 
 (* One-phase commit: evaluate, then propose the intent and its commit
    resolution back to back in the same Raft log. The lock exists only
@@ -1834,8 +1893,10 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
     eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value
       ~ts ~span
   with
-  | (`Not_leader | `Range_mismatch | `Done (Error _)) as other -> other
-  | `Done (Ok final_ts) -> (
+  | (`Not_leader | `Range_mismatch) as other -> other
+  | `Done (Write_wounded reason) -> `Done (Error reason)
+  | `Done (Write_err e) -> `Done (Error e)
+  | `Done (Write_ok final_ts) -> (
       match r.r_raft with
       | None -> `Not_leader
       | Some raft -> (
@@ -1859,7 +1920,7 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
           | None ->
               Trace.annotate rsp "error" "not leader";
               Trace.finish tr rsp;
-              release_lock r key txn;
+              Lock_table.release r.r_lt ~key ~txn;
               `Not_leader
           | Some _ ->
               Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
@@ -1875,7 +1936,7 @@ let write_and_commit t ?span ~gateway ~txn ~key ~value ~ts () =
 
 let write t ?applied ?span ~gateway ~txn ~key ~value ~ts () =
   with_leaseholder t ~gateway ?span ~op:"kv.write" ~key
-    ~on_fail:(fun msg -> Error msg)
+    ~on_fail:(fun msg -> Write_err msg)
     (fun r sp -> eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span:sp)
 
 (* Resolve the subset of [keys] this replica's range owns; the rest — keys
@@ -1981,9 +2042,9 @@ let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
   else if not (is_leader_now r) then `Not_leader
   else begin
     let lock_conflict =
-      match Hashtbl.find_opt r.r_locks key with
-      | Some l when l.l_txn <> txn && Ts.(l.l_ts <= to_ts) -> true
-      | Some _ | None -> false
+      match Lock_table.foreign r.r_lt ~key ~txn:(Some txn) ~max_ts:to_ts with
+      | Some _ -> true
+      | None -> false
     in
     let intent_conflict =
       match Mvcc.intent_on r.r_store ~key with
@@ -2012,14 +2073,9 @@ let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
   else begin
     let start_key, end_key = clamp_span r.r_range ~start_key ~end_key in
     let lock_conflict =
-      Hashtbl.fold
-        (fun key l acc ->
-          acc
-          || String.compare key start_key >= 0
-             && String.compare key end_key < 0
-             && l.l_txn <> txn
-             && Ts.(l.l_ts <= to_ts))
-        r.r_locks false
+      Lock_table.foreign_in_span r.r_lt ~start_key ~end_key ~txn:(Some txn)
+        ~max_ts:to_ts
+      <> None
     in
     let version_conflict =
       Mvcc.span_has_writes_in_window r.r_store ~start_key ~end_key
@@ -2115,15 +2171,27 @@ let negotiate t ~at ~keys =
     groups Ts.max_value
 
 (* ------------------------------------------------------------------ *)
+(* Transaction records (wound-wait)                                    *)
+
+let register_txn t ~txn ~priority =
+  Txnrec.register t.txns ~txn ~priority ~now:(Sim.now t.sim)
+
+let heartbeat_txn t ~txn = Txnrec.heartbeat t.txns ~txn ~now:(Sim.now t.sim)
+let commit_txn t ~txn ~ts = Txnrec.try_commit t.txns ~txn ~ts
+let abort_txn t ~txn ~reason = Txnrec.abort t.txns ~txn ~reason
+let txn_status t ~txn = Txnrec.status t.txns ~txn
+
+(* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 
 let messages_sent t = Transport.messages_sent t.net
 
 let diagnostics t =
   Printf.sprintf
-    "lock_waits=%d intent_waits=%d conflict_timeouts=%d lh_misses=%d      rpc_timeouts=%d not_leader=%d"
-    t.diag.d_lock_waits t.diag.d_intent_waits t.diag.d_conflict_timeouts
-    t.diag.d_lh_misses t.diag.d_rpc_timeouts t.diag.d_not_leader
+    "lock_waits=%d intent_waits=%d pushes=%d wounds=%d conflict_timeouts=%d      lh_misses=%d rpc_timeouts=%d not_leader=%d"
+    t.diag.d_lock_waits t.diag.d_intent_waits t.diag.d_pushes t.diag.d_wounds
+    t.diag.d_conflict_timeouts t.diag.d_lh_misses t.diag.d_rpc_timeouts
+    t.diag.d_not_leader
 
 let storage_of t rid node =
   let rg = range t rid in

@@ -31,16 +31,38 @@ type config = {
   raft_election_timeout : int;
   raft_heartbeat_interval : int;
   conflict_wait_timeout : int;
-      (** how long a read or write waits on a conflicting lock or intent
-          before giving up (default 10 s); every expiry bumps the per-node
-          [kv.conflict_timeouts] counter *)
+      (** last-resort backstop: how long a read or write may stay parked on a
+          conflicting lock or intent before giving up entirely (default
+          10 s). With the push/wound protocol active, conflicts normally
+          resolve within a few [push_delay]s and this never fires on healthy
+          runs; every expiry bumps the per-node [kv.conflict_timeouts]
+          counter *)
+  push_delay : int;
+      (** how long a conflict waiter waits before (re-)pushing the blocking
+          transaction's record — the grace period a live blocker gets to
+          finish on its own (default 100 ms) *)
+  txn_heartbeat_interval : int;
+      (** how often transaction coordinators heartbeat their record (default
+          1 s); a Pending record silent for 3x this interval is declared
+          abandoned and pushers clean up its intents *)
   jitter : float;
   seed : int;
 }
 
-val default_config : config
+val default : config
 (** 250 ms max offset (CRDB Dedicated's default, §7.1), 3 s close lag,
-    100 ms publication, 3 s / 1 s Raft timers, 5% jitter. *)
+    100 ms publication, 3 s / 1 s Raft timers, 100 ms push delay, 1 s txn
+    heartbeats, 5% jitter.
+
+    Build custom configurations with record update syntax, overriding only
+    what the scenario needs:
+    {[
+      Cluster.create ~config:{ Cluster.default with seed = 42; push_delay = 50_000 } ...
+    ]} *)
+
+val default_config : config
+(** Alias of {!default}, kept for existing callers; prefer
+    [{ Cluster.default with ... }]. *)
 
 type t
 
@@ -189,6 +211,9 @@ type read_result =
   | Read_uncertain of { value_ts : Ts.t }
       (** caller must ratchet its timestamp to [value_ts] and refresh *)
   | Read_redirect  (** follower cannot serve; go to the leaseholder *)
+  | Read_wounded of string
+      (** the reading transaction was wound-aborted by an older conflicting
+          transaction while it waited; restart with the same priority *)
   | Read_err of string  (** unavailable after retries / timeout *)
 
 val read :
@@ -227,6 +252,7 @@ type scan_result =
   | Scan_rows of (string * string) list  (** key, value pairs in key order *)
   | Scan_uncertain of { value_ts : Ts.t }
   | Scan_redirect
+  | Scan_wounded of string  (** see {!read_result.Read_wounded} *)
   | Scan_err of string
 
 val scan :
@@ -259,6 +285,17 @@ val scan_follower :
   unit ->
   scan_result
 
+type write_result =
+  | Write_ok of Ts.t
+      (** the possibly-pushed provisional commit timestamp: above the
+          timestamp cache, above the newest committed version, and above the
+          range's closed timestamp target *)
+  | Write_wounded of string
+      (** the writing transaction was wound-aborted by an older conflicting
+          transaction; it must restart (keeping its priority) and must not
+          lay further intents *)
+  | Write_err of string
+
 val write :
   t ->
   ?applied:unit Crdb_sim.Ivar.t ->
@@ -269,13 +306,10 @@ val write :
   value:string option ->
   ts:Ts.t ->
   unit ->
-  (Ts.t, string) result
-(** Lay a write intent through consensus. The returned timestamp is the
-    possibly-pushed provisional commit timestamp: above the timestamp cache,
-    above the newest committed version, and above the range's closed
-    timestamp target (for [Lead] ranges this lands in the future). The
-    transaction must commit at or above it, and must hold all its locks
-    until {!resolve}.
+  write_result
+(** Lay a write intent through consensus. On [Write_ok ts], the transaction
+    must commit at or above [ts] (for [Lead] ranges it lands in the future),
+    and must hold all its locks until {!resolve}.
 
     With [applied] (write pipelining), the call returns once the intent is
     proposed; [applied] fills at the gateway when the intent has been
@@ -353,6 +387,34 @@ val negotiate :
 val local_closed : t -> at:Crdb_net.Topology.node_id -> range_id -> Ts.t
 (** The closed timestamp of the replica of this range at node [at]
     ([Ts.zero] if the node holds no replica). *)
+
+(** {2 Transaction records (wound-wait conflict resolution)}
+
+    Every transaction that wants deadlock-free conflict handling registers a
+    record carrying its wound-wait priority (its first-attempt start
+    timestamp; ties broken by txn id, lower = older = wins) and heartbeats
+    it while running. Waiters blocked on the transaction's locks or intents
+    push the record every [push_delay]: an older pusher wounds (aborts) it,
+    a younger pusher queues behind it, and once the record goes silent for
+    3x [txn_heartbeat_interval] anyone may abort it as abandoned and clean
+    up its intents. {!commit_txn} is the commit arbiter: the atomic
+    Pending→Committed transition that a wound can never race past.
+    Unregistered writers (raw {!write} users, {!write_and_commit}) are
+    treated as oldest-possible and are only ever cleaned up by
+    abandonment. *)
+
+val register_txn : t -> txn:int -> priority:Ts.t -> unit
+val heartbeat_txn : t -> txn:int -> unit
+
+val commit_txn : t -> txn:int -> ts:Ts.t -> (unit, string) result
+(** [Error reason] iff the record was already aborted (wounded or declared
+    abandoned): the transaction must restart and must not resolve its
+    intents as committed. *)
+
+val abort_txn : t -> txn:int -> reason:string -> unit
+
+val txn_status : t -> txn:int -> Txnrec.status option
+(** [None] when the transaction never registered and was never pushed. *)
 
 (** {2 Introspection for tests and benchmarks} *)
 

@@ -1,0 +1,119 @@
+module Ivar = Crdb_sim.Ivar
+module Ts = Crdb_hlc.Timestamp
+
+type outcome = Acquired | Wounded of string | Pusher_aborted | Timed_out
+
+type lock = { lk_txn : int; mutable lk_ts : Ts.t }
+
+let holder l = l.lk_txn
+let lock_ts l = l.lk_ts
+
+type t = {
+  locks : (string, lock) Hashtbl.t;
+  queues : (string, unit Ivar.t list ref) Hashtbl.t;
+  mutable nwaiters : int;
+}
+
+let create () = { locks = Hashtbl.create 16; queues = Hashtbl.create 16; nwaiters = 0 }
+let find t ~key = Hashtbl.find_opt t.locks key
+
+let foreign t ~key ~txn ~max_ts =
+  match Hashtbl.find_opt t.locks key with
+  | Some l when Some l.lk_txn <> txn && Ts.(l.lk_ts <= max_ts) -> Some l
+  | Some _ | None -> None
+
+let foreign_in_span t ~start_key ~end_key ~txn ~max_ts =
+  Hashtbl.fold
+    (fun key l acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if
+            key >= start_key && key < end_key && Some l.lk_txn <> txn
+            && Ts.(l.lk_ts <= max_ts)
+          then Some (key, l)
+          else None)
+    t.locks None
+
+let acquire t ~key ~txn ~ts =
+  match Hashtbl.find_opt t.locks key with
+  | Some l ->
+      assert (l.lk_txn = txn);
+      l.lk_ts <- Ts.max l.lk_ts ts;
+      false
+  | None ->
+      Hashtbl.replace t.locks key { lk_txn = txn; lk_ts = ts };
+      true
+
+let wake t ~key =
+  match Hashtbl.find_opt t.queues key with
+  | None -> ()
+  | Some q ->
+      let ws = !q in
+      Hashtbl.remove t.queues key;
+      t.nwaiters <- t.nwaiters - List.length ws;
+      List.iter (fun iv -> Ivar.fill iv ()) ws
+
+let release t ~key ~txn =
+  (match Hashtbl.find_opt t.locks key with
+  | Some l when l.lk_txn = txn -> Hashtbl.remove t.locks key
+  | Some _ | None -> ());
+  wake t ~key
+
+let park t ~key =
+  let iv = Ivar.create () in
+  (match Hashtbl.find_opt t.queues key with
+  | Some q -> q := iv :: !q
+  | None -> Hashtbl.replace t.queues key (ref [ iv ]));
+  t.nwaiters <- t.nwaiters + 1;
+  iv
+
+let unpark t ~key iv =
+  match Hashtbl.find_opt t.queues key with
+  | None -> ()
+  | Some q ->
+      if List.memq iv !q then begin
+        q := List.filter (fun i -> i != iv) !q;
+        t.nwaiters <- t.nwaiters - 1;
+        if !q = [] then Hashtbl.remove t.queues key
+      end
+
+let waiters t = t.nwaiters
+let clear_locks t = Hashtbl.reset t.locks
+
+let wake_all t =
+  let qs = Hashtbl.fold (fun _ q acc -> !q @ acc) t.queues [] in
+  Hashtbl.reset t.queues;
+  t.nwaiters <- 0;
+  List.iter (fun iv -> Ivar.fill iv ()) qs
+
+let reset t =
+  Hashtbl.reset t.locks;
+  wake_all t
+
+let split_move t ~into ~at =
+  let moved_locks =
+    Hashtbl.fold (fun k l acc -> if k >= at then (k, l) :: acc else acc) t.locks []
+  in
+  List.iter
+    (fun (k, l) ->
+      Hashtbl.remove t.locks k;
+      Hashtbl.replace into.locks k l)
+    moved_locks;
+  let moved_queues =
+    Hashtbl.fold (fun k q acc -> if k >= at then (k, q) :: acc else acc) t.queues []
+  in
+  List.iter
+    (fun (k, q) ->
+      Hashtbl.remove t.queues k;
+      let n = List.length !q in
+      t.nwaiters <- t.nwaiters - n;
+      into.nwaiters <- into.nwaiters + n;
+      match Hashtbl.find_opt into.queues k with
+      | Some q' -> q' := !q @ !q'
+      | None -> Hashtbl.replace into.queues k q)
+    moved_queues
+
+let absorb t ~from =
+  Hashtbl.iter (fun k l -> Hashtbl.replace t.locks k l) from.locks;
+  Hashtbl.reset from.locks

@@ -1,0 +1,91 @@
+(** Per-replica lock table: unreplicated write locks plus conflict waiters.
+
+    Owns the state that used to live in two ad-hoc hashtables on every
+    replica ([r_locks] / [r_resolve_waiters]): the in-memory exclusive locks
+    taken by transactional writers on the leaseholder, and the queues of
+    operations parked on a key until its lock is released or its intent
+    resolved. Lock waiters and intent waiters share one queue per key —
+    a wakeup is only a hint to re-evaluate, so a spurious wakeup costs one
+    re-check and the caller parks again.
+
+    The table is pure bookkeeping: pushing, wounding and timeouts live in
+    [Cluster.wait_on_conflict]; the typed [outcome] every conflicting
+    evaluation receives is defined here so all layers share it. *)
+
+module Ivar = Crdb_sim.Ivar
+module Ts = Crdb_hlc.Timestamp
+
+type outcome =
+  | Acquired
+      (** the conflict cleared (or routing changed) — re-evaluate the op *)
+  | Wounded of string
+      (** the *waiting* transaction was wounded by an older pusher while
+          parked: restartable, surfaced as [Txn.Wounded] *)
+  | Pusher_aborted
+      (** the waiting transaction was aborted for another reason (e.g.
+          abandonment) while parked *)
+  | Timed_out  (** last-resort backstop: [conflict_wait_timeout] elapsed *)
+
+type lock
+
+val holder : lock -> int
+val lock_ts : lock -> Ts.t
+
+type t
+
+val create : unit -> t
+
+(** {1 Locks} *)
+
+val find : t -> key:string -> lock option
+
+val foreign : t -> key:string -> txn:int option -> max_ts:Ts.t -> lock option
+(** The lock on [key] if it is held by a different transaction at a
+    timestamp [<= max_ts] (the visibility rule readers use). *)
+
+val foreign_in_span :
+  t -> start_key:string -> end_key:string -> txn:int option -> max_ts:Ts.t -> (string * lock) option
+(** Any foreign lock on a key in [[start_key, end_key)], for scans and span
+    refreshes; the key identifies where to park. *)
+
+val acquire : t -> key:string -> txn:int -> ts:Ts.t -> bool
+(** Take or ratchet the lock. Returns [true] if the lock was newly created
+    (the caller must [release] it if its proposal fails), [false] if the
+    transaction already held it and only the timestamp was ratcheted.
+    The caller must have established there is no foreign holder. *)
+
+val release : t -> key:string -> txn:int -> unit
+(** Drop the lock if [txn] holds it, then wake all waiters on [key]. *)
+
+val wake : t -> key:string -> unit
+(** Wake all waiters on [key] without touching the lock (intent resolved). *)
+
+(** {1 Waiters} *)
+
+val park : t -> key:string -> unit Ivar.t
+(** Enqueue a fresh waiter on [key] and return its wakeup ivar. *)
+
+val unpark : t -> key:string -> unit Ivar.t -> unit
+(** Remove a specific waiter (no-op if a wake already consumed it). *)
+
+val waiters : t -> int
+(** Total parked waiters across all keys (queue-depth gauge). *)
+
+(** {1 Lifecycle} *)
+
+val clear_locks : t -> unit
+(** Snapshot install: replicated state replaced wholesale, so in-memory
+    locks are stale; waiters stay parked (their conflicts re-resolve). *)
+
+val reset : t -> unit
+(** Node restart: locks die with the process and every waiter is woken so
+    its RPC can fail over instead of waiting on a dead node. *)
+
+val wake_all : t -> unit
+(** Wake every waiter (range subsumed by a merge). *)
+
+val split_move : t -> into:t -> at:string -> unit
+(** Move locks and waiters on keys [>= at] to the right-hand table. *)
+
+val absorb : t -> from:t -> unit
+(** Merge: copy the right-hand leader's locks into the left table. *)

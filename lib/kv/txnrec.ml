@@ -1,0 +1,94 @@
+module Ts = Crdb_hlc.Timestamp
+
+type status =
+  | Pending
+  | Committed of Ts.t
+  | Aborted of { reason : string; wound : bool }
+
+type record = {
+  tr_id : int;
+  tr_pri : Ts.t;
+  mutable tr_status : status;
+  mutable tr_hb : int;
+}
+
+type t = { tbl : (int, record) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let register t ~txn ~priority ~now =
+  if not (Hashtbl.mem t.tbl txn) then
+    Hashtbl.replace t.tbl txn
+      { tr_id = txn; tr_pri = priority; tr_status = Pending; tr_hb = now }
+
+let heartbeat t ~txn ~now =
+  match Hashtbl.find_opt t.tbl txn with
+  | Some ({ tr_status = Pending; _ } as r) -> r.tr_hb <- now
+  | Some _ | None -> ()
+
+let status t ~txn =
+  Option.map (fun r -> r.tr_status) (Hashtbl.find_opt t.tbl txn)
+
+let priority t ~txn =
+  Option.map (fun r -> (r.tr_pri, r.tr_id)) (Hashtbl.find_opt t.tbl txn)
+
+let try_commit t ~txn ~ts =
+  match Hashtbl.find_opt t.tbl txn with
+  | None -> Ok ()
+  | Some r -> (
+      match r.tr_status with
+      | Pending ->
+          r.tr_status <- Committed ts;
+          Ok ()
+      | Committed _ -> Ok ()
+      | Aborted { reason; _ } -> Error reason)
+
+let abort t ~txn ~reason =
+  match Hashtbl.find_opt t.tbl txn with
+  | None ->
+      Hashtbl.replace t.tbl txn
+        { tr_id = txn; tr_pri = Ts.zero; tr_status = Aborted { reason; wound = false }; tr_hb = 0 }
+  | Some r -> (
+      match r.tr_status with
+      | Pending -> r.tr_status <- Aborted { reason; wound = false }
+      | Committed _ | Aborted _ -> ())
+
+type verdict = Wait | Wound of string | Cleanup of Ts.t option
+
+(* Lexicographic (priority ts, txn id): lower = older = wins. *)
+let older (ats, aid) (bts, bid) = Ts.(ats < bts) || (Ts.equal ats bts && aid < bid)
+
+let push t ~blocker ~pusher ~now ~liveness =
+  match Hashtbl.find_opt t.tbl blocker with
+  | None ->
+      (* Non-registered blocker (raw API / 1PC): stub record with the oldest
+         possible priority, so it can only ever be cleaned up by
+         abandonment. The grace period starts at this first push. *)
+      Hashtbl.replace t.tbl blocker
+        { tr_id = blocker; tr_pri = Ts.zero; tr_status = Pending; tr_hb = now };
+      Wait
+  | Some r -> (
+      match r.tr_status with
+      | Committed ts -> Cleanup (Some ts)
+      | Aborted _ -> Cleanup None
+      | Pending ->
+          if now - r.tr_hb > liveness then begin
+            r.tr_status <-
+              Aborted { reason = "abandoned (coordinator dead)"; wound = false };
+            Cleanup None
+          end
+          else begin
+            match pusher with
+            | Some p when older p (r.tr_pri, r.tr_id) ->
+                let reason =
+                  Printf.sprintf "wounded by older txn %d" (snd p)
+                in
+                r.tr_status <- Aborted { reason; wound = true };
+                Wound reason
+            | Some _ | None -> Wait
+          end)
+
+let pending t =
+  Hashtbl.fold
+    (fun _ r acc -> match r.tr_status with Pending -> acc + 1 | _ -> acc)
+    t.tbl 0

@@ -1,0 +1,74 @@
+(** Transaction record registry: the commit arbiter for wound-wait.
+
+    One registry per cluster models CRDB's replicated transaction records in
+    simplified form: a record per transaction holding its status, wound-wait
+    priority and last coordinator heartbeat. Status transitions are
+    synchronous in simulated time (no yield between read and write), so the
+    [try_commit] Pending→Committed transition is atomic with respect to every
+    concurrent [push]: a transaction that has been wounded can never commit
+    afterwards, and a committed transaction can never be wounded.
+
+    Priorities order transactions for wound-wait: the pair
+    [(priority timestamp, txn id)] compared lexicographically, lower = older =
+    wins. A pusher strictly older than a Pending blocker wounds it; a younger
+    pusher waits. Transactions that never registered (raw [Cluster.write]
+    users, 1PC blind puts) get a stub record on first push with priority
+    [Ts.zero] — effectively oldest, so they are never wounded and are only
+    cleaned up once abandoned (no heartbeat within the liveness threshold). *)
+
+module Ts = Crdb_hlc.Timestamp
+
+type status =
+  | Pending
+  | Committed of Ts.t  (** commit timestamp, for resolving leftover intents *)
+  | Aborted of { reason : string; wound : bool }
+      (** [wound] distinguishes a wound-wait abort (restartable, surfaced as
+          [Wounded]) from other aborts (abandonment, explicit rollback). *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> txn:int -> priority:Ts.t -> now:int -> unit
+(** Create a Pending record with the given wound-wait priority timestamp.
+    No-op if the transaction already has a record (retried registration). *)
+
+val heartbeat : t -> txn:int -> now:int -> unit
+(** Refresh the coordinator heartbeat; no-op unless the record is Pending. *)
+
+val status : t -> txn:int -> status option
+(** [None] means the transaction never registered and was never pushed. *)
+
+val priority : t -> txn:int -> (Ts.t * int) option
+(** The wound-wait priority pair [(priority_ts, txn id)], if registered. *)
+
+val try_commit : t -> txn:int -> ts:Ts.t -> (unit, string) result
+(** Atomically move Pending→Committed at [ts]. [Error reason] if the record
+    was already Aborted (the caller must restart and must not resolve its
+    intents as committed). Idempotent on Committed; [Ok] when no record
+    exists (unregistered transactions commit unchecked, as before). *)
+
+val abort : t -> txn:int -> reason:string -> unit
+(** Move the record to [Aborted { wound = false }]. No-op on Committed, and
+    on an existing abort (the first abort's reason wins). Creates an aborted
+    record if none exists, so late writes by the transaction are rejected. *)
+
+type verdict =
+  | Wait  (** blocker is live and not younger than the pusher: queue behind *)
+  | Wound of string
+      (** pusher was strictly older: blocker is now Aborted; clean up its
+          intent with [commit = None] *)
+  | Cleanup of Ts.t option
+      (** blocker already finished (or was abandoned and has now been
+          aborted): resolve its intent, committed at [Some ts] or removed *)
+
+val push : t -> blocker:int -> pusher:(Ts.t * int) option -> now:int -> liveness:int -> verdict
+(** One push of [blocker] by [pusher] (None for non-transactional waiters,
+    which never wound). An unknown blocker gets a stub record (see above)
+    whose abandonment grace starts at this first push. A Pending blocker
+    whose last heartbeat is older than [liveness] microseconds is declared
+    abandoned and aborted. Pushing is idempotent — waiters re-push every
+    [push_delay] until the conflict clears. *)
+
+val pending : t -> int
+(** Number of Pending records (diagnostics). *)

@@ -1,4 +1,5 @@
 module Cluster = Crdb_kv.Cluster
+module Txnrec = Crdb_kv.Txnrec
 module Ts = Crdb_hlc.Timestamp
 module Clock = Crdb_hlc.Clock
 module Proc = Crdb_sim.Proc
@@ -7,9 +8,29 @@ module Trace = Crdb_obs.Trace
 module Metrics = Crdb_obs.Metrics
 module Hist = Crdb_stats.Hist
 
+module Options = struct
+  type t = {
+    hold_locks_during_commit_wait : bool;
+        (* Spanner-style ablation: resolve intents only after commit wait *)
+    pipelined_writes : bool;
+    unsafe_no_refresh : bool;
+        (* deliberately broken mode: timestamp pushes skip read-span
+           validation, so stale reads can commit (the serializability checker
+           must catch the resulting anti-dependency cycles) *)
+  }
+
+  let default =
+    {
+      hold_locks_during_commit_wait = false;
+      pipelined_writes = true;
+      unsafe_no_refresh = false;
+    }
+end
+
 type stats = {
   mutable commits : int;
   mutable restarts : int;
+  mutable wounds : int;
   mutable reader_commit_waits : int;
   mutable writer_commit_wait_micros : int;
 }
@@ -18,17 +39,12 @@ type manager = {
   cl : Cluster.t;
   mutable next_txn_id : int;
   stats : stats;
-  mutable hold_locks_during_commit_wait : bool;
-      (* Spanner-style ablation: resolve intents only after commit wait *)
-  mutable pipelined_writes : bool;
-  mutable unsafe_no_refresh : bool;
-      (* deliberately broken mode: timestamp pushes skip read-span
-         validation, so stale reads can commit (the serializability checker
-         must catch the resulting anti-dependency cycles) *)
+  mutable opts : Options.t;
   obs : Obs.t;
   c_attempts : Metrics.counter array;
   c_commits : Metrics.counter array;
   c_restarts : Metrics.counter array;
+  c_wounds : Metrics.counter array;
   c_refreshes : Metrics.counter array;
   c_reader_waits : Metrics.counter array;
   h_commit_wait : Hist.t;
@@ -42,13 +58,12 @@ let create_manager cl =
   {
     cl;
     next_txn_id = 1;
-    hold_locks_during_commit_wait = false;
-    pipelined_writes = true;
-    unsafe_no_refresh = false;
+    opts = Options.default;
     stats =
       {
         commits = 0;
         restarts = 0;
+        wounds = 0;
         reader_commit_waits = 0;
         writer_commit_wait_micros = 0;
       };
@@ -56,6 +71,7 @@ let create_manager cl =
     c_attempts = per_node "txn.attempts";
     c_commits = per_node "txn.commits";
     c_restarts = per_node "txn.restarts";
+    c_wounds = per_node "txn.wounds";
     c_refreshes = per_node "txn.refreshes";
     c_reader_waits = per_node "txn.reader_waits";
     h_commit_wait = Metrics.histogram m "txn.commit_wait";
@@ -63,9 +79,18 @@ let create_manager cl =
 
 let cluster mgr = mgr.cl
 let stats mgr = mgr.stats
-let set_hold_locks_during_commit_wait mgr v = mgr.hold_locks_during_commit_wait <- v
-let set_pipelined_writes mgr v = mgr.pipelined_writes <- v
-let set_unsafe_no_refresh mgr v = mgr.unsafe_no_refresh <- v
+let set_options mgr opts = mgr.opts <- opts
+let options mgr = mgr.opts
+
+(* Deprecated shims over {!set_options}; kept so existing callers compile. *)
+let set_hold_locks_during_commit_wait mgr v =
+  mgr.opts <- { mgr.opts with Options.hold_locks_during_commit_wait = v }
+
+let set_pipelined_writes mgr v =
+  mgr.opts <- { mgr.opts with Options.pipelined_writes = v }
+
+let set_unsafe_no_refresh mgr v =
+  mgr.opts <- { mgr.opts with Options.unsafe_no_refresh = v }
 
 type read_span = Point of string | Span of string * string
 
@@ -94,6 +119,11 @@ let pp_error ppf = function
   | Unavailable m -> Format.fprintf ppf "unavailable: %s" m
 
 exception Restart of string
+
+exception Wounded of string
+(* wound-wait: an older transaction aborted this one to break a deadlock;
+   restartable like [Restart], but counted separately *)
+
 exception Fatal of string
 
 let read_ts t = t.read_ts
@@ -104,7 +134,7 @@ let gateway t = t.gw
 (* Read refresh (§5.1)                                                 *)
 
 let refresh_all t ~to_ts =
-  if t.mgr.unsafe_no_refresh then ()
+  if t.mgr.opts.Options.unsafe_no_refresh then ()
   else begin
   (* Validate every read span in parallel (CRDB batches the refresh). *)
   let sim = Cluster.sim t.mgr.cl in
@@ -199,6 +229,7 @@ let get t key =
         bump_and_refresh t value_ts;
         go (attempts + 1)
     | Cluster.Read_redirect -> go (attempts + 1)
+    | Cluster.Read_wounded reason -> raise (Wounded reason)
     | Cluster.Read_err e -> restartable_read_error e
   in
   go 0
@@ -238,6 +269,7 @@ let scan t ~start_key ~end_key ?limit () =
         bump_and_refresh t value_ts;
         go (attempts + 1)
     | Cluster.Scan_redirect -> go (attempts + 1)
+    | Cluster.Scan_wounded reason -> raise (Wounded reason)
     | Cluster.Scan_err e -> restartable_read_error e
   in
   go 0
@@ -255,29 +287,31 @@ let observe_pushed t key pushed =
 
 let write_value t key value =
   let provisional = Ts.max t.read_ts t.write_ts in
-  if t.mgr.pipelined_writes then begin
+  if t.mgr.opts.Options.pipelined_writes then begin
     let applied = Crdb_sim.Ivar.create () in
     match
       Cluster.write t.mgr.cl ~applied ~span:t.sp ~gateway:t.gw ~txn:t.id ~key
         ~value ~ts:provisional ()
     with
-    | Ok pushed ->
+    | Cluster.Write_ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
         observe_pushed t key pushed;
         t.outstanding <- (key, applied) :: t.outstanding;
         if not (List.mem key t.writes) then t.writes <- key :: t.writes
-    | Error e -> raise (Restart e)
+    | Cluster.Write_wounded reason -> raise (Wounded reason)
+    | Cluster.Write_err e -> raise (Restart e)
   end
   else
     match
       Cluster.write t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~key ~value
         ~ts:provisional ()
     with
-    | Ok pushed ->
+    | Cluster.Write_ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
         observe_pushed t key pushed;
         if not (List.mem key t.writes) then t.writes <- key :: t.writes
-    | Error e -> raise (Restart e)
+    | Cluster.Write_wounded reason -> raise (Wounded reason)
+    | Cluster.Write_err e -> raise (Restart e)
 
 let put t key value = write_value t key (Some value)
 let delete t key = write_value t key None
@@ -336,7 +370,15 @@ let commit t =
     refresh_all t ~to_ts:commit_ts;
     t.read_ts <- commit_ts
   end;
-  if t.writes <> [] && not t.mgr.hold_locks_during_commit_wait then
+  (* Flip the transaction record to Committed before resolving anything: a
+     concurrent wound-wait push races against this transition, and whichever
+     side wins is authoritative. A [Wounded] here means an older transaction
+     got there first. *)
+  (match Cluster.commit_txn t.mgr.cl ~txn:t.id ~ts:commit_ts with
+  | Ok () -> ()
+  | Error reason -> raise (Wounded reason));
+  if t.writes <> [] && not t.mgr.opts.Options.hold_locks_during_commit_wait
+  then
     (* CRDB releases locks concurrently with the commit wait (§6.2),
        minimizing how long readers can observe them. *)
     resolve_intents t commit_ts;
@@ -358,22 +400,50 @@ let commit t =
       Metrics.inc t.mgr.c_reader_waits.(t.gw)
     end
   end;
-  if t.writes <> [] && t.mgr.hold_locks_during_commit_wait then
+  if t.writes <> [] && t.mgr.opts.Options.hold_locks_during_commit_wait then
     (* Spanner-style ablation: locks persist through the commit wait. *)
     resolve_intents t commit_ts;
   t.mgr.stats.commits <- t.mgr.stats.commits + 1;
   Metrics.inc t.mgr.c_commits.(t.gw)
 
 let abort t =
+  (* Finalize the record first so concurrent pushers see Aborted (and the
+     heartbeat loop exits); no-op if a wound already aborted it. *)
+  Cluster.abort_txn t.mgr.cl ~txn:t.id ~reason:"client abort";
   if t.writes <> [] then
     Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~commit:None
       ~keys:(List.rev t.writes) ~sync_all:false ()
 
-let fresh_txn mgr ~gateway =
+(* Keep the transaction record live while the coordinator (gateway node) is
+   up: pushers treat a record whose heartbeat is stale as abandoned and
+   clean up its intents. The loop stops heartbeating while the gateway is
+   down — exactly the abandonment signal wound-wait relies on — and exits
+   once the record is finalized. *)
+let start_heartbeat mgr ~txn ~gateway =
+  let sim = Cluster.sim mgr.cl in
+  let interval = (Cluster.config mgr.cl).Cluster.txn_heartbeat_interval in
+  Proc.spawn sim (fun () ->
+      let rec loop () =
+        Proc.sleep sim interval;
+        match Cluster.txn_status mgr.cl ~txn with
+        | Some Txnrec.Pending ->
+            if Crdb_net.Transport.is_alive (Cluster.net mgr.cl) gateway then
+              Cluster.heartbeat_txn mgr.cl ~txn;
+            loop ()
+        | Some (Txnrec.Committed _ | Txnrec.Aborted _) | None -> ()
+      in
+      loop ())
+
+let fresh_txn ?priority mgr ~gateway =
   let id = mgr.next_txn_id in
   mgr.next_txn_id <- id + 1;
   Metrics.inc mgr.c_attempts.(gateway);
   let read_ts = Cluster.now_ts mgr.cl gateway in
+  (* Wound-wait priority: the first attempt's birth timestamp, carried
+     across retries so a transaction only ever gets older. *)
+  let pri = match priority with Some p -> p | None -> read_ts in
+  Cluster.register_txn mgr.cl ~txn:id ~priority:pri;
+  start_heartbeat mgr ~txn:id ~gateway;
   {
     mgr;
     id;
@@ -410,8 +480,12 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
   let sim = Cluster.sim mgr.cl in
   let tr = Obs.trace mgr.obs in
   let root = Trace.span tr ~node:gateway "txn.run" in
-  let rec attempt n =
-    let t = fresh_txn mgr ~gateway in
+  let rec attempt n ~pri =
+    let t = fresh_txn ?priority:pri mgr ~gateway in
+    (* Retries inherit the first attempt's birth timestamp as their
+       wound-wait priority, so a restarted transaction keeps aging instead
+       of being reborn young and re-wounded (starvation freedom). *)
+    let pri = match pri with Some _ -> pri | None -> Some t.read_ts in
     t.sp <- Trace.span tr ~parent:root ~node:gateway ~txn:t.id "txn.attempt";
     match
       let result = body t in
@@ -433,7 +507,21 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
         else begin
           (* Small randomized backoff to break livelocks between retries. *)
           Proc.sleep sim (1_000 * n);
-          attempt (n + 1)
+          attempt (n + 1) ~pri
+        end
+    | exception Wounded reason ->
+        abort t;
+        report on_attempt t (failed_attempt_outcome t reason);
+        mgr.stats.restarts <- mgr.stats.restarts + 1;
+        mgr.stats.wounds <- mgr.stats.wounds + 1;
+        Metrics.inc mgr.c_restarts.(gateway);
+        Metrics.inc mgr.c_wounds.(gateway);
+        Trace.annotate t.sp "wounded" reason;
+        Trace.finish tr t.sp;
+        if n >= max_attempts then (n, Error (Unavailable reason))
+        else begin
+          Proc.sleep sim (1_000 * n);
+          attempt (n + 1) ~pri
         end
     | exception Fatal reason ->
         abort t;
@@ -447,7 +535,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
         Trace.finish tr root;
         raise e
   in
-  let attempts, result = attempt 1 in
+  let attempts, result = attempt 1 ~pri:None in
   Trace.annotate root "attempts" (string_of_int attempts);
   Trace.annotate root "result"
     (match result with Ok _ -> "committed" | Error _ -> "failed");
@@ -519,9 +607,9 @@ let stale_get mgr ~gw ~ts key =
           (* Impossible: the uncertainty window [ts, ts] is empty. *)
           assert false
       | Cluster.Read_redirect -> raise (Fatal "leaseholder redirected")
-      | Cluster.Read_err e -> raise (Fatal e))
+      | Cluster.Read_wounded e | Cluster.Read_err e -> raise (Fatal e))
   | Cluster.Read_uncertain _ -> assert false
-  | Cluster.Read_err e -> raise (Fatal e)
+  | Cluster.Read_wounded e | Cluster.Read_err e -> raise (Fatal e)
 
 let stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit =
   match
@@ -537,9 +625,9 @@ let stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit =
       | Cluster.Scan_rows rows -> rows
       | Cluster.Scan_uncertain _ -> assert false
       | Cluster.Scan_redirect -> raise (Fatal "leaseholder redirected")
-      | Cluster.Scan_err e -> raise (Fatal e))
+      | Cluster.Scan_wounded e | Cluster.Scan_err e -> raise (Fatal e))
   | Cluster.Scan_uncertain _ -> assert false
-  | Cluster.Scan_err e -> raise (Fatal e)
+  | Cluster.Scan_wounded e | Cluster.Scan_err e -> raise (Fatal e)
 
 let ro_get ro key =
   match ro with

@@ -19,9 +19,13 @@
       negotiation (§5.3); both served by nearby replicas whenever closed
       timestamps allow.
 
-    Restartable conditions (failed refresh after a timestamp push, conflict
-    timeouts) are retried internally with a fresh transaction id and
-    timestamp, like CRDB's automatic per-statement retries. *)
+    Restartable conditions (failed refresh after a timestamp push, wounds
+    from older transactions, conflict timeouts) are retried internally with
+    a fresh transaction id and timestamp, like CRDB's automatic
+    per-statement retries. Each transaction registers a record with
+    {!Cluster.register_txn} and heartbeats it while its gateway is alive;
+    wound-wait conflict resolution (see [DESIGN.md]) uses the record to
+    push, wound, or clean up after blockers. *)
 
 module Cluster = Crdb_kv.Cluster
 module Ts = Crdb_hlc.Timestamp
@@ -30,6 +34,35 @@ type manager
 
 val create_manager : Cluster.t -> manager
 val cluster : manager -> Cluster.t
+
+(** {2 Options} *)
+
+module Options : sig
+  type t = {
+    hold_locks_during_commit_wait : bool;
+        (** Ablation: Spanner-style commit waits that hold locks for their
+            duration (§6.2 contrasts CRDB's concurrent lock release).
+            Default [false]. *)
+    pipelined_writes : bool;
+        (** Disable to make every intent write await its consensus round
+            (ablation of CRDB-style write pipelining). Default [true]. *)
+    unsafe_no_refresh : bool;
+        (** Deliberately broken mode for checker validation: skip read-span
+            refreshes when a transaction's timestamp is pushed, silently
+            advancing [read_ts] without validating reads. The
+            serializability checker must flag the resulting anti-dependency
+            cycles. Default [false]. *)
+  }
+
+  val default : t
+end
+
+val set_options : manager -> Options.t -> unit
+(** Replace the manager's options wholesale; use
+    [{ Txn.Options.default with pipelined_writes = false }] to tweak one
+    knob. *)
+
+val options : manager -> Options.t
 
 (** {2 Read-write transactions} *)
 
@@ -43,6 +76,12 @@ val pp_error : Format.formatter -> error -> unit
 exception Restart of string
 (** Raised internally on restartable conditions; user code may also raise it
     to force a retry with a new timestamp. *)
+
+exception Wounded of string
+(** Raised when an older transaction wounded this one to break a deadlock
+    (wound-wait). Restartable: {!run} retries with a fresh id and timestamp
+    but the {e same} wound-wait priority, so the retried transaction keeps
+    aging toward the front of the queue. *)
 
 exception Fatal of string
 (** Raised by read-only transactions when no replica can serve them (for
@@ -143,24 +182,23 @@ val run_fresh_read :
 type stats = {
   mutable commits : int;
   mutable restarts : int;
+  mutable wounds : int;  (** restarts caused by wound-wait (subset) *)
   mutable reader_commit_waits : int;
   mutable writer_commit_wait_micros : int;
 }
 
 val stats : manager -> stats
 
+(** {2 Deprecated option setters}
+
+    Thin wrappers over {!set_options}, kept for existing callers; each
+    replaces one field of the current {!Options.t}. *)
+
 val set_hold_locks_during_commit_wait : manager -> bool -> unit
-(** Ablation: Spanner-style commit waits that hold locks for their duration
-    (§6.2 contrasts CRDB's concurrent lock release). Default [false]. *)
+(** @deprecated Use {!set_options}. *)
 
 val set_pipelined_writes : manager -> bool -> unit
-(** Ablation: disable CRDB-style write pipelining so every intent write
-    awaits its consensus round. Default [true]. *)
+(** @deprecated Use {!set_options}. *)
 
 val set_unsafe_no_refresh : manager -> bool -> unit
-(** Deliberately broken mode for checker validation: skip read-span
-    refreshes when a transaction's timestamp is pushed (uncertainty
-    restarts and commit-time pushes alike), silently advancing [read_ts]
-    without validating that the reads still hold. Transactions can then
-    commit having read stale versions; the serializability checker must
-    flag the resulting anti-dependency cycles. Default [false]. *)
+(** @deprecated Use {!set_options}. *)

@@ -217,8 +217,9 @@ let node_in cl region i =
 let put cl ~gateway ~txn key value =
   let ts = Cluster.now_ts cl gateway in
   match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
-  | Error e -> Alcotest.failf "write failed: %s" e
-  | Ok commit_ts ->
+  | Cluster.Write_wounded e | Cluster.Write_err e ->
+      Alcotest.failf "write failed: %s" e
+  | Cluster.Write_ok commit_ts ->
       Cluster.resolve cl ~gateway ~txn ~commit:(Some commit_ts) ~keys:[ key ]
         ~sync_all:true ();
       commit_ts
@@ -235,7 +236,8 @@ let get cl ~gateway ?txn key =
         go value_ts (attempts + 1)
     | Cluster.Read_uncertain _ -> Alcotest.fail "uncertainty loop"
     | Cluster.Read_redirect -> Alcotest.fail "unexpected redirect"
-    | Cluster.Read_err e -> Alcotest.failf "read error: %s" e
+    | Cluster.Read_wounded e | Cluster.Read_err e ->
+        Alcotest.failf "read error: %s" e
   in
   go ts 0
 
@@ -300,7 +302,8 @@ let test_follower_stale_read () =
        with
       | Cluster.Read_value { value; _ } ->
           check Alcotest.(option string) "stale value visible" (Some "v") value
-      | Cluster.Read_uncertain _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+      | Cluster.Read_uncertain _ | Cluster.Read_redirect
+      | Cluster.Read_wounded _ | Cluster.Read_err _ ->
           Alcotest.fail "stale read not served");
       let elapsed = Sim.now (Cluster.sim cl) - t0 in
       check Alcotest.bool
@@ -313,7 +316,8 @@ let test_follower_stale_read () =
           ~max_ts:now ()
       with
       | Cluster.Read_redirect -> ()
-      | Cluster.Read_value _ | Cluster.Read_uncertain _ | Cluster.Read_err _ ->
+      | Cluster.Read_value _ | Cluster.Read_uncertain _
+      | Cluster.Read_wounded _ | Cluster.Read_err _ ->
           Alcotest.fail "fresh read should redirect on Lag range")
 
 let test_global_range_future_writes () =
@@ -347,7 +351,8 @@ let test_global_range_future_writes () =
           check Alcotest.(option string) "present-time local read" (Some "v") value
       | Cluster.Read_uncertain _ -> Alcotest.fail "uncertain"
       | Cluster.Read_redirect -> Alcotest.fail "redirect"
-      | Cluster.Read_err e -> Alcotest.failf "err %s" e);
+      | Cluster.Read_wounded e | Cluster.Read_err e ->
+          Alcotest.failf "err %s" e);
       let elapsed = Sim.now (Cluster.sim cl) - t0 in
       check Alcotest.bool
         (Printf.sprintf "global read local <3ms (was %dus)" elapsed)
@@ -378,7 +383,8 @@ let test_global_read_uncertainty () =
       | Cluster.Read_uncertain { value_ts } ->
           check Alcotest.bool "uncertain at write ts" true
             (Ts.equal value_ts commit_ts)
-      | Cluster.Read_value _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+      | Cluster.Read_value _ | Cluster.Read_redirect
+      | Cluster.Read_wounded _ | Cluster.Read_err _ ->
           Alcotest.fail "expected uncertainty restart")
 
 let test_tscache_pushes_writer () =
@@ -400,11 +406,12 @@ let test_tscache_pushes_writer () =
       match
         Cluster.write cl ~gateway:gw ~txn:2 ~key:"k" ~value:(Some "v2") ~ts:w_ts ()
       with
-      | Ok pushed ->
+      | Cluster.Write_ok pushed ->
           check Alcotest.bool "write pushed above read" true Ts.(pushed > read_ts);
           Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some pushed)
             ~keys:[ "k" ] ~sync_all:true ()
-      | Error e -> Alcotest.failf "write failed: %s" e)
+      | Cluster.Write_wounded e | Cluster.Write_err e ->
+          Alcotest.failf "write failed: %s" e)
 
 let test_write_write_conflict_queues () =
   let cl = make_cluster () in
@@ -421,8 +428,9 @@ let test_write_write_conflict_queues () =
         match
           Cluster.write cl ~gateway:gw ~txn:1 ~key:"k" ~value:(Some "a") ~ts:ts1 ()
         with
-        | Ok ts -> ts
-        | Error e -> Alcotest.failf "w1: %s" e
+        | Cluster.Write_ok ts -> ts
+        | Cluster.Write_wounded e | Cluster.Write_err e ->
+            Alcotest.failf "w1: %s" e
       in
       let t2_done = ref (-1) in
       Crdb_sim.Proc.spawn sim (fun () ->
@@ -430,11 +438,12 @@ let test_write_write_conflict_queues () =
           match
             Cluster.write cl ~gateway:gw ~txn:2 ~key:"k" ~value:(Some "b") ~ts:ts2 ()
           with
-          | Ok ts ->
+          | Cluster.Write_ok ts ->
               t2_done := Sim.now sim;
               Cluster.resolve cl ~gateway:gw ~txn:2 ~commit:(Some ts)
                 ~keys:[ "k" ] ~sync_all:true ()
-          | Error e -> Alcotest.failf "w2: %s" e);
+          | Cluster.Write_wounded e | Cluster.Write_err e ->
+              Alcotest.failf "w2: %s" e);
       (* Hold the lock for 500ms. *)
       Crdb_sim.Proc.sleep sim 500_000;
       check Alcotest.int "txn2 still blocked" (-1) !t2_done;
@@ -488,7 +497,8 @@ let test_zone_survival_loses_region () =
       with
       | Cluster.Read_value { value; _ } ->
           check Alcotest.(option string) "stale read survives" (Some "v") value
-      | Cluster.Read_uncertain _ | Cluster.Read_redirect | Cluster.Read_err _ ->
+      | Cluster.Read_uncertain _ | Cluster.Read_redirect
+      | Cluster.Read_wounded _ | Cluster.Read_err _ ->
           Alcotest.fail "stale read should survive region loss")
 
 let test_region_survival_survives_region () =
@@ -558,8 +568,9 @@ let test_negotiate () =
       (* A pending intent below the closed timestamp lowers the result. *)
       let ts = Cluster.now_ts cl gw in
       (match Cluster.write cl ~gateway:gw ~txn:7 ~key:"k" ~value:(Some "x") ~ts () with
-      | Ok _ -> ()
-      | Error e -> Alcotest.failf "write: %s" e);
+      | Cluster.Write_ok _ -> ()
+      | Cluster.Write_wounded e | Cluster.Write_err e ->
+          Alcotest.failf "write: %s" e);
       Crdb_sim.Proc.sleep (Cluster.sim cl) 4_000_000;
       let safe2 = Cluster.negotiate cl ~at:remote ~keys:[ "k" ] in
       check Alcotest.bool "intent caps negotiation" true Ts.(safe2 < ts);

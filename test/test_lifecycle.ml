@@ -29,8 +29,9 @@ let node_in cl region i =
 let put cl ~gateway ~txn key value =
   let ts = Cluster.now_ts cl gateway in
   match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
-  | Error e -> Alcotest.failf "write failed: %s" e
-  | Ok commit_ts ->
+  | Cluster.Write_wounded e | Cluster.Write_err e ->
+      Alcotest.failf "write failed: %s" e
+  | Cluster.Write_ok commit_ts ->
       Cluster.resolve cl ~gateway ~txn ~commit:(Some commit_ts) ~keys:[ key ]
         ~sync_all:true ();
       commit_ts
@@ -45,7 +46,8 @@ let get cl ~gateway ?txn key =
         go value_ts (attempts + 1)
     | Cluster.Read_uncertain _ -> Alcotest.fail "uncertainty loop"
     | Cluster.Read_redirect -> Alcotest.fail "unexpected redirect"
-    | Cluster.Read_err e -> Alcotest.failf "read error: %s" e
+    | Cluster.Read_wounded e | Cluster.Read_err e ->
+        Alcotest.failf "read error: %s" e
   in
   go ts 0
 
@@ -59,7 +61,8 @@ let scan_keys cl ~gateway ~start_key ~end_key =
   | Cluster.Scan_rows rows -> List.map fst rows
   | Cluster.Scan_uncertain _ -> Alcotest.fail "scan uncertain"
   | Cluster.Scan_redirect -> Alcotest.fail "scan redirect"
-  | Cluster.Scan_err e -> Alcotest.failf "scan error: %s" e
+  | Cluster.Scan_wounded e | Cluster.Scan_err e ->
+      Alcotest.failf "scan error: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Split                                                               *)

@@ -1,0 +1,308 @@
+(* Tests for wound-wait conflict resolution: the lock table, the push/wound
+   protocol, abandoned-intent recovery, and the consolidated Txn.Options.
+   Every scenario that used to hang until the 10 s conflict timeout must now
+   finish in bounded time with [kv.conflict_timeouts = 0]. *)
+
+module Sim = Crdb_sim.Sim
+module Proc = Crdb_sim.Proc
+module Topology = Crdb_net.Topology
+module Latency = Crdb_net.Latency
+module Ts = Crdb_hlc.Timestamp
+module Zoneconfig = Crdb_kv.Zoneconfig
+module Cluster = Crdb_kv.Cluster
+module Txnrec = Crdb_kv.Txnrec
+module Txn = Crdb_txn.Txn
+module Obs = Crdb_obs.Obs
+module Metrics = Crdb_obs.Metrics
+
+let check = Alcotest.check
+let regions5 = Latency.table1_regions
+let home = "us-east1"
+let topo5 = Topology.symmetric ~regions:regions5 ~nodes_per_region:3
+
+let zone () =
+  Zoneconfig.derive ~regions:regions5 ~home ~survival:Zoneconfig.Zone
+    ~placement:Zoneconfig.Default
+
+(* One or two ranges over the test keyspace, leaseholders settled. *)
+let make ?(two_ranges = false) () =
+  let cl = Cluster.create ~topology:topo5 ~latency:Latency.table1 () in
+  let policy = Cluster.Lag 3_000_000 in
+  if two_ranges then begin
+    ignore (Cluster.add_range cl ~span:("a", "m") ~zone:(zone ()) ~policy);
+    ignore (Cluster.add_range cl ~span:("m", "zzzz") ~zone:(zone ()) ~policy)
+  end
+  else ignore (Cluster.add_range cl ~span:("a", "zzzz") ~zone:(zone ()) ~policy);
+  Cluster.settle cl;
+  (cl, Txn.create_manager cl)
+
+let node_in cl region i =
+  (List.nth (Topology.nodes_in_region (Cluster.topology cl) region) i)
+    .Topology.id
+
+let no_conflict_timeouts cl =
+  check Alcotest.int "no conflict timeouts" 0
+    (Metrics.total (Obs.metrics (Cluster.obs cl)) "kv.conflict_timeouts")
+
+let expect_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "txn failed: %a" Txn.pp_error e
+
+let write_ok cl ~gateway ~txn ~key ~value =
+  let ts = Cluster.now_ts cl gateway in
+  match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
+  | Cluster.Write_ok ts -> ts
+  | Cluster.Write_wounded e | Cluster.Write_err e ->
+      Alcotest.failf "write %s: %s" key e
+
+(* ------------------------------------------------------------------ *)
+(* Deadlocks resolved by wounding                                      *)
+
+(* Two transactions acquire locks in opposite order: a textbook deadlock
+   that the old code could only break with the 10 s conflict timeout. *)
+let test_two_txn_deadlock () =
+  let cl, mgr = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let t0 = Sim.now sim in
+      let body first second name t =
+        Txn.put t first (name ^ "1");
+        Proc.sleep sim 300_000;
+        Txn.put t second (name ^ "2")
+      in
+      let a = Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "ka" "kb" "t1")) in
+      let b = Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "kb" "ka" "t2")) in
+      List.iter (fun r -> expect_ok (Proc.await r)) [ a; b ];
+      let elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "deadlock broken fast (took %dus)" elapsed)
+        true
+        (elapsed < 8_000_000));
+  check Alcotest.bool "at least one wound" true ((Txn.stats mgr).Txn.wounds >= 1);
+  no_conflict_timeouts cl
+
+(* Three-transaction cycle whose lock edges span two ranges: wounding is
+   driven by the cluster-global transaction record, so deadlocks crossing
+   range (and leaseholder) boundaries break the same way. *)
+let test_three_txn_cycle_two_ranges () =
+  let cl, mgr = make ~two_ranges:true () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let t0 = Sim.now sim in
+      let body first second name t =
+        Txn.put t first (name ^ "1");
+        Proc.sleep sim 300_000;
+        Txn.put t second (name ^ "2")
+      in
+      (* b, c live in the left range; n in the right: the waits-for cycle
+         b -> n -> c -> b crosses the range boundary twice. *)
+      let ts =
+        [
+          Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "b" "n" "t1"));
+          Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "n" "c" "t2"));
+          Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "c" "b" "t3"));
+        ]
+      in
+      List.iter (fun r -> expect_ok (Proc.await r)) ts;
+      let elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "cycle broken fast (took %dus)" elapsed)
+        true
+        (elapsed < 8_000_000));
+  check Alcotest.bool "at least one wound" true ((Txn.stats mgr).Txn.wounds >= 1);
+  no_conflict_timeouts cl
+
+(* ------------------------------------------------------------------ *)
+(* Priority: the older transaction always survives                     *)
+
+let test_older_wins () =
+  let cl, _ = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let pri_old = Cluster.now_ts cl gw in
+      Cluster.register_txn cl ~txn:1 ~priority:pri_old;
+      Proc.sleep sim 1_000;
+      Cluster.register_txn cl ~txn:2 ~priority:(Cluster.now_ts cl gw);
+      (* The younger transaction takes the lock first... *)
+      ignore (write_ok cl ~gateway:gw ~txn:2 ~key:"k" ~value:"young");
+      (* ...and the older pushes straight through it. *)
+      let t0 = Sim.now sim in
+      let ts = write_ok cl ~gateway:gw ~txn:1 ~key:"k" ~value:"old" in
+      check Alcotest.bool "older waited only one push delay" true
+        (Sim.now sim - t0 < 1_000_000);
+      (match Cluster.txn_status cl ~txn:2 with
+      | Some (Txnrec.Aborted { wound = true; _ }) -> ()
+      | _ -> Alcotest.fail "younger must be wounded");
+      Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some ts) ~keys:[ "k" ]
+        ~sync_all:true ();
+      (* The mirror image: a younger waiter queues behind an older holder
+         instead of wounding it. *)
+      Cluster.register_txn cl ~txn:3 ~priority:(Cluster.now_ts cl gw);
+      let held = write_ok cl ~gateway:gw ~txn:1 ~key:"k2" ~value:"old2" in
+      let young_done = ref false in
+      Proc.spawn sim (fun () ->
+          ignore (write_ok cl ~gateway:gw ~txn:3 ~key:"k2" ~value:"young2");
+          young_done := true);
+      Proc.sleep sim 1_000_000;
+      check Alcotest.bool "younger still queued" false !young_done;
+      (match Cluster.txn_status cl ~txn:1 with
+      | Some Txnrec.Pending -> ()
+      | _ -> Alcotest.fail "older must stay pending");
+      Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some held) ~keys:[ "k2" ]
+        ~sync_all:true ();
+      Proc.sleep sim 500_000;
+      check Alcotest.bool "younger proceeded after release" true !young_done);
+  no_conflict_timeouts cl
+
+(* ------------------------------------------------------------------ *)
+(* Abandoned transactions                                              *)
+
+(* A registered transaction that stops heartbeating is declared abandoned
+   after the liveness window (3 heartbeat intervals) and its intents are
+   cleaned up by whoever pushes it — far sooner than the 10 s timeout. *)
+let test_abandoned_registered_txn () =
+  let cl, _ = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  let liveness = 3 * (Cluster.config cl).Cluster.txn_heartbeat_interval in
+  Cluster.run cl (fun () ->
+      Cluster.register_txn cl ~txn:6 ~priority:(Cluster.now_ts cl gw);
+      ignore (write_ok cl ~gateway:gw ~txn:6 ~key:"k" ~value:"zombie");
+      Proc.sleep sim 1_000;
+      Cluster.register_txn cl ~txn:7 ~priority:(Cluster.now_ts cl gw);
+      let t0 = Sim.now sim in
+      ignore (write_ok cl ~gateway:gw ~txn:7 ~key:"k" ~value:"live");
+      let elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "cleanup near liveness window (took %dus)" elapsed)
+        true
+        (elapsed < liveness + 2_000_000);
+      match Cluster.txn_status cl ~txn:6 with
+      | Some (Txnrec.Aborted { wound = false; _ }) -> ()
+      | _ -> Alcotest.fail "zombie must be aborted as abandoned");
+  no_conflict_timeouts cl
+
+(* A raw-API writer with no record at all gets a stub record (oldest
+   priority, so never wounded) whose abandonment grace starts at the first
+   push. *)
+let test_abandoned_recordless_txn () =
+  let cl, _ = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  let liveness = 3 * (Cluster.config cl).Cluster.txn_heartbeat_interval in
+  Cluster.run cl (fun () ->
+      ignore (write_ok cl ~gateway:gw ~txn:8 ~key:"k" ~value:"raw");
+      Cluster.register_txn cl ~txn:9 ~priority:(Cluster.now_ts cl gw);
+      let t0 = Sim.now sim in
+      ignore (write_ok cl ~gateway:gw ~txn:9 ~key:"k" ~value:"live");
+      let elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "stub cleaned up after grace (took %dus)" elapsed)
+        true
+        (elapsed < liveness + 2_000_000);
+      check Alcotest.bool "grace period respected" true (elapsed >= liveness));
+  no_conflict_timeouts cl
+
+(* A transaction whose record committed but whose coordinator died before
+   resolving: the pusher commit-resolves the orphan intent on its behalf. *)
+let test_committed_record_resolves_intent () =
+  let cl, _ = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      Cluster.register_txn cl ~txn:10 ~priority:(Cluster.now_ts cl gw);
+      let ts = write_ok cl ~gateway:gw ~txn:10 ~key:"k" ~value:"orphan" in
+      (match Cluster.commit_txn cl ~txn:10 ~ts with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit_txn: %s" e);
+      (* No resolve: a non-transactional reader hits the intent, pushes,
+         learns the record committed, and finishes the resolution itself. *)
+      Proc.sleep sim 10_000;
+      let t0 = Sim.now sim in
+      let read_ts = Cluster.now_ts cl gw in
+      (match
+         Cluster.read cl ~gateway:gw ~txn:None ~key:"k" ~ts:read_ts
+           ~max_ts:read_ts ()
+       with
+      | Cluster.Read_value { value; _ } ->
+          check Alcotest.(option string) "committed value visible"
+            (Some "orphan") value
+      | _ -> Alcotest.fail "reader must see the committed value");
+      check Alcotest.bool "resolved within a few push delays" true
+        (Sim.now sim - t0 < 1_000_000));
+  no_conflict_timeouts cl
+
+(* ------------------------------------------------------------------ *)
+(* API surface                                                         *)
+
+let test_options_roundtrip () =
+  let _, mgr = make () in
+  check Alcotest.bool "defaults" true (Txn.options mgr = Txn.Options.default);
+  Txn.set_options mgr
+    { Txn.Options.default with Txn.Options.pipelined_writes = false };
+  check Alcotest.bool "set_options applied" false
+    (Txn.options mgr).Txn.Options.pipelined_writes;
+  (* Deprecated wrappers replace one field and preserve the rest. *)
+  Txn.set_unsafe_no_refresh mgr true;
+  let o = Txn.options mgr in
+  check Alcotest.bool "wrapper set its field" true o.Txn.Options.unsafe_no_refresh;
+  check Alcotest.bool "wrapper preserved others" false
+    o.Txn.Options.pipelined_writes;
+  Txn.set_pipelined_writes mgr true;
+  Txn.set_hold_locks_during_commit_wait mgr true;
+  let o = Txn.options mgr in
+  check Alcotest.bool "all wrappers compose" true
+    (o.Txn.Options.pipelined_writes
+    && o.Txn.Options.hold_locks_during_commit_wait
+    && o.Txn.Options.unsafe_no_refresh)
+
+let test_config_default_idiom () =
+  let cfg = { Cluster.default with Cluster.push_delay = 50_000; seed = 7 } in
+  check Alcotest.int "override applied" 50_000 cfg.Cluster.push_delay;
+  check Alcotest.int "other fields inherited"
+    Cluster.default.Cluster.conflict_wait_timeout
+    cfg.Cluster.conflict_wait_timeout;
+  check Alcotest.bool "default_config is an alias" true
+    (Cluster.default_config = Cluster.default);
+  (* A faster push delay breaks the two-txn deadlock proportionally
+     sooner. *)
+  let cl = Cluster.create ~config:cfg ~topology:topo5 ~latency:Latency.table1 () in
+  ignore
+    (Cluster.add_range cl ~span:("a", "zzzz") ~zone:(zone ())
+       ~policy:(Cluster.Lag 3_000_000));
+  Cluster.settle cl;
+  let mgr = Txn.create_manager cl in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      let body first second name t =
+        Txn.put t first (name ^ "1");
+        Proc.sleep sim 300_000;
+        Txn.put t second (name ^ "2")
+      in
+      let a = Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "ka" "kb" "t1")) in
+      let b = Proc.async sim (fun () -> Txn.run mgr ~gateway:gw (body "kb" "ka" "t2")) in
+      List.iter (fun r -> expect_ok (Proc.await r)) [ a; b ]);
+  no_conflict_timeouts cl
+
+let suite =
+  [
+    Alcotest.test_case "two-txn deadlock wounds and commits" `Quick
+      test_two_txn_deadlock;
+    Alcotest.test_case "three-txn cycle across two ranges" `Quick
+      test_three_txn_cycle_two_ranges;
+    Alcotest.test_case "older transaction always survives" `Quick
+      test_older_wins;
+    Alcotest.test_case "abandoned registered txn cleaned up" `Quick
+      test_abandoned_registered_txn;
+    Alcotest.test_case "recordless writer cleaned up after grace" `Quick
+      test_abandoned_recordless_txn;
+    Alcotest.test_case "committed record resolves orphan intent" `Quick
+      test_committed_record_resolves_intent;
+    Alcotest.test_case "Txn.Options round trip" `Quick test_options_roundtrip;
+    Alcotest.test_case "Cluster.default with-idiom" `Quick
+      test_config_default_idiom;
+  ]

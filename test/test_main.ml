@@ -10,6 +10,7 @@ let () =
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
       ("kv", Test_kv.suite);
+      ("locks", Test_locks.suite);
       ("lifecycle", Test_lifecycle.suite);
       ("txn", Test_txn.suite);
       ("sql", Test_sql.suite);
