@@ -4,7 +4,8 @@
 
    Usage:   dune exec bench/main.exe [-- EXPERIMENT...]
    where EXPERIMENT is any of: table1 fig3 fig4a fig4b fig4c fig5 fig6
-   table2 ablations splits chaos micro. With no arguments, everything runs.
+   table2 ablations conflicts splits latency-audit chaos micro. With no
+   arguments, everything runs.
 
    Workload volumes are scaled down from the paper's GCP runs (the paper's
    absolute numbers come from 3-node-per-region clusters and millions of
@@ -709,6 +710,133 @@ let run_conflicts () =
     ~push_delay:Cluster.default.Cluster.push_delay
 
 (* ------------------------------------------------------------------ *)
+(* Latency audit: measured WAN round trips vs the §6 model             *)
+
+let run_latency_audit () =
+  section "Latency audit: phase decomposition vs the paper's latency model";
+  printf
+    "Table-1 topology (5 regions x 3 nodes), a REGIONAL range homed in@.\
+     us-east1 (SURVIVE ZONE) and a GLOBAL range over the same placement.@.\
+     Every operation threads a phase context through kv/txn/net; the model@.\
+     prices each op class in WAN round trips (one cross-region RPC, or a@.\
+     consensus round whose quorum needs a remote voter). Measured p50 WAN@.\
+     RTTs must match the prediction within +/-1.@.";
+  let regions = regions5 in
+  let home = List.hd regions (* us-east1 *) and remote = "europe-west2" in
+  let topology = Crdb.Topology.symmetric ~regions ~nodes_per_region:3 in
+  let cl = Cluster.create ~topology ~latency:Latency.table1 () in
+  let zone =
+    Crdb.Zoneconfig.derive ~regions ~home ~survival:Crdb.Zoneconfig.Zone
+      ~placement:Crdb.Zoneconfig.Default
+  in
+  ignore
+    (Cluster.add_range cl ~span:("reg", "reg~") ~zone
+       ~policy:(Cluster.Lag 3_000_000));
+  ignore (Cluster.add_range cl ~span:("glob", "glob~") ~zone ~policy:Cluster.Lead);
+  Cluster.settle cl;
+  let mgr = Txn.create_manager cl in
+  let sim = Cluster.sim cl in
+  let m = Crdb.Obs.metrics (Cluster.obs cl) in
+  let gw r =
+    (List.hd (Crdb.Topology.nodes_in_region (Cluster.topology cl) r))
+      .Crdb.Topology.id
+  in
+  let gw_home = gw home and gw_remote = gw remote in
+  let key p i = Printf.sprintf "%s%02d" p (i mod 10) in
+  (* Op classes: (name, predicted WAN RTTs, gateway, body). The txn_commit
+     class is a single-write read-write transaction from a remote gateway:
+     one WAN RTT for the intent write, one for the commit-time intent
+     resolution (the commit record itself is a local transition; with 3
+     voters in the home region the consensus quorum never leaves it). *)
+  let classes =
+    [
+      ( "local_read", 0, gw_home,
+        fun phases i ->
+          Txn.run mgr ~gateway:gw_home ~phases (fun t ->
+              ignore (Txn.get t (key "reg" i))) );
+      ( "local_write", 0, gw_home,
+        fun phases i ->
+          Txn.run mgr ~gateway:gw_home ~phases (fun t ->
+              Txn.put t (key "reg" i) "v") );
+      ( "global_read", 0, gw_remote,
+        fun phases i ->
+          Txn.run_fresh_read mgr ~gateway:gw_remote ~phases (fun ro ->
+              ignore (Txn.ro_get ro (key "glob" i))) );
+      ( "global_write", 1, gw_remote,
+        fun phases i ->
+          Txn.run_blind_put mgr ~gateway:gw_remote ~phases (key "glob" i) "v" );
+      ( "txn_commit", 2, gw_remote,
+        fun phases i ->
+          Txn.run mgr ~gateway:gw_remote ~phases (fun t ->
+              Txn.put t (key "reg" i) "v") );
+    ]
+  in
+  let ops = 24 in
+  let e2e = List.map (fun (cls, _, _, _) -> (cls, Hist.create ())) classes in
+  Cluster.run cl (fun () ->
+      (* Load both keyspaces (scratch phase context: loads are not audited). *)
+      let scratch = Crdb.Phase.make () in
+      for i = 0 to 9 do
+        (match
+           Txn.run mgr ~gateway:gw_home ~phases:scratch (fun t ->
+               Txn.put t (key "reg" i) "seed")
+         with
+        | Ok () -> ()
+        | Error _ -> ());
+        match Txn.run_blind_put mgr ~gateway:gw_home ~phases:scratch
+                (key "glob" i) "seed"
+        with
+        | Ok () -> ()
+        | Error _ -> ()
+      done;
+      Crdb_sim.Proc.sleep sim 1_000_000;
+      List.iter
+        (fun (cls, _, _, body) ->
+          (* One unmeasured warmup op per class to warm routing caches. *)
+          (match body scratch 0 with Ok _ -> () | Error _ -> ());
+          let phases = Crdb.Phase.make () in
+          let h = List.assoc cls e2e in
+          for i = 1 to ops do
+            Crdb_sim.Proc.sleep sim 100_000;
+            let t0 = Crdb_sim.Sim.now sim in
+            (match body phases i with Ok _ -> () | Error _ -> ());
+            Hist.add h (Crdb_sim.Sim.now sim - t0);
+            Crdb.Phase.flush phases ~cls m;
+            Crdb.Phase.reset phases
+          done)
+        classes);
+  let predicted = List.map (fun (cls, p, _, _) -> (cls, p)) classes in
+  subsection "end-to-end latency per op class";
+  List.iter (fun (cls, h) -> row (Printf.sprintf "  %s" cls) h) e2e;
+  subsection "phase decomposition";
+  printf "%a" Crdb.Report.pp_phase_table m;
+  subsection "WAN round trips: measured vs model";
+  printf "%a" (Crdb.Report.pp_wan_table ~predicted) m;
+  (* Machine-readable mirror: the wan_rtts histogram per class, the
+     prediction encoded in the label so the JSON is self-describing. *)
+  List.iter
+    (fun (cls, pred) ->
+      let wan = Crdb.Metrics.merged_hist m ("wan_rtts." ^ cls) in
+      record (Printf.sprintf "wan_rtts %s (predicted=%d)" cls pred) wan;
+      let measured = Hist.p50 wan in
+      if abs (measured - pred) > 1 then
+        printf "  !! %s: measured p50 %d vs predicted %d (off by >1)@." cls
+          measured pred)
+    predicted;
+  List.iter
+    (fun (cls, _) ->
+      List.iter
+        (fun ph ->
+          let h =
+            Crdb.Metrics.merged_hist m
+              (Printf.sprintf "phase.%s.%s" cls (Crdb.Phase.name ph))
+          in
+          if not (Hist.is_empty h) && Hist.max_value h > 0 then
+            record (Printf.sprintf "phase %s %s" cls (Crdb.Phase.name ph)) h)
+        Crdb.Phase.all_phases)
+    predicted
+
+(* ------------------------------------------------------------------ *)
 (* Chaos smoke: nemesis schedule + history checking                    *)
 
 let run_chaos () =
@@ -833,6 +961,7 @@ let experiments =
     ("ablations", run_ablations);
     ("conflicts", run_conflicts);
     ("splits", run_splits);
+    ("latency-audit", run_latency_audit);
     ("chaos", run_chaos);
     ("micro", run_micro);
   ]

@@ -8,6 +8,7 @@
      ddl      print the DDL statement lists (Table 2 machinery)
      regions  print the latency profiles
      splits   range-lifecycle demo: 100+ splits, traffic, merges
+     report   deterministic audit scenario + end-of-run introspection report
 
    Examples:
      dune exec bin/crdb_sim.exe -- ycsb --variant global --workload a
@@ -241,7 +242,8 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
     ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
     ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-    ~max_conflict_timeouts ~dump_history ~show_history ~trace ~metrics =
+    ~max_conflict_timeouts ~dump_history ~show_history ~report ~trace ~metrics
+    =
   (* [--checker serializability] implies the transactional workload. *)
   let txn_clients =
     if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
@@ -350,13 +352,26 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     Format.eprintf
       "chaos: %d conflict timeouts exceed --max-conflict-timeouts %d@."
       conflict_timeouts max_conflict_timeouts;
+  if report then begin
+    (* End-of-run introspection: per-phase latency tables (the workload's
+       transactions flush into the "txn" op class), WAN round trips, hottest
+       ranges, and the structured event log — faults and heals included. *)
+    Format.printf "@.== end-of-run report (seed %d) ==@." seed;
+    Format.printf "%a"
+      (fun ppf o -> Crdb.Report.pp ~timeline:false ppf o)
+      obs;
+    Format.printf "serializability verdict: %s@."
+      (Checker.verdict_to_string
+         (if txn_clients > 0 then o.Harness.txn_verdict
+          else o.Harness.bank_verdict))
+  end;
   Harness.passed o && timeouts_ok
 
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
     unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges txn_hot_keys
-    unsafe_no_refresh max_conflict_timeouts dump_history show_history trace
-    metrics =
+    unsafe_no_refresh max_conflict_timeouts dump_history show_history report
+    trace metrics =
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
     let dump_history =
@@ -370,7 +385,8 @@ let run_chaos seed seeds nregions survival global duration faults fault_interval
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
            ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
            ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-           ~max_conflict_timeouts ~dump_history ~show_history ~trace ~metrics)
+           ~max_conflict_timeouts ~dump_history ~show_history ~report ~trace
+           ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -469,6 +485,14 @@ let chaos_cmd =
                 per seed, suffixed .SEED)")
   in
   let show_history = Arg.(value & flag & info [ "history" ] ~doc:"Print the full operation histories") in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:
+               "Print the end-of-run introspection report: per-phase latency \
+                table, WAN round trips, hottest ranges, cluster events \
+                (faults, wounds, lease transfers) and the checker verdict")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run a deterministic nemesis schedule with Jepsen-style history checking")
@@ -478,7 +502,7 @@ let chaos_cmd =
       $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
       $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ txn_hot_keys
       $ unsafe_no_refresh $ max_conflict_timeouts $ dump_history $ show_history
-      $ trace_arg $ metrics_arg)
+      $ report $ trace_arg $ metrics_arg)
 
 (* ---------------- check (offline) ---------------- *)
 
@@ -699,6 +723,147 @@ let splits_cmd =
           then merge back down")
     Term.(const run_splits $ ranges $ keys $ ops $ trace_arg $ metrics_arg)
 
+(* ---------------- report ---------------- *)
+
+(* Deterministic latency-audit scenario: a REGIONAL and a GLOBAL range on a
+   3-region Table-1 cluster, a seeded mixed workload from every region (with
+   a contended tail to exercise wound-wait), plus scripted range-lifecycle
+   events (split, lease transfer, merge). Every observability source
+   accumulates in simulated time, so the rendered report and the timeseries
+   snapshot are byte-identical across runs of the same seed — check.sh
+   diffs two runs. *)
+let run_report seed out dump_ts =
+  let regions = List.filteri (fun i _ -> i < 3) regions5 in
+  let home = List.hd regions in
+  let topology = Crdb.Topology.symmetric ~regions ~nodes_per_region:3 in
+  let cl = Cluster.create ~topology ~latency:Crdb.Latency.table1 () in
+  let zone =
+    Crdb.Zoneconfig.derive ~regions ~home ~survival:Crdb.Zoneconfig.Zone
+      ~placement:Crdb.Zoneconfig.Default
+  in
+  let reg =
+    Cluster.add_range cl ~span:("k", "k~") ~zone ~policy:(Cluster.Lag 3_000_000)
+  in
+  ignore (Cluster.add_range cl ~span:("g", "g~") ~zone ~policy:Cluster.Lead);
+  Cluster.settle cl;
+  let mgr = Crdb.Txn.create_manager cl in
+  let sim = Cluster.sim cl in
+  let rng = Crdb_stdx.Rng.create ~seed in
+  let key i = Printf.sprintf "k%02d" i in
+  let gkey i = Printf.sprintf "g%02d" i in
+  let gw r =
+    (List.hd (Crdb.Topology.nodes_in_region (Cluster.topology cl) r))
+      .Crdb.Topology.id
+  in
+  Cluster.run cl (fun () ->
+      (* Seed both keyspaces. *)
+      for i = 0 to 15 do
+        ignore
+          (Crdb.Txn.run mgr ~gateway:(gw home) (fun t ->
+               Crdb.Txn.put t (key i) "seed"))
+      done;
+      for i = 0 to 3 do
+        ignore (Crdb.Txn.run_blind_put mgr ~gateway:(gw home) (gkey i) "seed")
+      done;
+      (* Scripted range lifecycle: split, lease transfer, later a merge. *)
+      ignore (Cluster.split_range cl reg ~at:(key 8));
+      Crdb_sim.Proc.sleep sim 500_000;
+      (match Cluster.leaseholder cl reg with
+      | Some lh ->
+          let target =
+            List.find_map
+              (fun n ->
+                let id = n.Crdb.Topology.id in
+                if id <> lh then Some id else None)
+              (Crdb.Topology.nodes_in_region (Cluster.topology cl) home)
+          in
+          Option.iter (fun t -> Cluster.transfer_lease cl reg ~target:t) target
+      | None -> ());
+      Crdb_sim.Proc.sleep sim 500_000;
+      (* Mixed workload: two clients per region; the last two ops of every
+         writer contend on the two hottest keys in opposite lock orders. *)
+      let clients =
+        List.concat_map
+          (fun r ->
+            List.init 2 (fun c ->
+                let crng = Crdb_stdx.Rng.split rng in
+                Crdb_sim.Proc.async sim (fun () ->
+                    let gwr = gw r in
+                    for op = 1 to 12 do
+                      Crdb_sim.Proc.sleep sim
+                        (30_000 + Crdb_stdx.Rng.int crng 120_000);
+                      let hot = op > 10 in
+                      let i =
+                        if hot then Crdb_stdx.Rng.int crng 2
+                        else Crdb_stdx.Rng.int crng 16
+                      in
+                      ignore
+                        (if (op + c) mod 3 = 0 then
+                           Crdb.Txn.run_fresh_read mgr ~gateway:gwr (fun ro ->
+                               ignore (Crdb.Txn.ro_get ro (gkey (i mod 4))))
+                         else
+                           Crdb.Txn.run mgr ~gateway:gwr (fun t ->
+                               if hot then begin
+                                 Crdb.Txn.put t (key i) "w";
+                                 Crdb_sim.Proc.sleep sim 20_000;
+                                 Crdb.Txn.put t (key (1 - i)) "w"
+                               end
+                               else if Crdb_stdx.Rng.int crng 2 = 0 then
+                                 ignore (Crdb.Txn.get t (key i))
+                               else Crdb.Txn.put t (key i) "w"))
+                    done)))
+          regions
+      in
+      List.iter Crdb_sim.Proc.await clients;
+      ignore (Cluster.merge_range cl reg);
+      Crdb_sim.Proc.sleep sim 500_000);
+  let obs = Cluster.obs cl in
+  let text = Crdb.Report.to_string obs in
+  (match out with
+  | Some file -> (
+      match open_out file with
+      | oc ->
+          output_string oc text;
+          close_out oc;
+          Format.printf "report -> %s@." file
+      | exception Sys_error msg ->
+          Format.eprintf "crdb_sim: cannot write report: %s@." msg;
+          exit 1)
+  | None -> print_string text);
+  match dump_ts with
+  | Some file -> (
+      match open_out file with
+      | oc ->
+          output_string oc (Crdb.Timeseries.to_json (Crdb.Obs.timeseries obs));
+          close_out oc;
+          Format.printf "timeseries -> %s@." file
+      | exception Sys_error msg ->
+          Format.eprintf "crdb_sim: cannot write timeseries: %s@." msg;
+          exit 1)
+  | None -> ()
+
+let report_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the report to FILE instead of stdout")
+  in
+  let dump_ts =
+    Arg.(value & opt (some string) None
+         & info [ "dump-timeseries" ] ~docv:"FILE"
+             ~doc:
+               "Write the windowed per-range timeseries snapshot (QPS, \
+                write bytes, latency samples) as deterministic JSON")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a deterministic audit scenario and render the end-of-run \
+          introspection report (phase latencies, WAN round trips, hottest \
+          ranges, event timeline)")
+    Term.(const run_report $ seed $ out $ dump_ts)
+
 (* ---------------- default scenario ---------------- *)
 
 (* A small deterministic GLOBAL-table workload touching every layer:
@@ -738,4 +903,13 @@ let () =
        (Cmd.group ~default
           (Cmd.info "crdb_sim" ~version:Crdb.version
              ~doc:"Simulated multi-region CockroachDB explorer")
-          [ ycsb_cmd; tpcc_cmd; chaos_cmd; check_cmd; ddl_cmd; regions_cmd; splits_cmd ]))
+          [
+            ycsb_cmd;
+            tpcc_cmd;
+            chaos_cmd;
+            check_cmd;
+            ddl_cmd;
+            regions_cmd;
+            splits_cmd;
+            report_cmd;
+          ]))

@@ -73,6 +73,25 @@ dune exec bin/crdb_sim.exe -- chaos --seed 501 --seeds 3 --survival region \
   --checker serializability --txn-clients 6 --txn-hot-keys 4 \
   --faults kill-node,lease-transfer --max-conflict-timeouts 0
 
+# Observability determinism gate: the end-of-run report and the timeseries
+# snapshot must be byte-identical across two runs of the same seed — the
+# report is a regression artifact, like the trace export.
+echo "== report determinism gate (seed 42)"
+tmprep=$(mktemp -d)
+trap 'rm -f "$tmpdump"; rm -rf "$tmprep"' EXIT
+dune exec bin/crdb_sim.exe -- report --seed 42 \
+  --out "$tmprep/r1.txt" --dump-timeseries "$tmprep/ts1.json"
+dune exec bin/crdb_sim.exe -- report --seed 42 \
+  --out "$tmprep/r2.txt" --dump-timeseries "$tmprep/ts2.json"
+diff "$tmprep/r1.txt" "$tmprep/r2.txt" || {
+  echo "report not deterministic across identical seeds"
+  exit 1
+}
+diff "$tmprep/ts1.json" "$tmprep/ts2.json" || {
+  echo "timeseries snapshot not deterministic across identical seeds"
+  exit 1
+}
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt

@@ -145,10 +145,11 @@ let inject t fault =
   t.log <- (now, fault) :: t.log;
   let heal = is_heal fault in
   Metrics.inc (if heal then t.c_healed else t.c_injected);
-  Trace.event
-    (Obs.trace (Cluster.obs t.cl))
+  (* Structured event (mirrored to the legacy chaos.inject/heal trace
+     instants by [Obs.log_event]). *)
+  Obs.log_event (Cluster.obs t.cl)
     ~attrs:[ ("fault", fault_to_string fault) ]
-    (if heal then "chaos.heal" else "chaos.inject");
+    (if heal then Crdb_obs.Events.Heal else Crdb_obs.Events.Fault);
   apply t.cl fault
 
 let stop t = t.stopped <- true

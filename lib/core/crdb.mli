@@ -33,6 +33,10 @@ module Timestamp = Crdb_hlc.Timestamp
 module Obs = Crdb_obs.Obs
 module Trace = Crdb_obs.Trace
 module Metrics = Crdb_obs.Metrics
+module Events = Crdb_obs.Events
+module Timeseries = Crdb_obs.Timeseries
+module Phase = Crdb_obs.Phase
+module Report = Crdb_obs.Report
 
 val version : string
 

@@ -13,6 +13,9 @@ module Raft = Crdb_raft.Raft
 module Obs = Crdb_obs.Obs
 module Trace = Crdb_obs.Trace
 module Metrics = Crdb_obs.Metrics
+module Events = Crdb_obs.Events
+module Phase = Crdb_obs.Phase
+module Timeseries = Crdb_obs.Timeseries
 module Smap = Map.Make (String)
 
 type policy = Lag of int | Lead
@@ -424,8 +427,8 @@ let wait_on_conflict t r ~key ~kind ~blocker ~waiter =
                 | Txnrec.Wound _ ->
                     t.diag.d_wounds <- t.diag.d_wounds + 1;
                     Metrics.inc t.c_wound.(r.r_node);
-                    Trace.event (Obs.trace t.obs) ~node:r.r_node
-                      ~range:r.r_range.rg_id
+                    Obs.log_event t.obs ~node:r.r_node ~range:r.r_range.rg_id
+                      ~txn:blocker
                       ~attrs:
                         [
                           ("blocker", string_of_int blocker);
@@ -435,11 +438,15 @@ let wait_on_conflict t r ~key ~kind ~blocker ~waiter =
                             | Some w -> string_of_int w
                             | None -> "-" );
                         ]
-                      "kv.wound";
+                      Events.Wound;
                     Metrics.inc t.c_cleanup.(r.r_node);
                     propose_cleanup t r ~key ~blocker ~commit:None
                 | Txnrec.Cleanup commit ->
                     Metrics.inc t.c_cleanup.(r.r_node);
+                    Obs.log_event t.obs ~node:r.r_node ~range:r.r_range.rg_id
+                      ~txn:blocker
+                      ~attrs:[ ("key", key) ]
+                      Events.Abandoned_cleanup;
                     propose_cleanup t r ~key ~blocker ~commit);
                 loop ()
           end
@@ -531,8 +538,9 @@ let preferred_leaseholder_node t rg =
 let note_lease_transfer t ~node ~range ~target =
   Metrics.inc
     (Metrics.counter (Obs.metrics t.obs) ~node ~range "kv.lease_transfers");
-  Trace.event (Obs.trace t.obs) ~node ~range "kv.lease_transfer"
+  Obs.log_event t.obs ~node ~range
     ~attrs:[ ("target", string_of_int target) ]
+    Events.Lease_transfer
 
 let rec make_replica t rg node =
   let r =
@@ -587,9 +595,9 @@ and raft_callbacks t rg r =
             Metrics.inc
               (Metrics.counter (Obs.metrics t.obs) ~node:r.r_node
                  ~range:rg.rg_id "kv.lease_acquired");
-            Trace.event (Obs.trace t.obs) ~node:r.r_node ~range:rg.rg_id
-              "kv.lease_acquired"
-              ~attrs:[ ("region", Topology.region_of t.topo r.r_node) ];
+            Obs.log_event t.obs ~node:r.r_node ~range:rg.rg_id
+              ~attrs:[ ("region", Topology.region_of t.topo r.r_node) ]
+              Events.Lease_acquired;
             (* New leaseholder: no write may land below the lease start.
                The hybrid clock reading is ahead of every applied write
                (HLC receive rule at apply) and every read served here is
@@ -959,8 +967,9 @@ let split_range t rid ~at =
           | None -> ())
         right.rg_replicas;
       Metrics.inc t.c_splits;
-      Trace.event (Obs.trace t.obs) ~node:lr.r_node ~range:rid "kv.split"
-        ~attrs:[ ("at", at); ("right", string_of_int new_rid) ];
+      Obs.log_event t.obs ~node:lr.r_node ~range:rid
+        ~attrs:[ ("at", at); ("right", string_of_int new_rid) ]
+        Events.Split;
       note_range_count t;
       Some new_rid
 
@@ -1027,9 +1036,9 @@ let merge_range t rid =
                     Hashtbl.remove t.ranges_tbl right_rid;
                     rg.rg_span <- (s, re);
                     Metrics.inc t.c_merges;
-                    Trace.event (Obs.trace t.obs) ~node:ll.r_node ~range:rid
-                      "kv.merge"
-                      ~attrs:[ ("subsumed", string_of_int right_rid) ];
+                    Obs.log_event t.obs ~node:ll.r_node ~range:rid
+                      ~attrs:[ ("subsumed", string_of_int right_rid) ]
+                      Events.Merge;
                     note_range_count t;
                     true
                 | (Some _ | None), (Some _ | None) -> false)))
@@ -1119,13 +1128,13 @@ let rebalance_step t rid =
                     | None -> false
                     | Some _ ->
                         Metrics.inc t.c_rebalances;
-                        Trace.event (Obs.trace t.obs) ~node:lr.r_node
-                          ~range:rid "kv.rebalance"
+                        Obs.log_event t.obs ~node:lr.r_node ~range:rid
                           ~attrs:
                             [
                               ("victim", string_of_int victim);
                               ("replacement", string_of_int replacement);
-                            ];
+                            ]
+                          Events.Rebalance;
                         let goal = Raft.commit_index raft in
                         (* A dead victim never applies its own removal, so
                            its replica object must be reaped here; a live
@@ -1378,8 +1387,8 @@ let op_deadline = 120_000_000
    queued, waiting on a conflict, or in flight: an eval that finds its
    replica no longer owns the key answers [`Range_mismatch] and the gateway
    immediately retries against the new owner. *)
-let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
-    ~(on_fail : string -> 'a)
+let with_leaseholder t ~gateway ?(span = Trace.nil) ?(phases = Phase.nil) ~op
+    ~key ~(on_fail : string -> 'a)
     (eval :
       replica -> Trace.span -> [ `Done of 'a | `Not_leader | `Range_mismatch ])
     : 'a =
@@ -1391,6 +1400,19 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
       | exception Not_found -> None
     in
     Trace.span tr ~parent:span ~node:gateway ?range op
+  in
+  let op_start = Sim.now t.sim in
+  (* Server-side waiting (conflicts, replication) is attributed by the eval
+     itself; the remainder of each gateway-side RPC wait — request/response
+     travel and queueing — is routing. *)
+  let attributed () =
+    Phase.total phases Phase.Lock_wait + Phase.total phases Phase.Replication
+  in
+  let record_done rid =
+    let ts = Obs.timeseries t.obs in
+    Timeseries.observe ts ~range:rid "kv.range.qps" 1;
+    Timeseries.record_sample ts ~range:rid "kv.range.latency"
+      (Sim.now t.sim - op_start)
   in
   let deadline = Sim.now t.sim + op_deadline in
   let rec go () =
@@ -1410,34 +1432,50 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
           | None ->
               t.diag.d_lh_misses <- t.diag.d_lh_misses + 1;
               Proc.sleep t.sim 250_000;
+              Phase.add phases Phase.Lease_wait 250_000;
               go ()
           | Some lh -> (
               let rg = range t rid in
               match replica_at rg lh with
               | None ->
                   Proc.sleep t.sim 250_000;
+                  Phase.add phases Phase.Lease_wait 250_000;
                   go ()
               | Some r -> (
+                  let rpc_start = Sim.now t.sim in
+                  let attributed_before = attributed () in
                   let reply =
-                    Transport.rpc ~span:sp t.net ~src:gateway ~dst:lh
+                    Transport.rpc ~span:sp ~phases t.net ~src:gateway ~dst:lh
                       (fun out ->
                         Proc.spawn t.sim (fun () ->
                             ignore (Ivar.try_fill out (eval r sp) : bool)))
                   in
+                  let note_routing () =
+                    let waited = Sim.now t.sim - rpc_start in
+                    let nested = attributed () - attributed_before in
+                    Phase.add phases Phase.Routing (max 0 (waited - nested))
+                  in
                   match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
                   | Some (`Done res) ->
+                      note_routing ();
+                      Phase.annotate phases sp;
                       Trace.finish tr sp;
+                      record_done rid;
                       res
                   | Some `Range_mismatch ->
                       (* The range split, merged, or was dropped while the
                          request was in flight; re-resolve and retry now. *)
+                      note_routing ();
                       go ()
                   | Some `Not_leader ->
                       t.diag.d_not_leader <- t.diag.d_not_leader + 1;
+                      note_routing ();
                       Proc.sleep t.sim 100_000;
+                      Phase.add phases Phase.Lease_wait 100_000;
                       go ()
                   | None ->
                       t.diag.d_rpc_timeouts <- t.diag.d_rpc_timeouts + 1;
+                      note_routing ();
                       go ())))
   in
   go ()
@@ -1445,7 +1483,15 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ~op ~key
 let is_leader_now r =
   match r.r_raft with Some raft -> Raft.is_leader raft | None -> false
 
-let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
+(* Time one conflict wait and charge it to the operation's lock_wait
+   phase. *)
+let timed_wait t ~phases f =
+  let t0 = Sim.now t.sim in
+  let out = f () in
+  Phase.add phases Phase.Lock_wait (Sim.now t.sim - t0);
+  out
+
+let rec eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
@@ -1468,8 +1514,12 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
       | Lead -> max_ts
     in
     let wait ~kind ~blocker =
-      match wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn with
-      | Lock_table.Acquired -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts
+      match
+        timed_wait t ~phases (fun () ->
+            wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn)
+      with
+      | Lock_table.Acquired ->
+          eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts
       | Lock_table.Wounded reason -> `Done (Read_wounded reason)
       | Lock_table.Pusher_aborted -> `Done (Read_err "transaction aborted")
       | Lock_table.Timed_out -> `Done (Read_err "conflict timeout")
@@ -1487,15 +1537,17 @@ let rec eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts =
                refresh, ratchet the timestamp in place instead of bouncing
                the uncertainty error back across the network. *)
             if inline_bump then
-              eval_read t r ~inline_bump ~txn ~key ~ts:value_ts ~max_ts
+              eval_read t r ~inline_bump ~phases ~txn ~key ~ts:value_ts ~max_ts
             else `Done (Read_uncertain { value_ts }))
 
-let read t ?(inline_bump = false) ?span ~gateway ~txn ~key ~ts ~max_ts () =
-  with_leaseholder t ~gateway ?span ~op:"kv.read" ~key
+let read t ?(inline_bump = false) ?span ?(phases = Phase.nil) ~gateway ~txn
+    ~key ~ts ~max_ts () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.read" ~key
     ~on_fail:(fun msg -> Read_err msg)
-    (fun r _sp -> eval_read t r ~inline_bump ~txn ~key ~ts ~max_ts)
+    (fun r _sp -> eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts)
 
-let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
+let read_follower t ?(span = Trace.nil) ?(phases = Phase.nil) ~at ~txn ~key
+    ~ts ~max_ts () =
   match range_of_key t key with
   | exception Not_found -> Read_err ("no range for key " ^ key)
   | rid -> (
@@ -1503,9 +1555,15 @@ let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
       let sp =
         Trace.span tr ~parent:span ~node:at ~range:rid "kv.follower_read"
       in
+      let fr_start = Sim.now t.sim in
       let note res =
         (match res with
-        | Read_value _ | Read_uncertain _ -> Metrics.inc t.c_fr_hit.(at)
+        | Read_value _ | Read_uncertain _ ->
+            Metrics.inc t.c_fr_hit.(at);
+            let ts = Obs.timeseries t.obs in
+            Timeseries.observe ts ~range:rid "kv.range.qps" 1;
+            Timeseries.record_sample ts ~range:rid "kv.range.latency"
+              (Sim.now t.sim - fr_start)
         | Read_redirect ->
             Trace.annotate sp "redirect" "true";
             Metrics.inc t.c_fr_miss.(at)
@@ -1540,8 +1598,8 @@ let read_follower t ?(span = Trace.nil) ~at ~txn ~key ~ts ~max_ts () =
               | None -> note (Read_err "no live replica")
               | Some r -> (
                   let reply =
-                    Transport.rpc ~span:sp t.net ~src:at ~dst:node (fun out ->
-                        Ivar.fill out (eval r))
+                    Transport.rpc ~span:sp ~phases t.net ~src:at ~dst:node
+                      (fun out -> Ivar.fill out (eval r))
                   in
                   match Proc.await_timeout t.sim reply ~timeout:rpc_timeout with
                   | Some res -> note res
@@ -1553,7 +1611,7 @@ let clamp_span rg ~start_key ~end_key =
   let hi = if String.compare end_key e < 0 then end_key else e in
   (lo, hi)
 
-let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+let rec eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
   if r.r_range.rg_dropped || not (in_span r.r_range start_key) then
     `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
@@ -1583,9 +1641,12 @@ let rec eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
       Lock_table.foreign_in_span r.r_lt ~start_key ~end_key ~txn ~max_ts
     in
     let wait ~key ~kind ~blocker =
-      match wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn with
+      match
+        timed_wait t ~phases (fun () ->
+            wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn)
+      with
       | Lock_table.Acquired ->
-          eval_scan t r ~txn ~start_key ~end_key ~ts ~max_ts ~limit
+          eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit
       | Lock_table.Wounded reason -> `Done (Scan_wounded reason)
       | Lock_table.Pusher_aborted -> `Done (Scan_err "transaction aborted")
       | Lock_table.Timed_out -> `Done (Scan_err "conflict timeout")
@@ -1639,7 +1700,8 @@ let next_covered t ~cursor ~end_key =
       | Some (s, _) when String.compare s end_key < 0 -> Some s
       | Some _ | None -> None)
 
-let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
+let scan t ?span ?(phases = Phase.nil) ~gateway ~txn ~start_key ~end_key ~ts
+    ~max_ts ~limit () =
   (* The request span may cover several ranges (splits land at any time):
      scan left to right, one leaseholder fragment at a time. Each fragment's
      eval reports the range end it was clamped to, which is where the next
@@ -1656,12 +1718,12 @@ let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
           else finished ()
       | Some cursor -> (
           match
-            with_leaseholder t ~gateway ?span ~op:"kv.scan" ~key:cursor
+            with_leaseholder t ~gateway ?span ~phases ~op:"kv.scan" ~key:cursor
               ~on_fail:(fun msg -> (Scan_err msg, end_key))
               (fun r _sp ->
                 match
-                  eval_scan t r ~txn ~start_key:cursor ~end_key ~ts ~max_ts
-                    ~limit:remaining
+                  eval_scan t r ~phases ~txn ~start_key:cursor ~end_key ~ts
+                    ~max_ts ~limit:remaining
                 with
                 | (`Not_leader | `Range_mismatch) as other -> other
                 | `Done res -> `Done (res, snd r.r_range.rg_span))
@@ -1678,8 +1740,8 @@ let scan t ?span ~gateway ~txn ~start_key ~end_key ~ts ~max_ts ~limit () =
   in
   go [] start_key limit
 
-let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
-    ~max_ts ~limit () =
+let scan_follower t ?(span = Trace.nil) ?(phases = Phase.nil) ~at ~txn
+    ~start_key ~end_key ~ts ~max_ts ~limit () =
   match range_of_key t start_key with
   | exception Not_found -> Scan_err ("no range for key " ^ start_key)
   | _ ->
@@ -1767,8 +1829,8 @@ let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
                     | None -> note (Scan_err "no live replica", end_key)
                     | Some r -> (
                         let reply =
-                          Transport.rpc ~span:sp t.net ~src:at ~dst:node
-                            (fun out -> Ivar.fill out (eval r))
+                          Transport.rpc ~span:sp ~phases t.net ~src:at
+                            ~dst:node (fun out -> Ivar.fill out (eval r))
                         in
                         match
                           Proc.await_timeout t.sim reply ~timeout:rpc_timeout
@@ -1792,7 +1854,31 @@ let scan_follower t ?(span = Trace.nil) ~at ~txn ~start_key ~end_key ~ts
       in
       go [] start_key
 
-let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
+(* Whether one consensus round on this replica's group must leave the
+   leader's region: the leader acks itself, so a quorum is WAN-free exactly
+   when enough voters are co-located with it. Computed from the live
+   placement at proposal time — after a rebalance or failover the same range
+   can flip between answers, which is the point: the measurement tracks the
+   actual placement, not the static model. *)
+let replication_needs_wan t r =
+  match r.r_raft with
+  | None -> false
+  | Some raft ->
+      let voters =
+        List.filter (fun (_, k) -> k = Raft.Voter) (Raft.peers raft)
+      in
+      let quorum = (List.length voters / 2) + 1 in
+      let leader_region = Topology.region_of t.topo r.r_node in
+      let local =
+        List.length
+          (List.filter
+             (fun (n, _) ->
+               String.equal (Topology.region_of t.topo n) leader_region)
+             voters)
+      in
+      local < quorum
+
+let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
@@ -1804,9 +1890,13 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
     | `Aborted -> `Done (Write_err "transaction aborted")
     | `Live -> (
         let wait ~kind ~blocker =
-          match wait_on_conflict t r ~key ~kind ~blocker ~waiter:(Some txn) with
+          match
+            timed_wait t ~phases (fun () ->
+                wait_on_conflict t r ~key ~kind ~blocker ~waiter:(Some txn))
+          with
           | Lock_table.Acquired ->
-              eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span
+              eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts
+                ~span
           | Lock_table.Wounded reason -> `Done (Write_wounded reason)
           | Lock_table.Pusher_aborted -> `Done (Write_err "transaction aborted")
           | Lock_table.Timed_out -> `Done (Write_err "conflict timeout")
@@ -1857,6 +1947,7 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                   Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
                     "raft.replicate"
                 in
+                let propose_at = Sim.now t.sim in
                 (match Raft.propose raft cmd with
                 | None ->
                     Trace.annotate rsp "error" "not leader";
@@ -1865,6 +1956,17 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
                     `Not_leader
                 | Some _ -> (
                     Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
+                    if replication_needs_wan t r then Phase.add_wan phases;
+                    Timeseries.observe (Obs.timeseries t.obs) ~range:rg.rg_id
+                      "kv.range.write_bytes"
+                      (String.length key
+                      + match value with Some v -> String.length v | None -> 0);
+                    (* One replication round; with pipelining the quorum wait
+                       overlaps the transaction's other work, so the phase is
+                       attributed when the local apply lands. *)
+                    Ivar.on_fill done_ (fun () ->
+                        Phase.add phases Phase.Replication
+                          (Sim.now t.sim - propose_at));
                     match applied with
                     | Some ack ->
                         (* Pipelined write (CRDB write pipelining): reply as
@@ -1888,10 +1990,10 @@ let rec eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span =
    between the two proposals (no simulated time passes), so concurrent
    readers never observe it — CRDB's 1PC fast path for transactions whose
    writes all land on one range. *)
-let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
+let eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span =
   match
-    eval_write t r ~applied:(Some (Ivar.create ())) ~gateway ~txn ~key ~value
-      ~ts ~span
+    eval_write t r ~applied:(Some (Ivar.create ())) ~phases ~gateway ~txn ~key
+      ~value ~ts ~span
   with
   | (`Not_leader | `Range_mismatch) as other -> other
   | `Done (Write_wounded reason) -> `Done (Error reason)
@@ -1916,6 +2018,7 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
             Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
               "raft.replicate"
           in
+          let propose_at = Sim.now t.sim in
           match Raft.propose raft cmd with
           | None ->
               Trace.annotate rsp "error" "not leader";
@@ -1924,25 +2027,32 @@ let eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span =
               `Not_leader
           | Some _ ->
               Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
+              if replication_needs_wan t r then Phase.add_wan phases;
+              Ivar.on_fill done_ (fun () ->
+                  Phase.add phases Phase.Replication
+                    (Sim.now t.sim - propose_at));
               match Proc.await_timeout t.sim done_ ~timeout:propose_timeout with
               | Some () -> `Done (Ok final_ts)
               | None -> `Done (Error "proposal lost (leader gone)")))
 
-let write_and_commit t ?span ~gateway ~txn ~key ~value ~ts () =
-  with_leaseholder t ~gateway ?span ~op:"kv.write_1pc" ~key
+let write_and_commit t ?span ?(phases = Phase.nil) ~gateway ~txn ~key ~value
+    ~ts () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.write_1pc" ~key
     ~on_fail:(fun msg -> Error msg)
     (fun r sp ->
-      eval_write_and_commit t r ~gateway ~txn ~key ~value ~ts ~span:sp)
+      eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span:sp)
 
-let write t ?applied ?span ~gateway ~txn ~key ~value ~ts () =
-  with_leaseholder t ~gateway ?span ~op:"kv.write" ~key
+let write t ?applied ?span ?(phases = Phase.nil) ~gateway ~txn ~key ~value ~ts
+    () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.write" ~key
     ~on_fail:(fun msg -> Write_err msg)
-    (fun r sp -> eval_write t r ~applied ~gateway ~txn ~key ~value ~ts ~span:sp)
+    (fun r sp ->
+      eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span:sp)
 
 (* Resolve the subset of [keys] this replica's range owns; the rest — keys
    stranded on the wrong leaseholder by a split racing the resolution — are
    handed back for the gateway to re-group. *)
-let eval_resolve t r ~txn ~keys ~commit ~span =
+let eval_resolve t r ~phases ~txn ~keys ~commit ~span =
   if r.r_range.rg_dropped then `Range_mismatch
   else
     let mine, leftover = List.partition (in_span r.r_range) keys in
@@ -1968,6 +2078,7 @@ let eval_resolve t r ~txn ~keys ~commit ~span =
             Trace.span tr ~parent:span ~node:r.r_node ~range:rg.rg_id
               "raft.replicate"
           in
+          let propose_at = Sim.now t.sim in
           match Raft.propose raft cmd with
           | None ->
               Trace.annotate rsp "error" "not leader";
@@ -1975,6 +2086,10 @@ let eval_resolve t r ~txn ~keys ~commit ~span =
               `Not_leader
           | Some _ ->
               Ivar.on_fill done_ (fun () -> Trace.finish tr rsp);
+              if replication_needs_wan t r then Phase.add_wan phases;
+              Ivar.on_fill done_ (fun () ->
+                  Phase.add phases Phase.Replication
+                    (Sim.now t.sim - propose_at));
               (* Resolution has no error channel: on a lost proposal, give up
                  and let readers clean up the orphaned intents lazily. *)
               ignore
@@ -1982,7 +2097,8 @@ let eval_resolve t r ~txn ~keys ~commit ~span =
                   : unit option);
               `Done leftover)
 
-let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
+let resolve t ?span ?(phases = Phase.nil) ~gateway ~txn ~commit ~keys
+    ~sync_all () =
   match keys with
   | [] -> ()
   | anchor_key :: _ ->
@@ -1990,15 +2106,16 @@ let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
          different range than the one the group was formed against (splits
          and merges race resolution). Each round re-resolves the remaining
          keys' leaseholder; a few rounds bound pathological churn. *)
-      let resolve_group ks =
+      let resolve_group ~phases ks =
         let rec go ks rounds =
           match ks with
           | [] -> ()
           | key :: _ ->
               let leftover =
-                with_leaseholder t ~gateway ?span ~op:"kv.resolve" ~key
+                with_leaseholder t ~gateway ?span ~phases ~op:"kv.resolve" ~key
                   ~on_fail:(fun _ -> [])
-                  (fun r sp -> eval_resolve t r ~txn ~keys:ks ~commit ~span:sp)
+                  (fun r sp ->
+                    eval_resolve t r ~phases ~txn ~keys:ks ~commit ~span:sp)
               in
               if rounds > 0 then go leftover (rounds - 1)
         in
@@ -2028,7 +2145,13 @@ let resolve t ?span ~gateway ~txn ~commit ~keys ~sync_all () =
         List.map
           (fun rid ->
             let ks = !(Hashtbl.find groups rid) in
-            (rid, Proc.async t.sim (fun () -> resolve_group ks)))
+            (* Only awaited resolutions may charge the operation's phase
+               context: a fire-and-forget group completes after the caller
+               has moved on (and possibly flushed the context). *)
+            let phases =
+              if rid = anchor_rid || sync_all then phases else Phase.nil
+            in
+            (rid, Proc.async t.sim (fun () -> resolve_group ~phases ks)))
           order
       in
       List.iter
@@ -2060,8 +2183,9 @@ let eval_refresh t r ~txn ~key ~from_ts ~to_ts =
     end
   end
 
-let refresh t ?span ~gateway ~txn ~key ~from_ts ~to_ts () =
-  with_leaseholder t ~gateway ?span ~op:"kv.refresh" ~key
+let refresh t ?span ?(phases = Phase.nil) ~gateway ~txn ~key ~from_ts ~to_ts
+    () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.refresh" ~key
     ~on_fail:(fun _ -> false)
     (fun r _sp -> eval_refresh t r ~txn ~key ~from_ts ~to_ts)
 
@@ -2089,7 +2213,8 @@ let eval_refresh_span t r ~txn ~start_key ~end_key ~from_ts ~to_ts =
     end
   end
 
-let refresh_span t ?span ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts () =
+let refresh_span t ?span ?(phases = Phase.nil) ~gateway ~txn ~start_key
+    ~end_key ~from_ts ~to_ts () =
   (* Stitched like {!scan}: every range covering part of the request span
      must confirm the absence of conflicting writes in the window, however
      the span is carved up at validation time. *)
@@ -2100,7 +2225,7 @@ let refresh_span t ?span ~gateway ~txn ~start_key ~end_key ~from_ts ~to_ts () =
       | None -> true
       | Some cursor ->
           let ok, next =
-            with_leaseholder t ~gateway ?span ~op:"kv.refresh_span"
+            with_leaseholder t ~gateway ?span ~phases ~op:"kv.refresh_span"
               ~key:cursor
               ~on_fail:(fun _ -> (false, end_key))
               (fun r _sp ->

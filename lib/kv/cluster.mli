@@ -204,7 +204,17 @@ val closed_lead_duration : t -> range_id -> int
 (** The [Lead] policy's lead: [L_raft + L_replicate + max_offset +
     publish_interval] for this range's current placement (§6.2.1). *)
 
-(** {2 Operations} (call within a process) *)
+(** {2 Operations} (call within a process)
+
+    Every operation accepts an optional [phases] context
+    ({!Crdb_obs.Phase.ctx}, default the discarding {!Crdb_obs.Phase.nil})
+    that accumulates the request's time into named phases — routing,
+    lease_wait, lock_wait, replication — and counts the WAN round trips it
+    incurs (cross-region RPCs, plus replication rounds whose quorum reaches
+    outside the leaseholder's region). Successful leaseholder operations and
+    follower-read hits also feed the per-range [kv.range.qps] /
+    [kv.range.write_bytes] / [kv.range.latency] timeseries in the cluster's
+    {!Crdb_obs.Timeseries} store. *)
 
 type read_result =
   | Read_value of { value : string option; ts : Ts.t }
@@ -220,6 +230,7 @@ val read :
   t ->
   ?inline_bump:bool ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   key:string ->
@@ -236,6 +247,7 @@ val read :
 val read_follower :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   at:Crdb_net.Topology.node_id ->
   txn:int option ->
   key:string ->
@@ -258,6 +270,7 @@ type scan_result =
 val scan :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   start_key:string ->
@@ -275,6 +288,7 @@ val scan :
 val scan_follower :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   at:Crdb_net.Topology.node_id ->
   txn:int option ->
   start_key:string ->
@@ -300,6 +314,7 @@ val write :
   t ->
   ?applied:unit Crdb_sim.Ivar.t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -319,6 +334,7 @@ val write :
 val write_and_commit :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -335,6 +351,7 @@ val write_and_commit :
 val resolve :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   commit:Ts.t option ->
@@ -350,6 +367,7 @@ val resolve :
 val refresh :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -364,6 +382,7 @@ val refresh :
 val refresh_span :
   t ->
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   start_key:string ->

@@ -22,6 +22,8 @@ type t = {
   c_sent : Metrics.counter array;
   c_dropped : Metrics.counter array;
   c_rpcs : Metrics.counter array;
+  c_wan_msgs : Metrics.counter array;
+  c_wan_rpcs : Metrics.counter array;
   h_delay : Crdb_stats.Hist.t;
 }
 
@@ -43,6 +45,8 @@ let create ?(jitter = 0.05) ?rng ?(obs = Obs.null) ~sim ~topology ~latency () =
     c_sent = Array.init n (fun i -> Metrics.counter m ~node:i "net.msgs_sent");
     c_dropped = Array.init n (fun i -> Metrics.counter m ~node:i "net.msgs_dropped");
     c_rpcs = Array.init n (fun i -> Metrics.counter m ~node:i "net.rpcs");
+    c_wan_msgs = Array.init n (fun i -> Metrics.counter m ~node:i "net.wan_msgs");
+    c_wan_rpcs = Array.init n (fun i -> Metrics.counter m ~node:i "net.wan_rpcs");
     h_delay = Metrics.histogram m "net.delay";
   }
 
@@ -69,6 +73,13 @@ let delay t src dst =
   if t.jitter <= 0.0 then base
   else base + int_of_float (Rng.float t.rng (t.jitter *. float_of_int base))
 
+let cross_region t src dst =
+  src <> dst
+  && not
+       (String.equal
+          (Topology.region_of t.topology src)
+          (Topology.region_of t.topology dst))
+
 let partitioned t src dst =
   let ra = Topology.region_of t.topology src
   and rb = Topology.region_of t.topology dst in
@@ -82,6 +93,7 @@ let send t ~src ~dst fn =
   if is_alive t src && not (partitioned t src dst) then begin
     t.messages_sent <- t.messages_sent + 1;
     Metrics.inc t.c_sent.(src);
+    if cross_region t src dst then Metrics.inc t.c_wan_msgs.(src);
     let d = delay t src dst in
     Crdb_stats.Hist.add t.h_delay d;
     Sim.schedule t.sim ~after:d (fun () ->
@@ -100,8 +112,15 @@ let send t ~src ~dst fn =
       ~attrs:[ ("dst", string_of_int dst); ("at", "send") ]
   end
 
-let rpc ?span t ~src ~dst handler =
+let rpc ?span ?(phases = Crdb_obs.Phase.nil) t ~src ~dst handler =
   Metrics.inc t.c_rpcs.(src);
+  (* Hop accounting for the §6 latency model: a request/response exchange
+     that crosses a region boundary is one WAN round trip charged to the
+     issuing operation. *)
+  if cross_region t src dst then begin
+    Metrics.inc t.c_wan_rpcs.(src);
+    Crdb_obs.Phase.add_wan phases
+  end;
   let sp =
     Trace.span (Obs.trace t.obs) ?parent:span ~node:src "net.rpc"
   in

@@ -36,8 +36,13 @@ val delay : t -> Topology.node_id -> Topology.node_id -> int
 val send : t -> src:Topology.node_id -> dst:Topology.node_id -> (unit -> unit) -> unit
 (** Deliver the closure at [dst] after the one-way delay, unless dropped. *)
 
+val cross_region : t -> Topology.node_id -> Topology.node_id -> bool
+(** Whether the two nodes live in different regions — i.e. whether a message
+    between them traverses the WAN. *)
+
 val rpc :
   ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->
@@ -46,7 +51,9 @@ val rpc :
 (** [rpc t ~src ~dst handler] runs [handler reply] at [dst]; when the handler
     fills [reply], the result travels back and fills the returned ivar.
     [span] parents the recorded [net.rpc] span (finished when the reply
-    lands; an RPC whose reply is dropped leaves no span). *)
+    lands; an RPC whose reply is dropped leaves no span). A cross-region RPC
+    charges one WAN round trip to [phases] (and the per-node [net.wan_rpcs]
+    counter) at issue time. *)
 
 val messages_sent : t -> int
 

@@ -1,0 +1,60 @@
+(** Structured cluster event log: the queryable record of the cluster's
+    discrete life events (splits, merges, rebalances, lease movement,
+    wound-wait aborts, abandoned-txn cleanup, fault injection), each stamped
+    with simulated time and scoped to a node/range/transaction.
+
+    Where the {!Trace} layer answers "where did this request's time go",
+    this log answers "what did the cluster do and when" — and unlike trace
+    events it is always on, typed, and cheap to query. Events are appended
+    in simulated-time order, so the timeline and JSON renderings are
+    deterministic per seed. *)
+
+type kind =
+  | Split
+  | Merge
+  | Rebalance
+  | Lease_transfer
+  | Lease_acquired
+  | Wound
+  | Abandoned_cleanup
+  | Fault
+  | Heal
+
+val kind_to_string : kind -> string
+
+type event = {
+  ts : int;  (** simulated microseconds *)
+  kind : kind;
+  node : int option;
+  range : int option;
+  txn : int option;
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : now:(unit -> int) -> unit -> t
+
+val log :
+  t ->
+  ?node:int ->
+  ?range:int ->
+  ?txn:int ->
+  ?attrs:(string * string) list ->
+  kind ->
+  unit
+
+val all : t -> event list
+(** Every event, in recording (= simulated-time) order. *)
+
+val length : t -> int
+val of_kind : t -> kind -> event list
+val count : t -> kind -> int
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp_timeline : Format.formatter -> t -> unit
+(** One line per event: time, kind, scope, attributes. *)
+
+val to_json : t -> string
+(** Deterministic JSON array in recording order. *)

@@ -97,6 +97,10 @@ type ('cmd, 'snap) t = {
   c_appends_sent : Metrics.counter;
   c_snapshots_sent : Metrics.counter;
   c_quiesces : Metrics.counter;
+  (* Leader-side replication-round latency: sim time from propose to commit
+     for each proposal committed under this leadership. *)
+  h_commit_latency : Crdb_stats.Hist.t;
+  pending_propose : (int, int) Hashtbl.t;
   mutable election_span : Trace.span;
 }
 
@@ -146,6 +150,8 @@ let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
     c_appends_sent = Metrics.counter m ~node:id ?range "raft.appends_sent";
     c_snapshots_sent = Metrics.counter m ~node:id ?range "raft.snapshots_sent";
     c_quiesces = Metrics.counter m ~node:id ?range "raft.quiesces";
+    h_commit_latency = Metrics.histogram m ~node:id ?range "raft.commit_latency";
+    pending_propose = Hashtbl.create 8;
     election_span = Trace.nil;
   }
 
@@ -280,6 +286,7 @@ and maybe_win t =
 
 and become_leader t =
   t.role <- Leader;
+  Hashtbl.reset t.pending_propose;
   Metrics.inc t.c_leader_elected;
   Trace.annotate t.election_span "won" "true";
   Trace.finish (Obs.trace t.obs) t.election_span;
@@ -411,6 +418,14 @@ and maybe_advance_commit t =
         if count >= quorum && current_term then n := candidate
       done;
       if !n > t.commit then begin
+        let now = Sim.now t.sim in
+        for i = t.commit + 1 to !n do
+          match Hashtbl.find_opt t.pending_propose i with
+          | Some at ->
+              Crdb_stats.Hist.add t.h_commit_latency (now - at);
+              Hashtbl.remove t.pending_propose i
+          | None -> ()
+        done;
         t.commit <- !n;
         apply_committed t;
         (* Push the new commit index to followers promptly so closed
@@ -454,6 +469,7 @@ and apply_config t change =
 
 and step_down t new_term =
   t.pending_transfer <- None;
+  Hashtbl.reset t.pending_propose;
   let was_leader = is_leader t in
   t.term <- new_term;
   t.voted_for <- None;
@@ -692,6 +708,7 @@ let propose t cmd =
   | Follower | Candidate -> None
   | Leader ->
       let index = append_local t (Command cmd) in
+      Hashtbl.replace t.pending_propose index (Sim.now t.sim);
       if t.quiesced then t.quiesced <- false;
       if t.heartbeat_timer = None then arm_heartbeat t;
       broadcast t;

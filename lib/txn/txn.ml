@@ -6,7 +6,9 @@ module Proc = Crdb_sim.Proc
 module Obs = Crdb_obs.Obs
 module Trace = Crdb_obs.Trace
 module Metrics = Crdb_obs.Metrics
+module Phase = Crdb_obs.Phase
 module Hist = Crdb_stats.Hist
+module Sim = Crdb_sim.Sim
 
 module Options = struct
   type t = {
@@ -110,6 +112,10 @@ type t = {
       (* the commit record may have been proposed: a failure after this
          point leaves the outcome indeterminate, not aborted *)
   mutable sp : Trace.span;  (* this attempt's span; KV ops parent under it *)
+  phases : Phase.ctx;
+      (* phase-latency accumulator shared by every attempt of one [run];
+         KV ops charge Routing/Lease_wait/Lock_wait/Replication into it,
+         the coordinator charges Refresh/Commit_wait/Retry_backoff *)
 }
 
 type error = Aborted of string | Unavailable of string
@@ -139,21 +145,24 @@ let refresh_all t ~to_ts =
   (* Validate every read span in parallel (CRDB batches the refresh). *)
   let sim = Cluster.sim t.mgr.cl in
   Metrics.inc t.mgr.c_refreshes.(t.gw);
+  let start = Sim.now sim in
   let results =
     List.map
       (fun span ->
         Proc.async_catch sim (fun () ->
             match span with
             | Point key ->
-                Cluster.refresh t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
-                  ~key ~from_ts:t.read_ts ~to_ts ()
+                Cluster.refresh t.mgr.cl ~span:t.sp ~phases:t.phases
+                  ~gateway:t.gw ~txn:t.id ~key ~from_ts:t.read_ts ~to_ts ()
             | Span (start_key, end_key) ->
-                Cluster.refresh_span t.mgr.cl ~span:t.sp ~gateway:t.gw
-                  ~txn:t.id ~start_key ~end_key ~from_ts:t.read_ts ~to_ts ()))
+                Cluster.refresh_span t.mgr.cl ~span:t.sp ~phases:t.phases
+                  ~gateway:t.gw ~txn:t.id ~start_key ~end_key
+                  ~from_ts:t.read_ts ~to_ts ()))
       t.reads
   in
-  if not (List.for_all Proc.await_catch results) then
-    raise (Restart "read refresh failed")
+  let ok = List.for_all Proc.await_catch results in
+  Phase.add t.phases Phase.Refresh (Sim.now sim - start);
+  if not ok then raise (Restart "read refresh failed")
   end
 
 let bump_and_refresh t new_ts =
@@ -204,13 +213,14 @@ let get t key =
         t.outstanding;
     let leaseholder_read () =
       Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~span:t.sp
-        ~gateway:t.gw ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
+        ~phases:t.phases ~gateway:t.gw ~txn:(Some t.id) ~key ~ts:t.read_ts
+        ~max_ts:t.max_ts ()
     in
     let result =
       if is_global t key && not own_write then
         match
-          Cluster.read_follower t.mgr.cl ~span:t.sp ~at:t.gw ~txn:(Some t.id)
-            ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
+          Cluster.read_follower t.mgr.cl ~span:t.sp ~phases:t.phases ~at:t.gw
+            ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
         with
         | Cluster.Read_redirect -> leaseholder_read ()
         | r -> r
@@ -246,14 +256,16 @@ let scan t ~start_key ~end_key ?limit () =
       | exception Not_found -> raise (Fatal ("no range for key " ^ start_key))
     in
     let leaseholder_scan () =
-      Cluster.scan t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:(Some t.id)
-        ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
+      Cluster.scan t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+        ~txn:(Some t.id) ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts
+        ~limit ()
     in
     let result =
       if range_is_global && t.writes = [] then
         match
-          Cluster.scan_follower t.mgr.cl ~span:t.sp ~at:t.gw ~txn:(Some t.id)
-            ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
+          Cluster.scan_follower t.mgr.cl ~span:t.sp ~phases:t.phases ~at:t.gw
+            ~txn:(Some t.id) ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts
+            ~limit ()
         with
         | Cluster.Scan_redirect -> leaseholder_scan ()
         | r -> r
@@ -290,8 +302,8 @@ let write_value t key value =
   if t.mgr.opts.Options.pipelined_writes then begin
     let applied = Crdb_sim.Ivar.create () in
     match
-      Cluster.write t.mgr.cl ~applied ~span:t.sp ~gateway:t.gw ~txn:t.id ~key
-        ~value ~ts:provisional ()
+      Cluster.write t.mgr.cl ~applied ~span:t.sp ~phases:t.phases ~gateway:t.gw
+        ~txn:t.id ~key ~value ~ts:provisional ()
     with
     | Cluster.Write_ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
@@ -303,8 +315,8 @@ let write_value t key value =
   end
   else
     match
-      Cluster.write t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~key ~value
-        ~ts:provisional ()
+      Cluster.write t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+        ~txn:t.id ~key ~value ~ts:provisional ()
     with
     | Cluster.Write_ok pushed ->
         t.write_ts <- Ts.max t.write_ts pushed;
@@ -349,8 +361,9 @@ let resolve_intents t commit_ts =
   t.commit_initiated <- true;
   let resolve_done =
     Proc.async sim (fun () ->
-        Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
-          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false ())
+        Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+          ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
+          ~sync_all:false ())
   in
   List.iter
     (fun (_, ack) ->
@@ -391,6 +404,7 @@ let commit t =
     let waited = commit_wait t.mgr ~gw:t.gw commit_ts in
     Trace.annotate wsp "waited_us" (string_of_int waited);
     Trace.finish tr wsp;
+    Phase.add t.phases Phase.Commit_wait waited;
     Hist.add t.mgr.h_commit_wait waited;
     if t.writes <> [] then
       t.mgr.stats.writer_commit_wait_micros <-
@@ -434,7 +448,7 @@ let start_heartbeat mgr ~txn ~gateway =
       in
       loop ())
 
-let fresh_txn ?priority mgr ~gateway =
+let fresh_txn ?priority ?(phases = Phase.nil) mgr ~gateway =
   let id = mgr.next_txn_id in
   mgr.next_txn_id <- id + 1;
   Metrics.inc mgr.c_attempts.(gateway);
@@ -457,6 +471,7 @@ let fresh_txn ?priority mgr ~gateway =
     observed_future = false;
     commit_initiated = false;
     sp = Trace.nil;
+    phases;
   }
 
 type attempt_outcome =
@@ -476,12 +491,25 @@ let failed_attempt_outcome t reason =
 let report on_attempt t outcome =
   match on_attempt with None -> () | Some f -> f t outcome
 
-let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
+let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
   let sim = Cluster.sim mgr.cl in
   let tr = Obs.trace mgr.obs in
+  (* A caller-supplied phase context is accumulated into but never flushed
+     here (the caller owns its lifetime, e.g. to aggregate several
+     transactions into one op class); a self-created one is flushed into the
+     [phase.txn.*] histograms when the run completes. *)
+  let own_ctx = Option.is_none phases in
+  let phases =
+    match phases with Some p -> p | None -> Phase.make ()
+  in
+  let backoff n =
+    let d = 1_000 * n in
+    Phase.add phases Phase.Retry_backoff d;
+    Proc.sleep sim d
+  in
   let root = Trace.span tr ~node:gateway "txn.run" in
   let rec attempt n ~pri =
-    let t = fresh_txn ?priority:pri mgr ~gateway in
+    let t = fresh_txn ?priority:pri ~phases mgr ~gateway in
     (* Retries inherit the first attempt's birth timestamp as their
        wound-wait priority, so a restarted transaction keeps aging instead
        of being reborn young and re-wounded (starvation freedom). *)
@@ -506,7 +534,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
         if n >= max_attempts then (n, Error (Unavailable reason))
         else begin
           (* Small randomized backoff to break livelocks between retries. *)
-          Proc.sleep sim (1_000 * n);
+          backoff n;
           attempt (n + 1) ~pri
         end
     | exception Wounded reason ->
@@ -520,7 +548,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
         Trace.finish tr t.sp;
         if n >= max_attempts then (n, Error (Unavailable reason))
         else begin
-          Proc.sleep sim (1_000 * n);
+          backoff n;
           attempt (n + 1) ~pri
         end
     | exception Fatal reason ->
@@ -539,11 +567,15 @@ let run mgr ~gateway ?(max_attempts = 25) ?on_attempt body =
   Trace.annotate root "attempts" (string_of_int attempts);
   Trace.annotate root "result"
     (match result with Ok _ -> "committed" | Error _ -> "failed");
+  Phase.annotate phases root;
   Trace.finish tr root;
+  if own_ctx then Phase.flush phases ~cls:"txn" (Obs.metrics mgr.obs);
   result
 
-let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
+let run_blind_put mgr ~gateway ?(max_attempts = 25) ?phases key value =
   let tr = Obs.trace mgr.obs in
+  let own_ctx = Option.is_none phases in
+  let phases = match phases with Some p -> p | None -> Phase.make () in
   let root = Trace.span tr ~node:gateway "txn.blind_put" in
   let rec attempt n =
     let id = mgr.next_txn_id in
@@ -552,7 +584,7 @@ let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
     let asp = Trace.span tr ~parent:root ~node:gateway ~txn:id "txn.attempt" in
     let ts = Cluster.now_ts mgr.cl gateway in
     match
-      Cluster.write_and_commit mgr.cl ~span:asp ~gateway ~txn:id ~key
+      Cluster.write_and_commit mgr.cl ~span:asp ~phases ~gateway ~txn:id ~key
         ~value:(Some value) ~ts ()
     with
     | Ok commit_ts ->
@@ -562,6 +594,7 @@ let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
         let waited = commit_wait mgr ~gw:gateway commit_ts in
         Trace.annotate wsp "waited_us" (string_of_int waited);
         Trace.finish tr wsp;
+        Phase.add phases Phase.Commit_wait waited;
         Hist.add mgr.h_commit_wait waited;
         mgr.stats.writer_commit_wait_micros <-
           mgr.stats.writer_commit_wait_micros + waited;
@@ -576,12 +609,15 @@ let run_blind_put mgr ~gateway ?(max_attempts = 25) key value =
         Trace.finish tr asp;
         if n >= max_attempts then Error (Unavailable reason)
         else begin
+          Phase.add phases Phase.Retry_backoff (1_000 * n);
           Proc.sleep (Cluster.sim mgr.cl) (1_000 * n);
           attempt (n + 1)
         end
   in
   let result = attempt 1 in
+  Phase.annotate phases root;
   Trace.finish tr root;
+  if own_ctx then Phase.flush phases ~cls:"txn" (Obs.metrics mgr.obs);
   result
 
 (* ------------------------------------------------------------------ *)
@@ -654,5 +690,5 @@ let run_stale_bounded mgr ~gateway ~max_staleness ~keys body =
   in
   body (Ro_stale { mgr; gw = gateway; ts })
 
-let run_fresh_read mgr ~gateway ?max_attempts body =
-  run mgr ~gateway ?max_attempts (fun t -> body (Ro_fresh t))
+let run_fresh_read mgr ~gateway ?max_attempts ?phases body =
+  run mgr ~gateway ?max_attempts ?phases (fun t -> body (Ro_fresh t))

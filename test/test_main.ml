@@ -9,6 +9,7 @@ let () =
       ("raft", Test_raft.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("timeseries", Test_timeseries.suite);
       ("kv", Test_kv.suite);
       ("locks", Test_locks.suite);
       ("lifecycle", Test_lifecycle.suite);
