@@ -4,8 +4,8 @@
 
    Usage:   dune exec bench/main.exe [-- EXPERIMENT...]
    where EXPERIMENT is any of: table1 fig3 fig4a fig4b fig4c fig5 fig6
-   table2 ablations conflicts splits latency-audit chaos micro. With no
-   arguments, everything runs.
+   table2 ablations conflicts splits latency-audit autopilot chaos micro.
+   With no arguments, everything runs.
 
    Workload volumes are scaled down from the paper's GCP runs (the paper's
    absolute numbers come from 3-node-per-region clusters and millions of
@@ -24,6 +24,7 @@ module Hist = Crdb_stats.Hist
 module Ycsb = Crdb_workload.Ycsb
 module Tpcc = Crdb_workload.Tpcc
 module Movr = Crdb_workload.Movr
+module Autopilot = Crdb_autopilot.Autopilot
 
 let regions5 = Latency.table1_regions
 let regions3 = [ "us-east1"; "europe-west2"; "asia-northeast1" ]
@@ -142,8 +143,11 @@ let run_table1 () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 3: transaction latency for REGIONAL and GLOBAL tables          *)
 
-let setup_ycsb ?(regions = regions5) ?(max_offset = 250_000) variant ~keyspace =
-  let config = { Cluster.default_config with Cluster.max_offset } in
+let setup_ycsb ?(regions = regions5) ?(max_offset = 250_000)
+    ?(autopilot = false) variant ~keyspace =
+  let config =
+    { Cluster.default_config with Cluster.max_offset; Cluster.autopilot }
+  in
   let t = Crdb.start ~config ~regions () in
   Crdb.exec t
     (Ddl.N_create_database
@@ -837,6 +841,119 @@ let run_latency_audit () =
     predicted
 
 (* ------------------------------------------------------------------ *)
+(* Autopilot: background queues vs a static cluster                    *)
+
+let run_autopilot () =
+  section "Autopilot: moving hot spot, background queues off vs on";
+  printf
+    "YCSB-A, zipf keys with the hot set rotating every 5s of simulated@.\
+     time, 5 regions x 20 clients, zero manual splits. Off: every@.\
+     regional partition stays a single range, so one range absorbs the@.\
+     whole zipf head wherever it drifts. On: the split / merge / lease@.\
+     queues reshape the keyspace under load, spreading leaseholders and@.\
+     pulling the hottest range's share of total QPS back down. Latency@.\
+     in the simulator is RTT-structural (no CPU saturation model), so@.\
+     the convergence evidence is the share / range series; the latency@.\
+     rows check the queues reshape without hurting the tail.@.";
+  let keyspace = 5_000 and ops = 150 in
+  let sample_every = 2_000_000 in
+  let run_phase ~autopilot =
+    let t, db = setup_ycsb ~autopilot Ycsb.Regional_table ~keyspace in
+    let cl = Crdb.cluster t in
+    let sim = Cluster.sim cl in
+    let ts = Crdb_obs.Obs.timeseries (Cluster.obs cl) in
+    (* Share of the cluster's total windowed QPS served by its hottest
+       range: the convergence signal the split queue is judged on. *)
+    let hottest_share () =
+      let rates =
+        List.map
+          (fun rid ->
+            Crdb_obs.Timeseries.rate ts ~range:rid ~window:5_000_000
+              "kv.range.qps")
+          (Cluster.ranges cl)
+      in
+      let total = List.fold_left ( +. ) 0.0 rates in
+      if total <= 0.0 then 0.0
+      else List.fold_left Float.max 0.0 rates /. total
+    in
+    let samples = ref [] in
+    let monitoring = ref true in
+    let t0 = Crdb_sim.Sim.now sim in
+    let rec monitor () =
+      if !monitoring then begin
+        samples :=
+          ( Crdb_sim.Sim.now sim - t0,
+            List.length (Cluster.ranges cl),
+            hottest_share () )
+          :: !samples;
+        Crdb_sim.Sim.schedule sim ~after:sample_every monitor
+      end
+    in
+    Crdb_sim.Sim.schedule sim ~after:1 monitor;
+    let ap = if autopilot then Some (Autopilot.start cl) else None in
+    let r =
+      Ycsb.run t db ~clients_per_region:20 ~ops_per_client:ops
+        ~workload:Ycsb.A ~hot_shift_every:5_000_000 ~keyspace ()
+    in
+    monitoring := false;
+    Option.iter Autopilot.stop ap;
+    ( r,
+      List.rev !samples,
+      Option.map Autopilot.stats ap,
+      List.length (Cluster.ranges cl) )
+  in
+  let r_off, s_off, _, ranges_off = run_phase ~autopilot:false in
+  let r_on, s_on, stats_on, ranges_on = run_phase ~autopilot:true in
+  subsection "latency (all regions)";
+  cdf_row "reads  (autopilot off)" (Ycsb.reads r_off);
+  cdf_row "reads  (autopilot on)" (Ycsb.reads r_on);
+  cdf_row "writes (autopilot off)" (Ycsb.writes r_off);
+  cdf_row "writes (autopilot on)" (Ycsb.writes r_on);
+  subsection "ranges / hottest-range QPS share over time";
+  let fmt_sample = function
+    | Some (_, n, share) ->
+        Printf.sprintf "%3d ranges  %3.0f%% hot" n (100. *. share)
+    | None -> ""
+  in
+  printf "  %7s  %-22s %-22s@." "" "autopilot off" "autopilot on";
+  let n_rows = max (List.length s_off) (List.length s_on) in
+  for i = 0 to n_rows - 1 do
+    let dt =
+      match (List.nth_opt s_on i, List.nth_opt s_off i) with
+      | Some (dt, _, _), _ | None, Some (dt, _, _) -> dt
+      | None, None -> 0
+    in
+    printf "  %6.1fs  %-22s %-22s@."
+      (float_of_int dt /. 1e6)
+      (fmt_sample (List.nth_opt s_off i))
+      (fmt_sample (List.nth_opt s_on i))
+  done;
+  (* BENCH_results.json only carries histograms, so the time series go in
+     as distributions of the sampled values: min = starting point, max =
+     where the run ended up, the spread = how far the queues moved it. *)
+  let series label samples f =
+    let h = Hist.create () in
+    List.iter (fun s -> Hist.add h (f s)) samples;
+    record label h
+  in
+  series "ranges over time (off)" s_off (fun (_, n, _) -> n);
+  series "ranges over time (on)" s_on (fun (_, n, _) -> n);
+  series "hottest-range share x1000 (off)" s_off (fun (_, _, sh) ->
+      int_of_float (1000. *. sh));
+  series "hottest-range share x1000 (on)" s_on (fun (_, _, sh) ->
+      int_of_float (1000. *. sh));
+  printf "@.  final ranges: off=%d on=%d (no manual splits in either run)@."
+    ranges_off ranges_on;
+  match stats_on with
+  | Some s ->
+      printf
+        "  autopilot decisions: %d splits, %d merges, %d lease moves,@.\
+        \  %d replica moves, %d cooldown skips@."
+        s.Autopilot.auto_splits s.Autopilot.auto_merges s.Autopilot.lease_moves
+        s.Autopilot.replica_moves s.Autopilot.skips
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Chaos smoke: nemesis schedule + history checking                    *)
 
 let run_chaos () =
@@ -962,6 +1079,7 @@ let experiments =
     ("conflicts", run_conflicts);
     ("splits", run_splits);
     ("latency-audit", run_latency_audit);
+    ("autopilot", run_autopilot);
     ("chaos", run_chaos);
     ("micro", run_micro);
   ]

@@ -188,6 +188,7 @@ module Chaos_workload = Crdb_chaos.Workload
 module Harness = Crdb_chaos.Harness
 module Dump = Crdb_chaos.Dump
 module Checker = Crdb_check.Checker
+module Autopilot = Crdb_autopilot.Autopilot
 
 let checker_conv =
   Arg.conv
@@ -242,8 +243,8 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
     ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
     ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-    ~max_conflict_timeouts ~dump_history ~show_history ~report ~trace ~metrics
-    =
+    ~max_conflict_timeouts ~autopilot ~min_auto_splits ~dump_history
+    ~show_history ~report ~trace ~metrics =
   (* [--checker serializability] implies the transactional workload. *)
   let txn_clients =
     if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
@@ -285,10 +286,21 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
             enforce_quorum = not no_quorum_guard;
           };
       workload;
+      cluster_config =
+        (if autopilot then Some { Cluster.default with Cluster.autopilot = true }
+         else None);
     }
   in
-  let arm cl = if trace <> None then Crdb.Obs.enable_tracing (Cluster.obs cl) in
+  (* The autopilot races its background queues against the nemesis for the
+     whole run: started from [arm], i.e. after range setup and before the
+     workload and fault injection begin. *)
+  let ap = ref None in
+  let arm cl =
+    if trace <> None then Crdb.Obs.enable_tracing (Cluster.obs cl);
+    if autopilot then ap := Some (Autopilot.start cl)
+  in
   let o = Harness.run ~arm setup in
+  Option.iter Autopilot.stop !ap;
   let r = o.Harness.result in
   Format.printf "== seed %d ==@." seed;
   Format.printf "fault log:@.%s@." o.Harness.fault_log;
@@ -352,6 +364,39 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     Format.eprintf
       "chaos: %d conflict timeouts exceed --max-conflict-timeouts %d@."
       conflict_timeouts max_conflict_timeouts;
+  let autopilot_ok =
+    match !ap with
+    | None ->
+        (* A split floor without the queues armed can only fail; refuse it
+           loudly rather than letting a gate typo pass vacuously. *)
+        if min_auto_splits > 0 then
+          Format.eprintf "chaos: --min-auto-splits %d requires --autopilot@."
+            min_auto_splits;
+        min_auto_splits <= 0
+    | Some ap ->
+        let s = Autopilot.stats ap in
+        let total_splits = Crdb.Metrics.total m "kv.splits" in
+        let manual_splits = total_splits - s.Autopilot.auto_splits in
+        Format.printf
+          "autopilot: %d splits, %d merges, %d lease moves, %d replica \
+           moves, %d cooldown skips (%d manual splits)@."
+          s.Autopilot.auto_splits s.Autopilot.auto_merges
+          s.Autopilot.lease_moves s.Autopilot.replica_moves s.Autopilot.skips
+          manual_splits;
+        let splits_ok = s.Autopilot.auto_splits >= min_auto_splits in
+        if not splits_ok then
+          Format.eprintf
+            "chaos: %d autopilot splits below --min-auto-splits %d@."
+            s.Autopilot.auto_splits min_auto_splits;
+        (* With the gate armed the cluster must reshape itself: any split
+           not decided by a queue means an operator (or nemesis) had to
+           intervene. *)
+        let manual_ok = min_auto_splits <= 0 || manual_splits = 0 in
+        if not manual_ok then
+          Format.eprintf "chaos: %d manual splits with the autopilot armed@."
+            manual_splits;
+        splits_ok && manual_ok
+  in
   if report then begin
     (* End-of-run introspection: per-phase latency tables (the workload's
        transactions flush into the "txn" op class), WAN round trips, hottest
@@ -365,13 +410,13 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
          (if txn_clients > 0 then o.Harness.txn_verdict
           else o.Harness.bank_verdict))
   end;
-  Harness.passed o && timeouts_ok
+  Harness.passed o && timeouts_ok && autopilot_ok
 
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
     unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges txn_hot_keys
-    unsafe_no_refresh max_conflict_timeouts dump_history show_history report
-    trace metrics =
+    unsafe_no_refresh max_conflict_timeouts autopilot min_auto_splits
+    dump_history show_history report trace metrics =
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
     let dump_history =
@@ -385,8 +430,8 @@ let run_chaos seed seeds nregions survival global duration faults fault_interval
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
            ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
            ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-           ~max_conflict_timeouts ~dump_history ~show_history ~report ~trace
-           ~metrics)
+           ~max_conflict_timeouts ~autopilot ~min_auto_splits ~dump_history
+           ~show_history ~report ~trace ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -476,6 +521,22 @@ let chaos_cmd =
                "Deliberately broken mode: skip read-span refreshes on \
                 timestamp pushes; the serializability checker must object")
   in
+  let autopilot =
+    Arg.(value & flag
+         & info [ "autopilot" ]
+             ~doc:
+               "Start the autopilot background queues (load-driven split / \
+                merge / lease-and-replica rebalance) and race them against \
+                the nemesis for the whole run")
+  in
+  let min_auto_splits =
+    Arg.(value & opt int 0
+         & info [ "min-auto-splits" ]
+             ~doc:
+               "With --autopilot, fail the run unless the split queue \
+                performed at least N splits on its own and no manual splits \
+                occurred (0 disables the gate)")
+  in
   let dump_history =
     Arg.(value & opt (some string) None
          & info [ "dump-history" ] ~docv:"FILE"
@@ -501,8 +562,8 @@ let chaos_cmd =
       $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
       $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
       $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ txn_hot_keys
-      $ unsafe_no_refresh $ max_conflict_timeouts $ dump_history $ show_history
-      $ report $ trace_arg $ metrics_arg)
+      $ unsafe_no_refresh $ max_conflict_timeouts $ autopilot $ min_auto_splits
+      $ dump_history $ show_history $ report $ trace_arg $ metrics_arg)
 
 (* ---------------- check (offline) ---------------- *)
 

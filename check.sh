@@ -73,6 +73,21 @@ dune exec bin/crdb_sim.exe -- chaos --seed 501 --seeds 3 --survival region \
   --checker serializability --txn-clients 6 --txn-hot-keys 4 \
   --faults kill-node,lease-transfer --max-conflict-timeouts 0
 
+# Autopilot gate: a zipfian hot-spot workload with the background queues
+# armed and NO lifecycle faults injected — every split must come from the
+# split queue. The run fails if the queues split fewer than 2 ranges, if
+# any manual split was needed, or if any checker verdict is not clean.
+echo "== autopilot chaos gate (seeds 601-603)"
+dune exec bin/crdb_sim.exe -- chaos --seed 601 --seeds 3 \
+  --clients 7 --ops 100 --keys 48 --duration 20 \
+  --faults kill-node,lease-transfer --checker serializability \
+  --autopilot --min-auto-splits 2
+
+# Off-vs-on convergence evidence (p99 + ranges / hottest-range share over
+# time) lands in BENCH_results.json; the bench exits nonzero on any error.
+echo "== bench autopilot (off vs on)"
+dune exec bench/main.exe -- autopilot
+
 # Observability determinism gate: the end-of-run report and the timeseries
 # snapshot must be byte-identical across two runs of the same seed — the
 # report is a regression artifact, like the trace export.

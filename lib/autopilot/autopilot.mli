@@ -1,0 +1,54 @@
+(** Autopilot: load-driven background queues (split / merge / rebalance).
+
+    CRDB's store queues in miniature (§3.2): once {!start}ed, every store
+    runs a recurring scan over the ranges it currently leads and reshapes
+    the cluster under traffic without operator involvement —
+
+    - {e split queue}: a range whose windowed [kv.range.qps] rate exceeds
+      [autopilot_split_qps], or whose live size exceeds
+      [autopilot_split_bytes], is split at the {e load-based} split point
+      ({!Crdb_kv.Cluster.load_split_point} — the weighted median of
+      recently sampled request keys, falling back to the median live key);
+    - {e merge queue}: adjacent pairs whose combined QPS and live size sit
+      under the merge thresholds are merged back (the byte ceiling is kept
+      well below the split trigger so the two queues cannot oscillate);
+    - {e rebalance queue}: leases move to the least-loaded live voter of
+      the best lease-preference rank
+      ({!Crdb_kv.Allocator.preferred_leaseholder_by_load}), and the
+      allocator moves replicas one step at a time
+      ({!Crdb_kv.Cluster.rebalance_step}).
+
+    Anti-thrash hysteresis: every action arms a per-range cooldown
+    ([autopilot_cooldown]); a due-but-blocked action is logged as a
+    [queue_skipped] event. A lease move must additionally reduce the
+    donor's leaseholder load by [autopilot_min_improvement] {e and} by more
+    than the moved range's own load, so the recipient can never end up
+    hotter than the donor was — on a balanced topology the queues are
+    provably no-ops.
+
+    Ticks are plain simulator timers (no coroutine primitives), so the
+    queues survive any nemesis interleaving: a killed store simply skips
+    its scans until restarted, and every lifecycle call under a vanished
+    leaseholder degrades to a no-op. All thresholds and the scan cadence
+    come from the cluster's {!Crdb_kv.Cluster.config}. *)
+
+type t
+
+type stats = {
+  mutable auto_splits : int;  (** splits decided by the split queue *)
+  mutable auto_merges : int;  (** merges decided by the merge queue *)
+  mutable lease_moves : int;  (** load-driven lease transfers *)
+  mutable replica_moves : int;  (** allocator rebalance steps initiated *)
+  mutable skips : int;  (** due actions suppressed by the cooldown *)
+}
+
+val start : Crdb_kv.Cluster.t -> t
+(** Spawn one staggered recurring scan per store. Callable from outside any
+    process context; scans begin within one [autopilot_scan_interval]. *)
+
+val stop : t -> unit
+(** Stop all scans after the currently scheduled ticks fire (idempotent;
+    the queues take no further actions). *)
+
+val stats : t -> stats
+(** Live decision counters (the bench's convergence evidence). *)

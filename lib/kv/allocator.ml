@@ -307,6 +307,30 @@ let preferred_leaseholder ~topology ~live ~zone placement =
   in
   Option.map fst (by_preference zone.Zoneconfig.lease_preferences)
 
+(* Position of a node's region in the zone's lease-preference list;
+   [max_int] when it sits in no preferred region. Lower ranks strictly
+   dominate load below, mirroring [placement_score]'s lexicographic
+   (violations, diversity, load) philosophy. *)
+let lease_preference_rank ~topology ~zone id =
+  let region = Topology.region_of topology id in
+  let rec find i = function
+    | [] -> max_int
+    | r :: rest -> if String.equal r region then i else find (i + 1) rest
+  in
+  find 0 zone.Zoneconfig.lease_preferences
+
+let preferred_leaseholder_by_load ~topology ~live ~load ~zone placement =
+  let voters =
+    List.filter (fun (id, k) -> k = Raft.Voter && live id) placement
+  in
+  let score id = (lease_preference_rank ~topology ~zone id, load id, id) in
+  List.fold_left
+    (fun best (id, _) ->
+      match best with
+      | None -> Some id
+      | Some b -> if score id < score b then Some id else best)
+    None voters
+
 let satisfies ~topology ~zone placement =
   let open Zoneconfig in
   let voters = List.filter (fun (_, k) -> k = Raft.Voter) placement in

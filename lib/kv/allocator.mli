@@ -58,6 +58,29 @@ val preferred_leaseholder :
 (** The live voter to pin the lease to: in the first preferred region that
     has one, otherwise any live voter. *)
 
+val lease_preference_rank :
+  topology:Crdb_net.Topology.t ->
+  zone:Zoneconfig.t ->
+  Crdb_net.Topology.node_id ->
+  int
+(** Index of the node's region in the zone's lease-preference list
+    ([max_int] when it appears in none); lower is better. *)
+
+val preferred_leaseholder_by_load :
+  topology:Crdb_net.Topology.t ->
+  live:(Crdb_net.Topology.node_id -> bool) ->
+  load:(Crdb_net.Topology.node_id -> int) ->
+  zone:Zoneconfig.t ->
+  placement ->
+  Crdb_net.Topology.node_id option
+(** Load-aware variant of {!preferred_leaseholder}, the autopilot rebalance
+    queue's target chooser: among live voters, minimize
+    [(lease_preference_rank, load, node id)] lexicographically — lease
+    preferences still strictly dominate, load breaks ties within the same
+    preference rank, and the node id keeps the choice deterministic. With a
+    constant [load] this degrades to a deterministic
+    {!preferred_leaseholder}. *)
+
 val satisfies :
   topology:Crdb_net.Topology.t -> zone:Zoneconfig.t -> placement -> bool
 (** Check a placement against the configuration (used by tests and by

@@ -31,6 +31,17 @@ type config = {
   txn_heartbeat_interval : int;
   jitter : float;
   seed : int;
+  (* Autopilot background queues (lib/autopilot). The engine itself lives
+     above the KV layer and only runs once [Autopilot.start] is called; the
+     knobs live here so one config value describes the whole cluster. *)
+  autopilot : bool;
+  autopilot_scan_interval : int;
+  autopilot_split_qps : float;
+  autopilot_split_bytes : int;
+  autopilot_merge_qps : float;
+  autopilot_merge_bytes : int;
+  autopilot_cooldown : int;
+  autopilot_min_improvement : float;
 }
 
 let default =
@@ -45,6 +56,14 @@ let default =
     txn_heartbeat_interval = 1_000_000;
     jitter = 0.05;
     seed = 0xC0C;
+    autopilot = false;
+    autopilot_scan_interval = 500_000;
+    autopilot_split_qps = 50.0;
+    autopilot_split_bytes = 512_000;
+    autopilot_merge_qps = 1.0;
+    autopilot_merge_bytes = 128_000;
+    autopilot_cooldown = 3_000_000;
+    autopilot_min_improvement = 0.25;
   }
 
 let default_config = default
@@ -97,6 +116,9 @@ type t = {
   obs : Obs.t;
   txns : Txnrec.t;
   mutable waiting : int; (* parked conflict waiters, mirrors g_waiters *)
+  samples : (range_id, key_samples) Hashtbl.t;
+      (* bounded ring of recently served request keys per range — the
+         autopilot split queue's load-based split point *)
   (* Cached per-node counters for per-operation paths. *)
   c_fr_hit : Metrics.counter array;
   c_fr_miss : Metrics.counter array;
@@ -111,6 +133,8 @@ type t = {
   g_ranges : Metrics.gauge;
   g_waiters : Metrics.gauge;
 }
+
+and key_samples = { ring : string array; mutable seen : int }
 
 and diag = {
   mutable d_conflict_timeouts : int;
@@ -174,6 +198,7 @@ let create ?(config = default_config) ~topology ~latency () =
     obs;
     txns = Txnrec.create ();
     waiting = 0;
+    samples = Hashtbl.create 64;
     c_fr_hit = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_hits");
     c_fr_miss = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_misses");
     c_ct_publish = Array.init n (fun i -> Metrics.counter m ~node:i "kv.ct_publishes");
@@ -212,6 +237,32 @@ let ranges t =
 let span_of t rid = (range t rid).rg_span
 let policy_of t rid = (range t rid).rg_policy
 let zone_of t rid = (range t rid).rg_zone
+
+(* Request-key sampling: every request served through [with_leaseholder]
+   drops its key into a small per-range ring. The ring is cheap, bounded,
+   and biased to recent traffic — the sample a load-based split point
+   wants. Weighted by request volume (duplicates retained), so the median
+   sampled key is the key that halves recent traffic, not the keyspace. *)
+let sample_cap = 128
+
+let sample_key t rid key =
+  let ks =
+    match Hashtbl.find_opt t.samples rid with
+    | Some ks -> ks
+    | None ->
+        let ks = { ring = Array.make sample_cap ""; seen = 0 } in
+        Hashtbl.replace t.samples rid ks;
+        ks
+  in
+  ks.ring.(ks.seen mod sample_cap) <- key;
+  ks.seen <- ks.seen + 1
+
+let sampled_keys t rid =
+  match Hashtbl.find_opt t.samples rid with
+  | None -> []
+  | Some ks -> List.init (min ks.seen sample_cap) (fun i -> ks.ring.(i))
+
+let clear_samples t rid = Hashtbl.remove t.samples rid
 
 let range_of_key t key =
   match Smap.find_last_opt (fun start -> String.compare start key <= 0) t.routing with
@@ -872,6 +923,7 @@ let drop_range t rid =
   let start_key, _ = rg.rg_span in
   t.routing <- Smap.remove start_key t.routing;
   Hashtbl.remove t.ranges_tbl rid;
+  clear_samples t rid;
   note_range_count t
 
 (* ------------------------------------------------------------------ *)
@@ -967,6 +1019,9 @@ let split_range t rid ~at =
           | None -> ())
         right.rg_replicas;
       Metrics.inc t.c_splits;
+      (* Pre-split samples straddle both halves; restart sampling so the
+         next load-based split point reflects post-split traffic only. *)
+      clear_samples t rid;
       Obs.log_event t.obs ~node:lr.r_node ~range:rid
         ~attrs:[ ("at", at); ("right", string_of_int new_rid) ]
         Events.Split;
@@ -1035,6 +1090,7 @@ let merge_range t rid =
                     t.routing <- Smap.remove e t.routing;
                     Hashtbl.remove t.ranges_tbl right_rid;
                     rg.rg_span <- (s, re);
+                    clear_samples t right_rid;
                     Metrics.inc t.c_merges;
                     Obs.log_event t.obs ~node:ll.r_node ~range:rid
                       ~attrs:[ ("subsumed", string_of_int right_rid) ]
@@ -1062,6 +1118,39 @@ let split_point t rid =
             let at = List.nth keys (n / 2) in
             let s, _ = rg.rg_span in
             if String.compare at s > 0 then Some at else None)
+
+(* Live size of a range: key + latest live value bytes of the leaseholder
+   store. [None] when the range has no live leader. *)
+let live_bytes t rid =
+  match leader_replica t rid with
+  | None -> None
+  | Some lr -> Some (Mvcc.live_bytes lr.r_store)
+
+(* Load-based split point: the weighted median of the recently sampled
+   request keys (duplicates retained, so the median is the key that splits
+   recent *traffic* in half, not the keyspace). Falls back to the
+   median-live-key [split_point] when the sample is too thin, and always
+   returns a key strictly inside the span so the split cannot degenerate. *)
+let load_split_point t rid =
+  match range_opt t rid with
+  | None -> None
+  | Some rg -> (
+      let s, e = rg.rg_span in
+      let in_span k = String.compare k s >= 0 && String.compare k e < 0 in
+      let keys =
+        sampled_keys t rid |> List.filter in_span |> List.sort String.compare
+      in
+      let n = List.length keys in
+      if n < 2 then split_point t rid
+      else
+        let at = List.nth keys (n / 2) in
+        if String.compare at s > 0 then Some at
+        else
+          (* The median equals the span start (one key dominates the
+             sample): split just after it if any other key was seen. *)
+          match List.find_opt (fun k -> String.compare k s > 0) keys with
+          | Some at -> Some at
+          | None -> split_point t rid)
 
 let ranges_in_span t ~start_key ~end_key =
   Smap.fold
@@ -1412,7 +1501,8 @@ let with_leaseholder t ~gateway ?(span = Trace.nil) ?(phases = Phase.nil) ~op
     let ts = Obs.timeseries t.obs in
     Timeseries.observe ts ~range:rid "kv.range.qps" 1;
     Timeseries.record_sample ts ~range:rid "kv.range.latency"
-      (Sim.now t.sim - op_start)
+      (Sim.now t.sim - op_start);
+    sample_key t rid key
   in
   let deadline = Sim.now t.sim + op_deadline in
   let rec go () =

@@ -47,6 +47,28 @@ type config = {
           abandoned and pushers clean up its intents *)
   jitter : float;
   seed : int;
+  autopilot : bool;
+      (** whether chaos/bench harnesses should start the background queues
+          ([Crdb_autopilot.Autopilot], which lives above this layer); the
+          knobs below configure them *)
+  autopilot_scan_interval : int;
+      (** period of each store's autopilot scan loop (default 500 ms) *)
+  autopilot_split_qps : float;
+      (** windowed [kv.range.qps] rate above which the split queue fires *)
+  autopilot_split_bytes : int;
+      (** live size ({!live_bytes}) above which the split queue fires *)
+  autopilot_merge_qps : float;
+      (** combined QPS of two adjacent ranges below which the merge queue
+          may subsume the right neighbor *)
+  autopilot_merge_bytes : int;
+      (** combined live size ceiling for merges; kept well under
+          [autopilot_split_bytes] so split and merge cannot oscillate *)
+  autopilot_cooldown : int;
+      (** minimum simulated time between autopilot actions on the same
+          range — the hysteresis that prevents ping-pong thrash *)
+  autopilot_min_improvement : float;
+      (** fraction by which a lease move must reduce the losing store's
+          leaseholder load before the rebalance queue acts *)
 }
 
 val default : config
@@ -129,6 +151,22 @@ val merge_range : t -> range_id -> bool
 val split_point : t -> range_id -> string option
 (** The median live key of the range (a reasonable split point), or [None]
     when it holds fewer than two keys or has no leaseholder. *)
+
+val live_bytes : t -> range_id -> int option
+(** Live size of the range: key + latest live value bytes of the
+    leaseholder's store ({!Crdb_storage.Mvcc.live_bytes}); [None] when the
+    range has no live leader. The gauge behind [kv.range.bytes]. *)
+
+val load_split_point : t -> range_id -> string option
+(** Load-based split point: the weighted median of the request keys
+    recently served through the range (a bounded per-range sample fed by
+    every leaseholder op), i.e. the key that halves recent {e traffic}
+    rather than the keyspace. Falls back to {!split_point} when the sample
+    is too thin; always strictly inside the span. *)
+
+val sampled_keys : t -> range_id -> string list
+(** The raw bounded request-key sample behind {!load_split_point}
+    (introspection for tests; unordered, duplicates retained). *)
 
 val ranges_in_span :
   t -> start_key:string -> end_key:string -> range_id list

@@ -8,6 +8,10 @@ type kind =
   | Abandoned_cleanup
   | Fault
   | Heal
+  | Split_queued
+  | Merge_queued
+  | Lease_moved
+  | Queue_skipped
 
 let kind_to_string = function
   | Split -> "split"
@@ -19,6 +23,10 @@ let kind_to_string = function
   | Abandoned_cleanup -> "abandoned_cleanup"
   | Fault -> "fault"
   | Heal -> "heal"
+  | Split_queued -> "split_queued"
+  | Merge_queued -> "merge_queued"
+  | Lease_moved -> "lease_moved"
+  | Queue_skipped -> "queue_skipped"
 
 type event = {
   ts : int;

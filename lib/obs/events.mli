@@ -19,6 +19,12 @@ type kind =
   | Abandoned_cleanup
   | Fault
   | Heal
+  | Split_queued  (** autopilot split queue decided to split a range *)
+  | Merge_queued  (** autopilot merge queue decided to subsume a cold pair *)
+  | Lease_moved  (** autopilot moved a lease toward load ([reason] attr) *)
+  | Queue_skipped
+      (** autopilot suppressed an otherwise-eligible action ([reason] attr,
+          e.g. [cooldown]) — the hysteresis that prevents ping-pong thrash *)
 
 val kind_to_string : kind -> string
 

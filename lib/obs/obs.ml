@@ -34,6 +34,10 @@ let trace_name = function
   | Events.Abandoned_cleanup -> "kv.abandoned_cleanup"
   | Events.Fault -> "chaos.inject"
   | Events.Heal -> "chaos.heal"
+  | Events.Split_queued -> "autopilot.split_queued"
+  | Events.Merge_queued -> "autopilot.merge_queued"
+  | Events.Lease_moved -> "autopilot.lease_moved"
+  | Events.Queue_skipped -> "autopilot.queue_skipped"
 
 let log_event t ?node ?range ?txn ?(attrs = []) kind =
   Events.log t.events ?node ?range ?txn ~attrs kind;

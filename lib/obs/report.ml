@@ -135,7 +135,8 @@ let pp_event_summary ppf events =
   let kinds =
     [ Events.Split; Events.Merge; Events.Rebalance; Events.Lease_transfer;
       Events.Lease_acquired; Events.Wound; Events.Abandoned_cleanup;
-      Events.Fault; Events.Heal ]
+      Events.Fault; Events.Heal; Events.Split_queued; Events.Merge_queued;
+      Events.Lease_moved; Events.Queue_skipped ]
   in
   let nonzero =
     List.filter_map

@@ -377,12 +377,22 @@ and replicate_to_now t peer =
   if next < first_index t then begin
     Metrics.inc t.c_snapshots_sent;
     let snap = t.cb.take_snapshot () in
+    (* The copied state machine reflects exactly the entries applied so far,
+       so that is the boundary the snapshot must be stamped with. Stamping
+       [last_index t] would cover entries still in flight: the receiver
+       marks them applied without ever seeing their effects, and — worse —
+       counts uncommitted tail entries as committed. The gap
+       (applied, last] is replicated by ordinary appends right after. *)
+    let boundary = t.applied in
+    let boundary_term =
+      match term_at t boundary with Some tt -> tt | None -> t.snap_term
+    in
     t.cb.send peer
       (Install_snapshot
          {
            term = t.term;
-           last_index = last_index t;
-           last_term = last_term t;
+           last_index = boundary;
+           last_term = boundary_term;
            peers = t.peers;
            snap;
          })

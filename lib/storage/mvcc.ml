@@ -157,6 +157,14 @@ let keys_with_intents t =
 
 let num_keys t = Smap.cardinal t.records
 
+let live_bytes t =
+  Smap.fold
+    (fun key record acc ->
+      match record.versions with
+      | (_, Some v) :: _ -> acc + String.length key + String.length v
+      | (_, None) :: _ | [] -> acc)
+    t.records 0
+
 let fold_latest t ~init ~f =
   Smap.fold
     (fun key record acc ->

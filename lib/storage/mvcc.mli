@@ -86,6 +86,13 @@ val scan :
 val keys_with_intents : t -> string list
 val num_keys : t -> int
 
+val live_bytes : t -> int
+(** Key + value bytes of the latest live committed version of every key
+    (tombstoned and never-written keys contribute nothing). Computed by a
+    fold over the record map, so it is trivially carried through
+    {!split_off} and {!absorb} — the size feed the split/merge queues
+    threshold on ([kv.range.bytes]). *)
+
 val fold_latest : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
 (** Fold over the latest live committed value of every key (testing aid). *)
 

@@ -124,8 +124,9 @@ let blind_update_variant db =
   | Crdb.Schema.Regional_by_row -> false
 
 let run t db ?(clients_per_region = 10) ?(ops_per_client = 200)
-    ?(distribution = `Zipf) ?(locality = 1.0) ?remote_pool ?(sharing = 1)
-    ?(read_mode = Latest) ?(seed = 0xBEEF) ~workload ~keyspace () =
+    ?(distribution = `Zipf) ?hot_shift_every ?(locality = 1.0) ?remote_pool
+    ?(sharing = 1) ?(read_mode = Latest) ?(seed = 0xBEEF) ~workload ~keyspace
+    () =
   let regions = Engine.regions db in
   let nregions = List.length regions in
   let sim = Cluster.sim (Crdb.cluster t) in
@@ -151,6 +152,15 @@ let run t db ?(clients_per_region = 10) ?(ops_per_client = 200)
   let per_region_keys = keyspace / nregions in
   let zipf = Rng.Zipf.create ~n:(max 1 per_region_keys) () in
   let zipf_all = Rng.Zipf.create ~n:(max 1 keyspace) () in
+  (* Moving hot spot: rotate the zipf ranks by one position every
+     [hot_shift_every] simulated microseconds, so the hot set of keys
+     drifts through the keyspace over the run. Purely a function of
+     simulated time, so determinism per seed is preserved. *)
+  let rotate ~n j =
+    match hot_shift_every with
+    | None -> j
+    | Some period -> (j + (Sim.now sim / period)) mod max 1 n
+  in
   let start = Sim.now sim in
   let remaining = ref (nregions * clients_per_region) in
   let finished = Crdb_sim.Ivar.create () in
@@ -163,7 +173,7 @@ let run t db ?(clients_per_region = 10) ?(ops_per_client = 200)
           (* The j-th key homed in region ri is ri + j * nregions. *)
           let j =
             match distribution with
-            | `Zipf -> Rng.Zipf.scrambled_sample zipf rng
+            | `Zipf -> rotate ~n:per_region_keys (Rng.Zipf.scrambled_sample zipf rng)
             | `Uniform -> Rng.int rng (max 1 per_region_keys)
           in
           ri + (j * nregions)
@@ -194,7 +204,7 @@ let run t db ?(clients_per_region = 10) ?(ops_per_client = 200)
               let stride = (clients_per_region * nregions) + 1 in
               let j =
                 match distribution with
-                | `Zipf -> Rng.Zipf.scrambled_sample zipf_all rng
+                | `Zipf -> rotate ~n:keyspace (Rng.Zipf.scrambled_sample zipf_all rng)
                 | `Uniform -> Rng.int rng (max 1 keyspace)
               in
               let base = (j / stride * stride) + ((ri + (c * nregions)) mod stride) in

@@ -63,6 +63,7 @@ val run :
   ?clients_per_region:int ->
   ?ops_per_client:int ->
   ?distribution:[ `Zipf | `Uniform ] ->
+  ?hot_shift_every:int ->
   ?locality:float ->
   ?remote_pool:int ->
   ?sharing:int ->
@@ -80,5 +81,11 @@ val run :
     the same-index clients of the first [sharing] regions (default 1 =
     disjoint pools, §7.2.1; 2-3 reproduce Fig. 4c's contention). Without
     [remote_pool], remote keys come from the whole keyspace.
+
+    [hot_shift_every] (simulated microseconds): under [`Zipf], rotate the
+    zipf ranks by one position each period, so the hot set of keys drifts
+    through the keyspace over simulated time — the moving-hot-spot workload
+    the autopilot's convergence is judged against. The rotation is a pure
+    function of simulated time, so runs stay deterministic per seed.
 
     Defaults: 10 clients per region, 200 ops per client, Zipf. *)

@@ -249,6 +249,78 @@ let test_hundred_splits_route () =
         (List.init n_keys key) keys)
 
 (* ------------------------------------------------------------------ *)
+(* Live-size accounting and load-based split points                    *)
+
+let test_live_bytes_through_split_merge () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      ignore (put cl ~gateway:gw ~txn:1 "apple" "red");
+      ignore (put cl ~gateway:gw ~txn:2 "orange" "juicy"));
+  (* key + latest live value bytes: apple/red = 8, orange/juicy = 11. *)
+  check Alcotest.(option int) "live bytes after writes" (Some 19)
+    (Cluster.live_bytes cl rid);
+  let right = Option.get (Cluster.split_range cl rid ~at:"m") in
+  Cluster.run_for cl 3_000_000;
+  check Alcotest.(option int) "left half keeps its bytes" (Some 8)
+    (Cluster.live_bytes cl rid);
+  check Alcotest.(option int) "right half carries the rest" (Some 11)
+    (Cluster.live_bytes cl right);
+  check Alcotest.bool "merge back" true (Cluster.merge_range cl rid);
+  check Alcotest.(option int) "merge restores the total" (Some 19)
+    (Cluster.live_bytes cl rid);
+  (* A deletion tombstones the key: it stops counting entirely. *)
+  Cluster.run cl (fun () ->
+      let ts = Cluster.now_ts cl gw in
+      match
+        Cluster.write cl ~gateway:gw ~txn:3 ~key:"apple" ~value:None ~ts ()
+      with
+      | Cluster.Write_ok commit_ts ->
+          Cluster.resolve cl ~gateway:gw ~txn:3 ~commit:(Some commit_ts)
+            ~keys:[ "apple" ] ~sync_all:true ()
+      | Cluster.Write_wounded e | Cluster.Write_err e ->
+          Alcotest.failf "delete failed: %s" e);
+  check Alcotest.(option int) "tombstoned key leaves the gauge" (Some 11)
+    (Cluster.live_bytes cl rid)
+
+let test_load_split_point_tracks_traffic () =
+  let cl = make_cluster () in
+  let rid =
+    Cluster.add_range cl ~span:("a", "z") ~zone:(zone_config ())
+      ~policy:(Cluster.Lag 3_000_000)
+  in
+  Cluster.settle cl;
+  Cluster.bulk_load cl [ ("b", "1"); ("c", "2"); ("t", "3"); ("u", "4") ];
+  (* No requests yet: falls back to the keyspace median. *)
+  check
+    Alcotest.(option string)
+    "no samples falls back to split_point"
+    (Cluster.split_point cl rid)
+    (Cluster.load_split_point cl rid);
+  (* 20 of 21 recent requests hit "t": the weighted median must follow the
+     traffic, not the (b,c,t,u) keyspace. *)
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      for _ = 1 to 20 do
+        ignore (get cl ~gateway:gw "t")
+      done;
+      ignore (get cl ~gateway:gw "b"));
+  check
+    Alcotest.(option string)
+    "weighted median is the hot key" (Some "t")
+    (Cluster.load_split_point cl rid);
+  (* Splitting resets the sample, so the next decision reflects post-split
+     traffic only. *)
+  ignore (Option.get (Cluster.split_range cl rid ~at:"t"));
+  check Alcotest.(list string) "samples cleared by the split" []
+    (Cluster.sampled_keys cl rid)
+
+(* ------------------------------------------------------------------ *)
 (* Allocator diversity and rebalancing                                 *)
 
 let test_allocator_skewed_diversity () =
@@ -375,6 +447,10 @@ let suite =
     Alcotest.test_case "merge requires adjacency" `Quick
       test_merge_requires_adjacency;
     Alcotest.test_case "100+ splits route" `Quick test_hundred_splits_route;
+    Alcotest.test_case "live bytes through split and merge" `Quick
+      test_live_bytes_through_split_merge;
+    Alcotest.test_case "load split point tracks traffic" `Quick
+      test_load_split_point_tracks_traffic;
     Alcotest.test_case "allocator skewed diversity" `Quick
       test_allocator_skewed_diversity;
     Alcotest.test_case "lease preference pinning" `Quick

@@ -13,6 +13,7 @@ let () =
       ("kv", Test_kv.suite);
       ("locks", Test_locks.suite);
       ("lifecycle", Test_lifecycle.suite);
+      ("autopilot", Test_autopilot.suite);
       ("txn", Test_txn.suite);
       ("sql", Test_sql.suite);
       ("workload", Test_workload.suite);

@@ -33,9 +33,22 @@ let deliver h src dst msg =
           | Some r -> Raft.handle r ~from:src msg
           | None -> ())
 
-let make_harness ?(delay = 1_000) ?(seed = 7) ~voters ~learners () =
+let node_callbacks h node =
+  {
+    Raft.send = (fun dst msg -> deliver h node.id dst msg);
+    on_apply = (fun ~index:_ cmd -> node.applied <- cmd :: node.applied);
+    on_role = (fun _ -> ());
+    on_config = (fun _ -> ());
+    take_snapshot = (fun () -> node.applied);
+    install_snapshot = (fun apps -> node.applied <- apps);
+    is_node_live = (fun peer -> h.nodes.(peer).alive);
+    node_epoch = (fun _ -> 0);
+  }
+
+let make_harness ?(delay = 1_000) ?(seed = 7) ?boundary ?(spare_nodes = [])
+    ~voters ~learners () =
   let ids = voters @ learners in
-  let n = List.fold_left max 0 ids + 1 in
+  let n = List.fold_left max 0 (ids @ spare_nodes) + 1 in
   let h =
     {
       sim = Sim.create ();
@@ -52,21 +65,10 @@ let make_harness ?(delay = 1_000) ?(seed = 7) ~voters ~learners () =
   List.iter
     (fun id ->
       let node = h.nodes.(id) in
-      let callbacks =
-        {
-          Raft.send = (fun dst msg -> deliver h id dst msg);
-          on_apply = (fun ~index:_ cmd -> node.applied <- cmd :: node.applied);
-          on_role = (fun _ -> ());
-          on_config = (fun _ -> ());
-          take_snapshot = (fun () -> node.applied);
-          install_snapshot = (fun apps -> node.applied <- apps);
-          is_node_live = (fun peer -> h.nodes.(peer).alive);
-          node_epoch = (fun _ -> 0);
-        }
-      in
       node.raft <-
         Some
-          (Raft.create ~sim:h.sim ~rng:(Rng.split rng) ~id ~peers ~callbacks ()))
+          (Raft.create ~sim:h.sim ~rng:(Rng.split rng) ~id ~peers
+             ~callbacks:(node_callbacks h node) ?boundary ()))
     ids;
   List.iter (fun id -> Raft.start (Option.get h.nodes.(id).raft)) ids;
   h
@@ -259,6 +261,49 @@ let test_snapshot_catch_up () =
   check Alcotest.int "caught up" 20 (List.length (applied h 2));
   check Alcotest.bool "same log" true (applied h 2 = applied h l)
 
+let test_snapshot_boundary_excludes_uncommitted_tail () =
+  (* A group born at a non-zero snapshot boundary (as split ranges are)
+     seeds late-added peers by Install_snapshot. The snapshot must be
+     stamped with the leader's applied index — the state-machine copy
+     reflects exactly that prefix. Stamping the last log index would make
+     the receiver mark an appended-but-uncommitted tail as applied, so
+     those entries' effects would be missing from its state forever. *)
+  let h =
+    make_harness ~boundary:(3, 0) ~voters:[ 0; 1; 2 ] ~spare_nodes:[ 3 ]
+      ~learners:[] ()
+  in
+  List.iter (fun id -> h.nodes.(id).applied <- [ "s3"; "s2"; "s1" ]) [ 0; 1; 2 ];
+  run_ms h 500;
+  let l = find_leader h in
+  ignore (Raft.propose (raft h l) "a");
+  run_ms h 500;
+  check Alcotest.bool "add_peer accepted" true
+    (Raft.add_peer (raft h l) 3 Raft.Voter <> None);
+  run_ms h 500;
+  (* Cut the two followers off, then append an entry that cannot commit:
+     the snapshot that seeds the new peer now races an uncommitted tail. *)
+  let others = List.filter (fun i -> i <> l && i <> 3) [ 0; 1; 2 ] in
+  h.blocked <- List.concat_map (fun o -> [ (l, o); (o, l) ]) others;
+  ignore (Raft.propose (raft h l) "c");
+  (* Materialize the added peer the way the KV layer does: default (zero)
+     boundary and the group's config, forcing Install_snapshot catch-up. *)
+  let node = h.nodes.(3) in
+  let peers =
+    [ (0, Raft.Voter); (1, Raft.Voter); (2, Raft.Voter); (3, Raft.Voter) ]
+  in
+  node.raft <-
+    Some
+      (Raft.create ~sim:h.sim ~rng:(Rng.create ~seed:99) ~id:3 ~peers
+         ~callbacks:(node_callbacks h node) ());
+  Raft.start ~preferred:l (raft h 3);
+  run_ms h 3_000;
+  h.blocked <- [];
+  run_ms h 5_000;
+  check Alcotest.(list string) "snapshot-seeded peer converges on the leader"
+    (applied h l) (applied h 3);
+  check Alcotest.bool "uncommitted-at-snapshot entry reached the new peer" true
+    (List.mem "c" (applied h 3))
+
 (* Property: random workloads with a lossy, slow network never violate the
    prefix-consistency of applied logs. *)
 let prop_applied_prefix_consistent =
@@ -309,5 +354,7 @@ let suite =
     Alcotest.test_case "minority partition" `Quick test_minority_partition;
     Alcotest.test_case "config change" `Quick test_config_change_adds_node;
     Alcotest.test_case "snapshot catch up" `Quick test_snapshot_catch_up;
+    Alcotest.test_case "snapshot boundary excludes uncommitted tail" `Quick
+      test_snapshot_boundary_excludes_uncommitted_tail;
     qcheck prop_applied_prefix_consistent;
   ]

@@ -420,6 +420,10 @@ let test_catalog_covers_registry () =
       Events.Abandoned_cleanup;
       Events.Fault;
       Events.Heal;
+      Events.Split_queued;
+      Events.Merge_queued;
+      Events.Lease_moved;
+      Events.Queue_skipped;
     ]
 
 let suite =

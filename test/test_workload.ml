@@ -86,6 +86,30 @@ let test_ycsb_locality_split () =
     (Hist.percentile r.Ycsb.read_remote 50.0
     > 10 * Hist.percentile r.Ycsb.read_local 50.0)
 
+let test_ycsb_hot_shift_determinism () =
+  (* The moving hot spot is a pure function of simulated time, so two runs
+     with the same seed are indistinguishable — and the workload still
+     completes cleanly while the hot set drifts. *)
+  let run_once () =
+    let t, db = ycsb_cluster Ycsb.Rbr_default in
+    let r =
+      Ycsb.run t db ~clients_per_region:3 ~ops_per_client:30
+        ~hot_shift_every:2_000_000 ~workload:Ycsb.A ~keyspace:300 ()
+    in
+    ( r.Ycsb.ops,
+      r.Ycsb.errors,
+      r.Ycsb.elapsed,
+      Hist.count (Ycsb.reads r),
+      Hist.percentile (Ycsb.reads r) 50.0,
+      Hist.count (Ycsb.writes r),
+      Hist.percentile (Ycsb.writes r) 99.0 )
+  in
+  let ((ops, errors, _, _, _, _, _) as a) = run_once () in
+  let b = run_once () in
+  check Alcotest.int "all ops accounted" 270 ops;
+  check Alcotest.int "no errors while the hot set drifts" 0 errors;
+  check Alcotest.bool "identical results across same-seed runs" true (a = b)
+
 let test_tpcc_smoke () =
   let regions = regions3 in
   let t = Crdb.start ~regions () in
@@ -210,6 +234,8 @@ let suite =
     Alcotest.test_case "ycsb workload A" `Quick test_ycsb_run_a;
     Alcotest.test_case "ycsb workload D inserts" `Quick test_ycsb_run_d_inserts;
     Alcotest.test_case "ycsb locality split" `Quick test_ycsb_locality_split;
+    Alcotest.test_case "ycsb hot shift determinism" `Quick
+      test_ycsb_hot_shift_determinism;
     Alcotest.test_case "tpcc smoke" `Quick test_tpcc_smoke;
     Alcotest.test_case "tpcc items global" `Quick test_tpcc_items_global;
     Alcotest.test_case "tpcc warehouse regions" `Quick test_tpcc_warehouse_regions;
