@@ -4,7 +4,8 @@
 
    Usage:   dune exec bench/main.exe [-- EXPERIMENT...]
    where EXPERIMENT is any of: table1 fig3 fig4a fig4b fig4c fig5 fig6
-   table2 ablations conflicts splits latency-audit autopilot chaos micro.
+   table2 ablations conflicts splits latency-audit commit-path autopilot
+   chaos micro.
    With no arguments, everything runs.
 
    Workload volumes are scaled down from the paper's GCP runs (the paper's
@@ -841,6 +842,112 @@ let run_latency_audit () =
     predicted
 
 (* ------------------------------------------------------------------ *)
+(* Commit path: sequential vs pipelined writes vs parallel commits     *)
+
+let run_commit_path () =
+  section "Commit path: sequential vs pipelined vs parallel commits";
+  printf
+    "A two-key write transaction from a us-east1 gateway against two@.\
+     ranges whose leaseholders are also in us-east1 but which SURVIVE@.\
+     REGION failure: the consensus quorum needs a vote from@.\
+     europe-west2 (87ms RTT), so every replicated write — intent,@.\
+     commit record, STAGING record — costs one WAN round trip of@.\
+     replication. Sequential: each intent replicates before the next@.\
+     is sent, then the record, >= 3 WAN RTTs in series. Pipelined:@.\
+     the intents replicate concurrently, the record still waits for@.\
+     both, ~2. Parallel: the STAGING record replicates alongside the@.\
+     intents — the commit point is reached in ~1 WAN RTT (the §5@.\
+     headline). The harness exits nonzero unless parallel p50 is ~1@.\
+     WAN RTT and sequential p50 is >= 3.@.";
+  let home = "us-east1" in
+  let rtt = Latency.rtt Latency.table1 home "europe-west2" in
+  let ops = 24 in
+  let run_one ~label ~pipelined_writes ~parallel_commits =
+    let topology =
+      Crdb.Topology.symmetric ~regions:regions3 ~nodes_per_region:3
+    in
+    let cl = Cluster.create ~topology ~latency:Latency.table1 () in
+    let zone =
+      Crdb.Zoneconfig.derive ~regions:regions3 ~home
+        ~survival:Crdb.Zoneconfig.Region ~placement:Crdb.Zoneconfig.Default
+    in
+    ignore
+      (Cluster.add_range cl ~span:("a", "a~") ~zone
+         ~policy:(Cluster.Lag 3_000_000));
+    ignore
+      (Cluster.add_range cl ~span:("b", "b~") ~zone
+         ~policy:(Cluster.Lag 3_000_000));
+    Cluster.settle cl;
+    let mgr = Txn.create_manager cl in
+    Txn.set_options mgr
+      { Txn.Options.default with pipelined_writes; parallel_commits };
+    let sim = Cluster.sim cl in
+    let m = Crdb.Obs.metrics (Cluster.obs cl) in
+    let gw =
+      (List.hd (Crdb.Topology.nodes_in_region (Cluster.topology cl) home))
+        .Crdb.Topology.id
+    in
+    let lat = Hist.create () in
+    let failed = ref 0 in
+    let phases = Crdb.Phase.make () in
+    Cluster.run cl (fun () ->
+        (* One unmeasured warmup transaction to warm the routing caches. *)
+        (match
+           Txn.run mgr ~gateway:gw (fun t ->
+               Txn.put t "a_warm" "v";
+               Txn.put t "b_warm" "v")
+         with
+        | Ok () | Error _ -> ());
+        for i = 1 to ops do
+          Crdb_sim.Proc.sleep sim 200_000;
+          let ka = Printf.sprintf "a%03d" i
+          and kb = Printf.sprintf "b%03d" i in
+          let t0 = Crdb_sim.Sim.now sim in
+          (match
+             Txn.run mgr ~gateway:gw ~phases (fun t ->
+                 Txn.put t ka "v";
+                 Txn.put t kb "v")
+           with
+          | Ok () -> ()
+          | Error _ -> incr failed);
+          Hist.add lat (Crdb_sim.Sim.now sim - t0);
+          Crdb.Phase.flush phases ~cls:label m;
+          Crdb.Phase.reset phases
+        done);
+    subsection
+      (Printf.sprintf "%s (pipelined=%b parallel=%b)" label pipelined_writes
+         parallel_commits);
+    row "  commit latency" lat;
+    record (Printf.sprintf "wan_rtts %s" label)
+      (Crdb.Metrics.merged_hist m ("wan_rtts." ^ label));
+    printf "  p50 = %.2f WAN RTTs (%d failed)@."
+      (float_of_int (Hist.p50 lat) /. float_of_int rtt)
+      !failed;
+    if !failed > 0 then
+      failwith (Printf.sprintf "commit-path: %d %s transactions failed"
+                  !failed label);
+    Hist.p50 lat
+  in
+  let seq = run_one ~label:"sequential" ~pipelined_writes:false
+      ~parallel_commits:false in
+  let pipe = run_one ~label:"pipelined" ~pipelined_writes:true
+      ~parallel_commits:false in
+  let par = run_one ~label:"parallel" ~pipelined_writes:true
+      ~parallel_commits:true in
+  let in_rtts us = float_of_int us /. float_of_int rtt in
+  printf
+    "@.  commit-point p50: sequential %.2f / pipelined %.2f / parallel %.2f \
+     WAN RTTs@."
+    (in_rtts seq) (in_rtts pipe) (in_rtts par);
+  if in_rtts par > 1.5 then
+    failwith "commit-path: parallel commit p50 is not ~1 WAN RTT";
+  if in_rtts seq < 2.5 then
+    failwith "commit-path: sequential commit p50 is under 3 WAN RTTs";
+  if not (par < pipe && pipe < seq) then
+    failwith
+      "commit-path: expected parallel < pipelined < sequential commit p50"
+
+(* ------------------------------------------------------------------ *)
 (* Autopilot: background queues vs a static cluster                    *)
 
 let run_autopilot () =
@@ -1079,6 +1186,7 @@ let experiments =
     ("conflicts", run_conflicts);
     ("splits", run_splits);
     ("latency-audit", run_latency_audit);
+    ("commit-path", run_commit_path);
     ("autopilot", run_autopilot);
     ("chaos", run_chaos);
     ("micro", run_micro);

@@ -243,8 +243,8 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
     ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
     ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-    ~max_conflict_timeouts ~autopilot ~min_auto_splits ~dump_history
-    ~show_history ~report ~trace ~metrics =
+    ~unsafe_no_recovery ~max_conflict_timeouts ~autopilot ~min_auto_splits
+    ~dump_history ~show_history ~report ~trace ~metrics =
   (* [--checker serializability] implies the transactional workload. *)
   let txn_clients =
     if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
@@ -265,6 +265,7 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
       txn_ranges;
       txn_hot_keys;
       unsafe_no_refresh;
+      unsafe_no_recovery;
     }
   in
   let setup =
@@ -415,8 +416,8 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
     unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges txn_hot_keys
-    unsafe_no_refresh max_conflict_timeouts autopilot min_auto_splits
-    dump_history show_history report trace metrics =
+    unsafe_no_refresh unsafe_no_recovery max_conflict_timeouts autopilot
+    min_auto_splits dump_history show_history report trace metrics =
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
     let dump_history =
@@ -430,8 +431,9 @@ let run_chaos seed seeds nregions survival global duration faults fault_interval
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
            ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
            ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-           ~max_conflict_timeouts ~autopilot ~min_auto_splits ~dump_history
-           ~show_history ~report ~trace ~metrics)
+           ~unsafe_no_recovery ~max_conflict_timeouts ~autopilot
+           ~min_auto_splits ~dump_history ~show_history ~report ~trace
+           ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -521,6 +523,15 @@ let chaos_cmd =
                "Deliberately broken mode: skip read-span refreshes on \
                 timestamp pushes; the serializability checker must object")
   in
+  let unsafe_no_recovery =
+    Arg.(value & flag
+         & info [ "unsafe-no-recovery" ]
+             ~doc:
+               "Deliberately broken mode: pushers abort STAGING records \
+                without probing their declared in-flight writes, tearing \
+                down implicitly committed transactions; the serializability \
+                checker must object")
+  in
   let autopilot =
     Arg.(value & flag
          & info [ "autopilot" ]
@@ -562,8 +573,9 @@ let chaos_cmd =
       $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
       $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
       $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ txn_hot_keys
-      $ unsafe_no_refresh $ max_conflict_timeouts $ autopilot $ min_auto_splits
-      $ dump_history $ show_history $ report $ trace_arg $ metrics_arg)
+      $ unsafe_no_refresh $ unsafe_no_recovery $ max_conflict_timeouts
+      $ autopilot $ min_auto_splits $ dump_history $ show_history $ report
+      $ trace_arg $ metrics_arg)
 
 (* ---------------- check (offline) ---------------- *)
 

@@ -73,6 +73,32 @@ dune exec bin/crdb_sim.exe -- chaos --seed 501 --seeds 3 --survival region \
   --checker serializability --txn-clients 6 --txn-hot-keys 4 \
   --faults kill-node,lease-transfer --max-conflict-timeouts 0
 
+# Parallel-commit recovery gate: the same conflict-heavy workload, now with
+# coordinators dying between staging a parallel commit and resolving it.
+# Pushers must finish commit-status recovery on the stranded STAGING
+# records: clean serializability verdict and zero conflict timeouts.
+echo "== parallel-commit recovery gate (seeds 701-703)"
+dune exec bin/crdb_sim.exe -- chaos --seed 701 --seeds 3 --survival region \
+  --checker serializability --txn-clients 6 --txn-hot-keys 4 \
+  --faults kill-node,lease-transfer --max-conflict-timeouts 0
+
+# The deliberately broken recovery (pushers abort STAGING records without
+# probing the declared in-flight writes, tearing down implicitly committed
+# transactions) must be caught by the serializability checker.
+echo "== serializability catches --unsafe-no-recovery (seed 701)"
+if out=$(dune exec bin/crdb_sim.exe -- chaos --seed 701 --survival region \
+  --checker serializability --txn-clients 6 --txn-hot-keys 4 \
+  --faults kill-node,lease-transfer --unsafe-no-recovery 2>&1); then
+  echo "$out"
+  echo "BUG NOT CAUGHT: --unsafe-no-recovery exited zero"
+  exit 1
+fi
+echo "$out" | grep -q "violation" || {
+  echo "$out"
+  echo "expected a consistency violation from --unsafe-no-recovery"
+  exit 1
+}
+
 # Autopilot gate: a zipfian hot-spot workload with the background queues
 # armed and NO lifecycle faults injected — every split must come from the
 # split queue. The run fails if the queues split fewer than 2 ranges, if

@@ -54,6 +54,11 @@ let run ?(arm = fun (_ : Cluster.t) -> ()) s =
   let regions = List.filteri (fun i _ -> i < s.regions) Latency.table1_regions in
   let topology = Topology.symmetric ~regions ~nodes_per_region:3 in
   let base = Option.value s.cluster_config ~default:Cluster.default in
+  let base =
+    if s.workload.Workload.unsafe_no_recovery then
+      { base with Cluster.unsafe_no_recovery = true }
+    else base
+  in
   let cl =
     Cluster.create
       ~config:{ base with Cluster.seed = s.cluster_seed }

@@ -27,6 +27,7 @@ type config = {
   txn_ranges : int;
   txn_hot_keys : int;
   unsafe_no_refresh : bool;
+  unsafe_no_recovery : bool;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     txn_ranges = 3;
     txn_hot_keys = 0;
     unsafe_no_refresh = false;
+    unsafe_no_recovery = false;
   }
 
 let key_of i = Printf.sprintf "key%03d" i

@@ -47,6 +47,11 @@ type config = {
       (** deliberately broken mode: transactions skip read-span refreshes on
           timestamp pushes (see {!Crdb_txn.Txn.Options}) — the
           serializability checker must catch this *)
+  unsafe_no_recovery : bool;
+      (** deliberately broken mode: pushers finding a STAGING record abort
+          it immediately without probing the declared in-flight writes (see
+          {!Cluster.config}) — implicitly committed transactions get torn
+          down and the serializability checker must catch it *)
 }
 
 val default : config

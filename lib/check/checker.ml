@@ -135,7 +135,12 @@ let render_violation key ops (count, mandatory, value, remaining) =
       (Printf.sprintf "    ... and %d more\n" (List.length remaining - 8));
   Buffer.contents buf
 
-let check_linearizable ?(budget = 2_000_000) history =
+(* Default search budget. Write pipelining keeps many ops concurrently open
+   on a hot key under chaos (lost replies wait out the RPC timeout), and the
+   per-key state count grows with the width of that concurrency window; 10M
+   states clears the widest histories the chaos gates produce with headroom
+   while still bounding a genuinely inconclusive search. *)
+let check_linearizable ?(budget = 10_000_000) history =
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun (e : History.entry) ->

@@ -42,6 +42,12 @@ type config = {
   autopilot_merge_bytes : int;
   autopilot_cooldown : int;
   autopilot_min_improvement : float;
+  unsafe_no_recovery : bool;
+      (* deliberately broken mode: pushes treat every STAGING record as
+         recoverable immediately (no liveness grace) and recovery aborts
+         without verifying the declared in-flight writes — so a transaction
+         whose implicit commit already completed can have its writes
+         vanish. The serializability checker must catch the fallout. *)
 }
 
 let default =
@@ -58,12 +64,18 @@ let default =
     seed = 0xC0C;
     autopilot = false;
     autopilot_scan_interval = 500_000;
-    autopilot_split_qps = 50.0;
+    (* The split queue cuts at the traffic-weighted median, so a good split
+       halves the range's QPS. Keep the trigger well under half of a typical
+       hot range's load: at 50.0 any range between 50 and 100 QPS lands in a
+       dead zone after one balanced split — both halves hot, neither over
+       the bar — and reshaping stops one split early. *)
+    autopilot_split_qps = 20.0;
     autopilot_split_bytes = 512_000;
     autopilot_merge_qps = 1.0;
     autopilot_merge_bytes = 128_000;
     autopilot_cooldown = 3_000_000;
     autopilot_min_improvement = 0.25;
+    unsafe_no_recovery = false;
   }
 
 let default_config = default
@@ -71,11 +83,39 @@ let default_config = default
 type range_id = int
 
 type op =
-  | Op_put of { txn : int; ts : Ts.t; key : string; value : string option }
+  | Op_put of {
+      txn : int;
+      ts : Ts.t;
+      key : string;
+      value : string option;
+      pri : Ts.t;
+          (* the writer's wound-wait priority, stamped onto the intent *)
+      anchor : string;
+          (* the writer's anchor key; when [key = anchor] the apply also
+             registers the transaction record — registration piggybacks on
+             the first write instead of costing its own consensus round *)
+    }
   | Op_resolve of { txn : int; keys : string list; commit : Ts.t option }
+  | Op_txn of { txn : int; tkey : string; upd : Txnrec.update }
+      (* one transaction-record transition, anchored at [tkey] *)
+  | Op_prevent of { txn : int; key : string; ts : Ts.t }
+      (* QueryIntent-with-prevention (parallel-commit recovery): totally
+         ordered against the Op_put it races by going through the same log *)
 
-type cmd = { closed : Ts.t; proposer : int; op : op; done_ : unit Ivar.t }
-type snap = { snap_store : Mvcc.t; snap_closed : Ts.t }
+type write_ack = [ `Applied | `Prevented | `Dropped ]
+
+type cmd = {
+  closed : Ts.t;
+  proposer : int;
+  op : op;
+  done_ : unit Ivar.t;
+  mutable fate : write_ack;
+      (* outcome observed at apply (or discard) time, read by the proposer
+         once [done_] fills; [`Applied] unless prevention or a log discard
+         intervened *)
+}
+
+type snap = { snap_store : Mvcc.t; snap_closed : Ts.t; snap_txns : Txnrec.t }
 
 type replica = {
   r_node : int;
@@ -86,6 +126,10 @@ type replica = {
   mutable r_side_closed : Ts.t;
   mutable r_pending_side : (int * Ts.t) list;
   r_lt : Lock_table.t;
+  r_txns : Txnrec.t;
+      (* this range's transaction records — replicated state, mutated only
+         by [Op_txn]/[Op_put] applies, snapshotted and split/merged with
+         the store *)
 }
 
 and range = {
@@ -114,8 +158,8 @@ type t = {
   load : int array; (* replicas per node *)
   diag : diag;
   obs : Obs.t;
-  txns : Txnrec.t;
   mutable waiting : int; (* parked conflict waiters, mirrors g_waiters *)
+  mutable bg_pending : int; (* background tasks {!run} drains before exiting *)
   samples : (range_id, key_samples) Hashtbl.t;
       (* bounded ring of recently served request keys per range — the
          autopilot split queue's load-based split point *)
@@ -196,8 +240,8 @@ let create ?(config = default_config) ~topology ~latency () =
         d_wounds = 0;
       };
     obs;
-    txns = Txnrec.create ();
     waiting = 0;
+    bg_pending = 0;
     samples = Hashtbl.create 64;
     c_fr_hit = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_hits");
     c_fr_miss = Array.init n (fun i -> Metrics.counter m ~node:i "kv.follower_read_misses");
@@ -380,23 +424,20 @@ let promote_side r =
    entry commits (a restart wipes the volatile log tail's completion ivars);
    the waiter must not hang — it errors out and the transaction retries,
    with the outcome reported as ambiguous if retries are exhausted. *)
-let propose_timeout = 15_000_000
+let propose_timeout = 8_000_000
 
 let in_span rg key =
   let s, e = rg.rg_span in
   String.compare key s >= 0 && String.compare key e < 0
 
-(* How the waiting transaction itself has fared in the registry. Checked at
-   the head of every evaluation and on every wait tick: a wounded writer must
-   not lay new intents after a pusher started cleaning up its old ones. *)
-let own_fate t ~txn =
-  match txn with
-  | None -> `Live
-  | Some txn -> (
-      match Txnrec.status t.txns ~txn with
-      | Some (Txnrec.Aborted { reason; wound = true }) -> `Wounded reason
-      | Some (Txnrec.Aborted { wound = false; _ }) -> `Aborted
-      | Some Txnrec.Pending | Some (Txnrec.Committed _) | None -> `Live)
+(* How the waiting transaction itself has fared, as known to its own
+   gateway (the coordinator learns of a wound from heartbeat responses and
+   cancels its in-flight requests). Checked at the head of every evaluation
+   and on every wait tick: a wounded writer must not lay new intents after
+   a pusher started cleaning up its old ones. *)
+type fate = [ `Live | `Wounded of string | `Aborted ]
+
+let live_fate : unit -> fate = fun () -> `Live
 
 (* Fire-and-forget resolution of a finished (wounded / aborted / committed /
    abandoned) blocker's intent on one key. The apply of the Op_resolve both
@@ -415,94 +456,11 @@ let propose_cleanup t r ~key ~blocker ~commit =
           proposer = r.r_node;
           op = Op_resolve { txn = blocker; keys = [ key ]; commit };
           done_ = Ivar.create ();
+          fate = `Applied;
         }
       in
       ignore (Raft.propose raft cmd : int option)
   | Some _ | None -> ()
-
-(* Park on [key] until the conflict with [blocker] clears, pushing the
-   blocker's transaction record every [push_delay]. The wound-wait rule is
-   what makes this deadlock-free: a push only ever aborts a strictly younger
-   blocker, so every waits-for edge that survives points from younger to
-   older and no cycle can persist. [conflict_wait_timeout] remains as a
-   last-resort backstop only. *)
-let wait_on_conflict t r ~key ~kind ~blocker ~waiter =
-  (match kind with
-  | `Lock -> t.diag.d_lock_waits <- t.diag.d_lock_waits + 1
-  | `Intent -> t.diag.d_intent_waits <- t.diag.d_intent_waits + 1);
-  let iv = Lock_table.park r.r_lt ~key in
-  t.waiting <- t.waiting + 1;
-  Metrics.set t.g_waiters t.waiting;
-  let deadline = Sim.now t.sim + t.cfg.conflict_wait_timeout in
-  let liveness = 3 * t.cfg.txn_heartbeat_interval in
-  let finish outcome =
-    Lock_table.unpark r.r_lt ~key iv;
-    t.waiting <- t.waiting - 1;
-    Metrics.set t.g_waiters t.waiting;
-    (match outcome with
-    | Lock_table.Timed_out ->
-        t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
-        Metrics.inc t.c_conflict_timeout.(r.r_node)
-    | Lock_table.Acquired | Lock_table.Wounded _ | Lock_table.Pusher_aborted ->
-        ());
-    outcome
-  in
-  let leader () =
-    match r.r_raft with Some raft -> Raft.is_leader raft | None -> false
-  in
-  let rec loop () =
-    let now = Sim.now t.sim in
-    if now >= deadline then finish Lock_table.Timed_out
-    else
-      let slice = min t.cfg.push_delay (deadline - now) in
-      match Proc.await_timeout t.sim iv ~timeout:slice with
-      | Some () -> finish Lock_table.Acquired
-      | None ->
-          if r.r_range.rg_dropped || (not (leader ())) || not (in_span r.r_range key)
-          then
-            (* Routing moved while we were parked; force a re-evaluation,
-               which redirects to the current leaseholder. *)
-            finish Lock_table.Acquired
-          else begin
-            match own_fate t ~txn:waiter with
-            | `Wounded reason -> finish (Lock_table.Wounded reason)
-            | `Aborted -> finish Lock_table.Pusher_aborted
-            | `Live ->
-                let pusher =
-                  Option.bind waiter (fun w -> Txnrec.priority t.txns ~txn:w)
-                in
-                t.diag.d_pushes <- t.diag.d_pushes + 1;
-                Metrics.inc t.c_push.(r.r_node);
-                (match Txnrec.push t.txns ~blocker ~pusher ~now ~liveness with
-                | Txnrec.Wait -> ()
-                | Txnrec.Wound _ ->
-                    t.diag.d_wounds <- t.diag.d_wounds + 1;
-                    Metrics.inc t.c_wound.(r.r_node);
-                    Obs.log_event t.obs ~node:r.r_node ~range:r.r_range.rg_id
-                      ~txn:blocker
-                      ~attrs:
-                        [
-                          ("blocker", string_of_int blocker);
-                          ("key", key);
-                          ( "pusher",
-                            match waiter with
-                            | Some w -> string_of_int w
-                            | None -> "-" );
-                        ]
-                      Events.Wound;
-                    Metrics.inc t.c_cleanup.(r.r_node);
-                    propose_cleanup t r ~key ~blocker ~commit:None
-                | Txnrec.Cleanup commit ->
-                    Metrics.inc t.c_cleanup.(r.r_node);
-                    Obs.log_event t.obs ~node:r.r_node ~range:r.r_range.rg_id
-                      ~txn:blocker
-                      ~attrs:[ ("key", key) ]
-                      Events.Abandoned_cleanup;
-                    propose_cleanup t r ~key ~blocker ~commit);
-                loop ()
-          end
-  in
-  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Command application (the replicated state machine)                  *)
@@ -527,12 +485,25 @@ let apply_cmd t r cmd =
           | Some _ | None -> None)
   in
   (match cmd.op with
-  | Op_put { txn; ts; key; value } -> (
+  | Op_put { txn; ts; key; value; pri; anchor } -> (
       match owner key with
       | None -> ()
       | Some owner -> (
-          match Mvcc.put_intent owner.r_store ~key ~txn_id:txn ~ts ~value with
+          (* The transaction record rides the first (anchor) write: every
+             replica of the anchor range learns of the transaction when the
+             write applies, with no extra consensus round. *)
+          if String.equal key anchor then
+            Txnrec.apply owner.r_txns ~txn ~key
+              (Txnrec.U_register { pri; hb = Sim.now t.sim });
+          match
+            Mvcc.put_intent owner.r_store ~pri ~anchor ~key ~txn_id:txn ~ts
+              ~value ()
+          with
           | Mvcc.Written -> ()
+          | Mvcc.Write_prevented ->
+              (* Commit-status recovery barred this write while it was in
+                 the log; the ack must tell the gateway its commit lost. *)
+              cmd.fate <- `Prevented
           | Mvcc.Write_blocked _ ->
               (* The leaseholder's lock table serializes writers, so a foreign
                  intent here means replay after a lease transfer; drop it. *)
@@ -545,7 +516,18 @@ let apply_cmd t r cmd =
           | Some owner ->
               Mvcc.resolve_intent owner.r_store ~key ~txn_id:txn ~commit;
               Lock_table.release owner.r_lt ~key ~txn)
-        keys);
+        keys
+  | Op_txn { txn; tkey; upd } -> (
+      match owner tkey with
+      | None -> ()
+      | Some owner -> Txnrec.apply owner.r_txns ~txn ~key:tkey upd)
+  | Op_prevent { txn; key; ts } -> (
+      match owner key with
+      | None -> ()
+      | Some owner ->
+          ignore
+            (Mvcc.prevent owner.r_store ~key ~txn_id:txn ~ts
+              : [ `Found | `Prevented ])));
   promote_side r;
   if cmd.proposer = r.r_node then ignore (Ivar.try_fill cmd.done_ ())
 
@@ -604,6 +586,7 @@ let rec make_replica t rg node =
       r_side_closed = Ts.zero;
       r_pending_side = [];
       r_lt = Lock_table.create ();
+      r_txns = Txnrec.create ();
     }
   in
   Hashtbl.replace rg.rg_replicas node r;
@@ -636,7 +619,10 @@ and raft_callbacks t rg r =
             | Op_put { ts; _ } -> Clock.update t.clocks.(r.r_node) ts
             | Op_resolve { commit = Some c; _ } ->
                 Clock.update t.clocks.(r.r_node) c
-            | Op_resolve { commit = None; _ } -> ())
+            | Op_txn { upd = Txnrec.U_commit { ts } | Txnrec.U_stage { ts; _ }; _ }
+              ->
+                Clock.update t.clocks.(r.r_node) ts
+            | Op_resolve { commit = None; _ } | Op_txn _ | Op_prevent _ -> ())
         | Lead -> ());
         apply_cmd t r cmd);
     on_role =
@@ -709,14 +695,30 @@ and raft_callbacks t rg r =
           | Some _ | None -> ()
         end);
     take_snapshot =
-      (fun () -> { snap_store = Mvcc.copy r.r_store; snap_closed = r.r_applied_closed });
+      (fun () ->
+        {
+          snap_store = Mvcc.copy r.r_store;
+          snap_closed = r.r_applied_closed;
+          snap_txns = Txnrec.copy r.r_txns;
+        });
     install_snapshot =
       (fun s ->
         Lock_table.clear_locks r.r_lt;
         r.r_applied_closed <- Ts.max r.r_applied_closed s.snap_closed;
-        Mvcc.replace_with r.r_store s.snap_store);
+        Mvcc.replace_with r.r_store s.snap_store;
+        Txnrec.replace_with r.r_txns s.snap_txns);
     is_node_live = (fun node -> Liveness.believed_live t.live node);
     node_epoch = (fun node -> Liveness.epoch t.live node);
+    on_discard =
+      (fun cmd ->
+        (* The proposer's copy of an uncommitted entry was dropped (log
+           truncation by a new leader, or a snapshot covering the tail).
+           Fail the pipelined waiter fast — as indeterminate, since in rare
+           interleavings another surviving copy can still commit. *)
+        if cmd.proposer = r.r_node && not (Ivar.is_full cmd.done_) then begin
+          cmd.fate <- `Dropped;
+          ignore (Ivar.try_fill cmd.done_ () : bool)
+        end);
   }
 
 and add_replica t rg node ~preferred =
@@ -998,7 +1000,8 @@ let split_range t rid ~at =
             let rrep = make_replica t right node in
             Mvcc.replace_with rrep.r_store seed;
             rrep.r_applied_closed <- replica_closed lrep;
-            Lock_table.split_move lrep.r_lt ~into:rrep.r_lt ~at
+            Lock_table.split_move lrep.r_lt ~into:rrep.r_lt ~at;
+            Txnrec.split_move lrep.r_txns ~into:rrep.r_txns ~at
           end)
         rg.rg_replicas;
       Hashtbl.iter
@@ -1068,7 +1071,9 @@ let merge_range t rid =
                 | Some ll, Some rl ->
                     let _, re = right.rg_span in
                     Hashtbl.iter
-                      (fun _ lrep -> Mvcc.absorb lrep.r_store rl.r_store)
+                      (fun _ lrep ->
+                        Mvcc.absorb lrep.r_store rl.r_store;
+                        Txnrec.absorb lrep.r_txns ~from:rl.r_txns)
                       rg.rg_replicas;
                     Lock_table.absorb ll.r_lt ~from:rl.r_lt;
                     Hashtbl.iter
@@ -1340,10 +1345,22 @@ let settle t =
   (* Let initial closed timestamps propagate to all replicas. *)
   run_for t ((3 * t.cfg.publish_interval) + 200_000)
 
+(* Post-ack work (e.g. making a parallel commit explicit and resolving its
+   intents) runs in the background after the client already has its answer.
+   {!run} drains these before returning so that tests and tools inspecting
+   raw replica state between [run] calls observe a quiescent cluster. *)
+let spawn_background t f =
+  t.bg_pending <- t.bg_pending + 1;
+  Proc.spawn t.sim (fun () ->
+      Fun.protect ~finally:(fun () -> t.bg_pending <- t.bg_pending - 1) f)
+
 let run t f =
   let horizon = Sim.now t.sim + 3_600_000_000 in
   let iv = Proc.async t.sim f in
-  while (not (Ivar.is_full iv)) && Sim.now t.sim < horizon && Sim.step t.sim do
+  while
+    (not (Ivar.is_full iv && t.bg_pending = 0))
+    && Sim.now t.sim < horizon && Sim.step t.sim
+  do
     ()
   done;
   match Ivar.peek iv with
@@ -1467,7 +1484,12 @@ type write_result =
   | Write_wounded of string
   | Write_err of string
 
-let rpc_timeout = 30_000_000
+(* Reply-wait bound before a routed op re-resolves and re-sends. Must
+   cover a full failover (election timeout 3-6s + lease acquisition) so a
+   healthy-but-slow reply is not duplicated, but no longer: every extra
+   second a lost reply waits is a second the client-visible op stays open,
+   and the chaos history checkers pay for long-open ops combinatorially. *)
+let rpc_timeout = 8_000_000
 let op_deadline = 120_000_000
 
 (* Route [op] for [key] to the current leaseholder of the key's range. The
@@ -1581,11 +1603,369 @@ let timed_wait t ~phases f =
   Phase.add phases Phase.Lock_wait (Sim.now t.sim - t0);
   out
 
-let rec eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts =
+(* ------------------------------------------------------------------ *)
+(* Transaction-record transitions, pushes, commit-status recovery      *)
+
+(* Propose one record transition through this replica's Raft log and await
+   its local apply. First-decision-wins is enforced at apply time, so the
+   caller must re-read the applied record to learn which decision actually
+   won — its own proposal may have lost the race. *)
+let propose_txn_update t r ~txn ~key upd =
+  match r.r_raft with
+  | Some raft when Raft.is_leader raft -> (
+      let target = next_closed_target t r.r_range r.r_node in
+      let done_ = Ivar.create () in
+      let cmd =
+        {
+          closed = target;
+          proposer = r.r_node;
+          op = Op_txn { txn; tkey = key; upd };
+          done_;
+          fate = `Applied;
+        }
+      in
+      match Raft.propose raft cmd with
+      | None -> `Not_leader
+      | Some _ -> (
+          match Proc.await_timeout t.sim done_ ~timeout:propose_timeout with
+          | Some () -> `Applied
+          | None -> `Lost))
+  | Some _ | None -> `Not_leader
+
+let eval_txn_update t r ~txn ~key upd =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
-    match own_fate t ~txn with
+    match propose_txn_update t r ~txn ~key upd with
+    | `Applied -> `Done (Txnrec.status r.r_txns ~txn)
+    | `Lost -> `Done None
+    | `Not_leader -> `Not_leader
+
+(* One record transition as an ordinary routed RPC: resolve the anchor
+   key's leaseholder, propose, await apply, return the applied status. *)
+let txn_update t ~gateway ?span ?(phases = Phase.nil) ~op ~txn ~key upd =
+  with_leaseholder t ~gateway ?span ~phases ~op ~key
+    ~on_fail:(fun _ -> None)
+    (fun r _sp -> eval_txn_update t r ~txn ~key upd)
+
+let eval_query_intent t r ~txn ~key ~ts =
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
+  else
+    match r.r_raft with
+    | None -> `Not_leader
+    | Some raft -> (
+        let target = next_closed_target t r.r_range r.r_node in
+        let done_ = Ivar.create () in
+        let cmd =
+          {
+            closed = target;
+            proposer = r.r_node;
+            op = Op_prevent { txn; key; ts };
+            done_;
+            fate = `Applied;
+          }
+        in
+        match Raft.propose raft cmd with
+        | None -> `Not_leader
+        | Some _ -> (
+            match Proc.await_timeout t.sim done_ ~timeout:propose_timeout with
+            | None -> `Done `Unknown
+            | Some () ->
+                if Mvcc.is_prevented r.r_store ~key ~txn_id:txn then
+                  `Done `Missing
+                else `Done `Found))
+
+(* QueryIntent with prevention (parallel-commit recovery, CRDB §3): did the
+   staged transaction's declared write on [key] replicate? The probe goes
+   through the key's own Raft log, so it is totally ordered against the
+   Op_put it races: [`Found] means the write landed (or already resolved),
+   [`Missing] means it had not — and now never will, the apply barred it.
+   Routing or proposal failures are [`Unknown]: recovery must stay
+   inconclusive rather than abort on indeterminate evidence. *)
+let query_intent t ~gateway ?span ?(phases = Phase.nil) ~txn ~key ~ts () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.query_intent" ~key
+    ~on_fail:(fun _ -> `Unknown)
+    (fun r _sp -> eval_query_intent t r ~txn ~key ~ts)
+
+(* Commit-status recovery against someone else's STAGING record. Verify
+   every declared in-flight write; all present ⇒ the commit implicitly
+   succeeded, finalize Committed; any proven missing ⇒ it cannot have been
+   acked, finalize Aborted (the probe also bars the write from landing
+   late). Either finalization races the coordinator's own transition, so
+   the applied record — not our proposal — is the verdict we report.
+   Returns [Some commit] (finalized; resolve intents with [commit]) or
+   [None] (inconclusive: a probe or the finalization was indeterminate —
+   the pusher just keeps waiting). *)
+let recover_txn t ~gateway ?span ?(phases = Phase.nil) ~txn ~anchor_key ~ts
+    ~inflight () =
+  let t0 = Sim.now t.sim in
+  let verdict =
+    if t.cfg.unsafe_no_recovery then `Abort
+    else
+      let rec probe = function
+        | [] -> `Commit
+        | key :: rest -> (
+            match query_intent t ~gateway ?span ~phases ~txn ~key ~ts () with
+            | `Found -> probe rest
+            | `Missing -> `Abort
+            | `Unknown -> `Inconclusive)
+      in
+      probe inflight
+  in
+  let finalize upd =
+    match
+      txn_update t ~gateway ?span ~phases ~op:"kv.txn_recover" ~txn
+        ~key:anchor_key upd
+    with
+    | Some (Txnrec.Committed cts) -> Some (Some cts)
+    | Some (Txnrec.Aborted _) -> Some None
+    | Some (Txnrec.Pending | Txnrec.Staging _) | None -> None
+  in
+  let out =
+    match verdict with
+    | `Inconclusive -> None
+    | `Commit -> finalize (Txnrec.U_commit { ts })
+    | `Abort ->
+        finalize (Txnrec.U_recover_abort { reason = "commit recovery" })
+  in
+  Phase.add phases Phase.Recovery (Sim.now t.sim - t0);
+  (match out with
+  | Some commit ->
+      Obs.log_event t.obs ~node:gateway ~txn
+        ~attrs:
+          [ ("result", match commit with Some _ -> "committed" | None -> "aborted") ]
+        Events.Txn_recovered
+  | None -> ());
+  out
+
+type push_verdict =
+  | Push_wait
+  | Push_wound of string
+  | Push_cleanup of Ts.t option
+  | Push_recover of { ts : Ts.t; inflight : string list }
+
+(* One push evaluation at the blocker's anchor-range leaseholder. Proposed
+   transitions (wound, abandon, stub registration) go through the anchor
+   log; the applied record decides. *)
+let eval_push t r ~blocker ~anchor_key ~blocker_pri ~pusher =
+  if r.r_range.rg_dropped || not (in_span r.r_range anchor_key) then
+    `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
+  else
+    let now = Sim.now t.sim in
+    let liveness = 3 * t.cfg.txn_heartbeat_interval in
+    let reread () =
+      match Txnrec.status r.r_txns ~txn:blocker with
+      | Some (Txnrec.Committed ts) -> Push_cleanup (Some ts)
+      | Some (Txnrec.Aborted { reason; wound = true }) -> Push_wound reason
+      | Some (Txnrec.Aborted _) -> Push_cleanup None
+      | Some (Txnrec.Pending | Txnrec.Staging _) | None -> Push_wait
+    in
+    match Txnrec.find r.r_txns ~txn:blocker with
+    | None ->
+        (* No record yet: the blocker left an intent (or lock) but its
+           registering write hasn't applied here, or it never registers
+           (raw writer). Create an unwoundable stub so abandonment can
+           reclaim the key if no coordinator ever shows up. *)
+        ignore
+          (propose_txn_update t r ~txn:blocker ~key:anchor_key
+             (Txnrec.U_register { pri = blocker_pri; hb = now })
+            : [ `Applied | `Lost | `Not_leader ]);
+        `Done Push_wait
+    | Some rec_ -> (
+        match rec_.Txnrec.tr_status with
+        | Txnrec.Committed ts -> `Done (Push_cleanup (Some ts))
+        | Txnrec.Aborted { reason; wound = true } -> `Done (Push_wound reason)
+        | Txnrec.Aborted _ -> `Done (Push_cleanup None)
+        | Txnrec.Staging { ts; inflight } ->
+            (* A staging record is never wounded: the transaction holds no
+               future lock acquisitions, so waiting for it is deadlock-free.
+               Recovery only fires once the coordinator looks dead (or
+               immediately in the deliberately broken mode). *)
+            if t.cfg.unsafe_no_recovery || now - rec_.Txnrec.tr_hb > liveness
+            then `Done (Push_recover { ts; inflight })
+            else `Done Push_wait
+        | Txnrec.Pending ->
+            if now - rec_.Txnrec.tr_hb > liveness then begin
+              ignore
+                (propose_txn_update t r ~txn:blocker ~key:anchor_key
+                   (Txnrec.U_abandon
+                      {
+                        reason = "abandoned (stale heartbeat)";
+                        if_hb_before = rec_.Txnrec.tr_hb;
+                      })
+                  : [ `Applied | `Lost | `Not_leader ]);
+              `Done (reread ())
+            end
+            else
+              let wound =
+                match pusher with
+                | Some (p_pri, p_id) ->
+                    Txnrec.older (p_pri, p_id)
+                      (rec_.Txnrec.tr_pri, rec_.Txnrec.tr_id)
+                | None -> false
+              in
+              if wound then begin
+                ignore
+                  (propose_txn_update t r ~txn:blocker ~key:anchor_key
+                     (Txnrec.U_wound { reason = "wounded by older txn" })
+                    : [ `Applied | `Lost | `Not_leader ]);
+                `Done (reread ())
+              end
+              else `Done Push_wait)
+
+(* Pushes are latency-bound, not reliability-bound: a push that cannot
+   reach the anchor leaseholder right now simply reports Wait and the next
+   tick retries, so it uses a short timeout and a single routing attempt
+   instead of [with_leaseholder]'s full retry loop. *)
+let push_rpc_timeout = 3_000_000
+
+let push_once t ~src ~blocker ~anchor_key ~blocker_pri ~pusher =
+  match range_of_key t anchor_key with
+  | exception Not_found -> Push_wait
+  | rid -> (
+      match range_opt t rid with
+      | None -> Push_wait
+      | Some rg -> (
+          match leaseholder t rid with
+          | None -> Push_wait
+          | Some lh -> (
+              match replica_at rg lh with
+              | None -> Push_wait
+              | Some r -> (
+                  let reply =
+                    Transport.rpc t.net ~src ~dst:lh (fun out ->
+                        Proc.spawn t.sim (fun () ->
+                            ignore
+                              (Ivar.try_fill out
+                                 (eval_push t r ~blocker ~anchor_key
+                                    ~blocker_pri ~pusher)
+                                : bool)))
+                  in
+                  match
+                    Proc.await_timeout t.sim reply ~timeout:push_rpc_timeout
+                  with
+                  | Some (`Done v) -> v
+                  | Some (`Not_leader | `Range_mismatch) | None -> Push_wait))))
+
+(* Park on the conflicting key and periodically push the blocker's record
+   at its anchor range — a genuine RPC now that records live with their
+   anchor key rather than in a cluster-global table. The wait ends when the
+   key's waiters are woken (intent resolved / lock released), when routing
+   moves, or when a push verdict lets this waiter clean up the blocker. *)
+let wait_on_conflict t r ~phases ~key ~kind ~blocker ~blocker_pri
+    ~blocker_anchor ~waiter ~waiter_pri ~fate =
+  (match kind with
+  | `Lock -> t.diag.d_lock_waits <- t.diag.d_lock_waits + 1
+  | `Intent -> t.diag.d_intent_waits <- t.diag.d_intent_waits + 1);
+  let iv = Lock_table.park r.r_lt ~key in
+  t.waiting <- t.waiting + 1;
+  Metrics.set t.g_waiters t.waiting;
+  (* A raw (transaction-less) writer leaves no anchor; its record — if a
+     pusher ever creates the stub — lives at the conflicted key itself. *)
+  let anchor_key = if String.equal blocker_anchor "" then key else blocker_anchor in
+  let pusher =
+    match (waiter, waiter_pri) with
+    | Some w, Some p -> Some (p, w)
+    | _ -> None
+  in
+  let deadline = ref (Sim.now t.sim + t.cfg.conflict_wait_timeout) in
+  let progressed () =
+    deadline := Sim.now t.sim + t.cfg.conflict_wait_timeout
+  in
+  let finish outcome =
+    Lock_table.unpark r.r_lt ~key iv;
+    t.waiting <- t.waiting - 1;
+    Metrics.set t.g_waiters t.waiting;
+    (match outcome with
+    | Lock_table.Timed_out ->
+        t.diag.d_conflict_timeouts <- t.diag.d_conflict_timeouts + 1;
+        Metrics.inc t.c_conflict_timeout.(r.r_node)
+    | Lock_table.Acquired | Lock_table.Wounded _ | Lock_table.Pusher_aborted ->
+        ());
+    outcome
+  in
+  let cleanup commit =
+    Metrics.inc t.c_cleanup.(r.r_node);
+    propose_cleanup t r ~key ~blocker ~commit
+  in
+  let rec loop () =
+    let now = Sim.now t.sim in
+    if now >= !deadline then finish Lock_table.Timed_out
+    else
+      let slice = min t.cfg.push_delay (!deadline - now) in
+      match Proc.await_timeout t.sim iv ~timeout:slice with
+      | Some () -> finish Lock_table.Acquired
+      | None ->
+          if
+            r.r_range.rg_dropped
+            || (not (is_leader_now r))
+            || not (in_span r.r_range key)
+          then
+            (* Routing moved while we were parked; force a re-evaluation,
+               which redirects to the current leaseholder. *)
+            finish Lock_table.Acquired
+          else begin
+            match (fate () : fate) with
+            | `Wounded reason -> finish (Lock_table.Wounded reason)
+            | `Aborted -> finish Lock_table.Pusher_aborted
+            | `Live -> (
+                t.diag.d_pushes <- t.diag.d_pushes + 1;
+                Metrics.inc t.c_push.(r.r_node);
+                match
+                  push_once t ~src:r.r_node ~blocker ~anchor_key ~blocker_pri
+                    ~pusher
+                with
+                | Push_wait -> loop ()
+                | Push_wound _reason ->
+                    progressed ();
+                    t.diag.d_wounds <- t.diag.d_wounds + 1;
+                    Metrics.inc t.c_wound.(r.r_node);
+                    Obs.log_event t.obs ~node:r.r_node ~range:r.r_range.rg_id
+                      ~txn:blocker
+                      ~attrs:
+                        [
+                          ("blocker", string_of_int blocker);
+                          ("key", key);
+                          ( "pusher",
+                            match waiter with
+                            | Some w -> string_of_int w
+                            | None -> "-" );
+                        ]
+                      Events.Wound;
+                    cleanup None;
+                    loop ()
+                | Push_cleanup commit ->
+                    progressed ();
+                    (match commit with
+                    | None ->
+                        Obs.log_event t.obs ~node:r.r_node
+                          ~range:r.r_range.rg_id ~txn:blocker
+                          ~attrs:[ ("key", key) ]
+                          Events.Abandoned_cleanup
+                    | Some _ -> ());
+                    cleanup commit;
+                    loop ()
+                | Push_recover { ts; inflight } -> (
+                    progressed ();
+                    match
+                      recover_txn t ~gateway:r.r_node ~phases ~txn:blocker
+                        ~anchor_key ~ts ~inflight ()
+                    with
+                    | Some commit ->
+                        cleanup commit;
+                        loop ()
+                    | None -> loop ()))
+          end
+  in
+  loop ()
+
+let rec eval_read t r ~inline_bump ~phases ~txn ~pri ~fate ~key ~ts ~max_ts =
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
+  else
+    match (fate () : fate) with
     | `Wounded reason -> `Done (Read_wounded reason)
     | `Aborted -> `Done (Read_err "transaction aborted")
     | `Live ->
@@ -1603,22 +1983,28 @@ let rec eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts =
       | Lag _ -> Ts.max ts (Ts.min max_ts (Clock.now t.clocks.(r.r_node)))
       | Lead -> max_ts
     in
-    let wait ~kind ~blocker =
+    let wait ~kind ~blocker ~blocker_pri ~blocker_anchor =
       match
         timed_wait t ~phases (fun () ->
-            wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn)
+            wait_on_conflict t r ~phases ~key ~kind ~blocker ~blocker_pri
+              ~blocker_anchor ~waiter:txn ~waiter_pri:pri ~fate)
       with
       | Lock_table.Acquired ->
-          eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts
+          eval_read t r ~inline_bump ~phases ~txn ~pri ~fate ~key ~ts ~max_ts
       | Lock_table.Wounded reason -> `Done (Read_wounded reason)
       | Lock_table.Pusher_aborted -> `Done (Read_err "transaction aborted")
       | Lock_table.Timed_out -> `Done (Read_err "conflict timeout")
     in
     match Lock_table.foreign r.r_lt ~key ~txn ~max_ts with
-    | Some l -> wait ~kind:`Lock ~blocker:(Lock_table.holder l)
+    | Some l ->
+        wait ~kind:`Lock ~blocker:(Lock_table.holder l)
+          ~blocker_pri:(Lock_table.lock_pri l)
+          ~blocker_anchor:(Lock_table.lock_anchor l)
     | None -> (
         match Mvcc.read r.r_store ~key ~ts ~max_ts ~for_txn:txn with
-        | Mvcc.Intent_blocked { txn_id; _ } -> wait ~kind:`Intent ~blocker:txn_id
+        | Mvcc.Intent_blocked i ->
+            wait ~kind:`Intent ~blocker:i.Mvcc.txn_id ~blocker_pri:i.Mvcc.pri
+              ~blocker_anchor:i.Mvcc.anchor
         | Mvcc.Value { value; ts = vts } ->
             Tscache.record_read r.r_range.rg_tscache ~txn ~key ~ts;
             `Done (Read_value { value; ts = vts })
@@ -1627,14 +2013,16 @@ let rec eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts =
                refresh, ratchet the timestamp in place instead of bouncing
                the uncertainty error back across the network. *)
             if inline_bump then
-              eval_read t r ~inline_bump ~phases ~txn ~key ~ts:value_ts ~max_ts
+              eval_read t r ~inline_bump ~phases ~txn ~pri ~fate ~key
+                ~ts:value_ts ~max_ts
             else `Done (Read_uncertain { value_ts }))
 
-let read t ?(inline_bump = false) ?span ?(phases = Phase.nil) ~gateway ~txn
-    ~key ~ts ~max_ts () =
+let read t ?(inline_bump = false) ?span ?(phases = Phase.nil) ?pri
+    ?(fate = live_fate) ~gateway ~txn ~key ~ts ~max_ts () =
   with_leaseholder t ~gateway ?span ~phases ~op:"kv.read" ~key
     ~on_fail:(fun msg -> Read_err msg)
-    (fun r _sp -> eval_read t r ~inline_bump ~phases ~txn ~key ~ts ~max_ts)
+    (fun r _sp ->
+      eval_read t r ~inline_bump ~phases ~txn ~pri ~fate ~key ~ts ~max_ts)
 
 let read_follower t ?(span = Trace.nil) ?(phases = Phase.nil) ~at ~txn ~key
     ~ts ~max_ts () =
@@ -1701,12 +2089,13 @@ let clamp_span rg ~start_key ~end_key =
   let hi = if String.compare end_key e < 0 then end_key else e in
   (lo, hi)
 
-let rec eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
+let rec eval_scan t r ~phases ~txn ~pri ~fate ~start_key ~end_key ~ts ~max_ts
+    ~limit =
   if r.r_range.rg_dropped || not (in_span r.r_range start_key) then
     `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else begin
-    match own_fate t ~txn with
+    match (fate () : fate) with
     | `Wounded reason -> `Done (Scan_wounded reason)
     | `Aborted -> `Done (Scan_err "transaction aborted")
     | `Live ->
@@ -1730,13 +2119,15 @@ let rec eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
       (* A scan must also respect locks on keys it covers. *)
       Lock_table.foreign_in_span r.r_lt ~start_key ~end_key ~txn ~max_ts
     in
-    let wait ~key ~kind ~blocker =
+    let wait ~key ~kind ~blocker ~blocker_pri ~blocker_anchor =
       match
         timed_wait t ~phases (fun () ->
-            wait_on_conflict t r ~key ~kind ~blocker ~waiter:txn)
+            wait_on_conflict t r ~phases ~key ~kind ~blocker ~blocker_pri
+              ~blocker_anchor ~waiter:txn ~waiter_pri:pri ~fate)
       with
       | Lock_table.Acquired ->
-          eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit
+          eval_scan t r ~phases ~txn ~pri ~fate ~start_key ~end_key ~ts
+            ~max_ts ~limit
       | Lock_table.Wounded reason -> `Done (Scan_wounded reason)
       | Lock_table.Pusher_aborted -> `Done (Scan_err "transaction aborted")
       | Lock_table.Timed_out -> `Done (Scan_err "conflict timeout")
@@ -1744,8 +2135,11 @@ let rec eval_scan t r ~phases ~txn ~start_key ~end_key ~ts ~max_ts ~limit =
     match (locked, blocked) with
     | Some (key, l), _ ->
         wait ~key ~kind:`Lock ~blocker:(Lock_table.holder l)
-    | None, Some (key, Mvcc.Intent_blocked { txn_id; _ }) ->
-        wait ~key ~kind:`Intent ~blocker:txn_id
+          ~blocker_pri:(Lock_table.lock_pri l)
+          ~blocker_anchor:(Lock_table.lock_anchor l)
+    | None, Some (key, Mvcc.Intent_blocked i) ->
+        wait ~key ~kind:`Intent ~blocker:i.Mvcc.txn_id ~blocker_pri:i.Mvcc.pri
+          ~blocker_anchor:i.Mvcc.anchor
     | None, Some _ -> assert false
     | None, None -> (
         let uncertain =
@@ -1790,8 +2184,8 @@ let next_covered t ~cursor ~end_key =
       | Some (s, _) when String.compare s end_key < 0 -> Some s
       | Some _ | None -> None)
 
-let scan t ?span ?(phases = Phase.nil) ~gateway ~txn ~start_key ~end_key ~ts
-    ~max_ts ~limit () =
+let scan t ?span ?(phases = Phase.nil) ?pri ?(fate = live_fate) ~gateway ~txn
+    ~start_key ~end_key ~ts ~max_ts ~limit () =
   (* The request span may cover several ranges (splits land at any time):
      scan left to right, one leaseholder fragment at a time. Each fragment's
      eval reports the range end it was clamped to, which is where the next
@@ -1812,8 +2206,8 @@ let scan t ?span ?(phases = Phase.nil) ~gateway ~txn ~start_key ~end_key ~ts
               ~on_fail:(fun msg -> (Scan_err msg, end_key))
               (fun r _sp ->
                 match
-                  eval_scan t r ~phases ~txn ~start_key:cursor ~end_key ~ts
-                    ~max_ts ~limit:remaining
+                  eval_scan t r ~phases ~txn ~pri ~fate ~start_key:cursor
+                    ~end_key ~ts ~max_ts ~limit:remaining
                 with
                 | (`Not_leader | `Range_mismatch) as other -> other
                 | `Done res -> `Done (res, snd r.r_range.rg_span))
@@ -1968,25 +2362,27 @@ let replication_needs_wan t r =
       in
       local < quorum
 
-let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
+let rec eval_write t r ~applied ~phases ~gateway ~txn ~pri ~anchor ~fate ~key
+    ~value ~ts ~span =
   if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
   else if not (is_leader_now r) then `Not_leader
   else
     (* A wounded or aborted writer must not lay new intents: a pusher may
        already have cleaned up its old ones, and nothing would remove a
        late-laid intent until abandonment kicked in. *)
-    match own_fate t ~txn:(Some txn) with
+    match (fate () : fate) with
     | `Wounded reason -> `Done (Write_wounded reason)
     | `Aborted -> `Done (Write_err "transaction aborted")
     | `Live -> (
-        let wait ~kind ~blocker =
+        let wait ~kind ~blocker ~blocker_pri ~blocker_anchor =
           match
             timed_wait t ~phases (fun () ->
-                wait_on_conflict t r ~key ~kind ~blocker ~waiter:(Some txn))
+                wait_on_conflict t r ~phases ~key ~kind ~blocker ~blocker_pri
+                  ~blocker_anchor ~waiter:(Some txn) ~waiter_pri:pri ~fate)
           with
           | Lock_table.Acquired ->
-              eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts
-                ~span
+              eval_write t r ~applied ~phases ~gateway ~txn ~pri ~anchor ~fate
+                ~key ~value ~ts ~span
           | Lock_table.Wounded reason -> `Done (Write_wounded reason)
           | Lock_table.Pusher_aborted -> `Done (Write_err "transaction aborted")
           | Lock_table.Timed_out -> `Done (Write_err "conflict timeout")
@@ -1994,10 +2390,13 @@ let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
         match Lock_table.find r.r_lt ~key with
         | Some l when Lock_table.holder l <> txn ->
             wait ~kind:`Lock ~blocker:(Lock_table.holder l)
+              ~blocker_pri:(Lock_table.lock_pri l)
+              ~blocker_anchor:(Lock_table.lock_anchor l)
         | _ -> (
             match Mvcc.intent_on r.r_store ~key with
             | Some i when i.Mvcc.txn_id <> txn ->
                 wait ~kind:`Intent ~blocker:i.Mvcc.txn_id
+                  ~blocker_pri:i.Mvcc.pri ~blocker_anchor:i.Mvcc.anchor
             | Some _ | None -> (
                 match r.r_raft with
                 | None -> `Not_leader
@@ -2022,14 +2421,19 @@ let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
                     (match rg.rg_policy with
                     | Lag _ -> Clock.update t.clocks.(r.r_node) ts
                     | Lead -> ());
-                    let created = Lock_table.acquire r.r_lt ~key ~txn ~ts in
+                    let wpri = Option.value pri ~default:Ts.zero in
+                    let created =
+                      Lock_table.acquire r.r_lt ~pri:wpri ~anchor ~key ~txn
+                        ~ts ()
+                    in
                 let done_ = Ivar.create () in
                 let cmd =
                   {
                     closed = target;
                     proposer = r.r_node;
-                    op = Op_put { txn; ts; key; value };
+                    op = Op_put { txn; ts; key; value; pri = wpri; anchor };
                     done_;
+                    fate = `Applied;
                   }
                 in
                 let tr = Obs.trace t.obs in
@@ -2061,17 +2465,25 @@ let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
                     | Some ack ->
                         (* Pipelined write (CRDB write pipelining): reply as
                            soon as the intent is in the log; confirm its
-                           application to the gateway asynchronously. The
-                           transaction awaits all confirmations at commit. *)
+                           application — and its fate — to the gateway
+                           asynchronously. The transaction awaits all
+                           confirmations at commit. *)
                         Ivar.on_fill done_ (fun () ->
                             Transport.send t.net ~src:r.r_node ~dst:gateway
-                              (fun () -> ignore (Ivar.try_fill ack () : bool)));
+                              (fun () ->
+                                ignore (Ivar.try_fill ack cmd.fate : bool)));
                         `Done (Write_ok ts)
                     | None -> (
                         match
                           Proc.await_timeout t.sim done_ ~timeout:propose_timeout
                         with
-                        | Some () -> `Done (Write_ok ts)
+                        | Some () -> (
+                            match cmd.fate with
+                            | `Applied -> `Done (Write_ok ts)
+                            | `Prevented ->
+                                `Done (Write_err "write prevented by recovery")
+                            | `Dropped ->
+                                `Done (Write_err "proposal lost (leader gone)"))
                         | None ->
                             `Done (Write_err "proposal lost (leader gone)")))))))
 
@@ -2080,10 +2492,11 @@ let rec eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span =
    between the two proposals (no simulated time passes), so concurrent
    readers never observe it — CRDB's 1PC fast path for transactions whose
    writes all land on one range. *)
-let eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span =
+let eval_write_and_commit t r ~gateway ~phases ~txn ~pri ~fate ~key ~value ~ts
+    ~span =
   match
-    eval_write t r ~applied:(Some (Ivar.create ())) ~phases ~gateway ~txn ~key
-      ~value ~ts ~span
+    eval_write t r ~applied:(Some (Ivar.create ())) ~phases ~gateway ~txn ~pri
+      ~anchor:"" ~fate ~key ~value ~ts ~span
   with
   | (`Not_leader | `Range_mismatch) as other -> other
   | `Done (Write_wounded reason) -> `Done (Error reason)
@@ -2101,6 +2514,7 @@ let eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span =
               proposer = r.r_node;
               op = Op_resolve { txn; keys = [ key ]; commit = Some final_ts };
               done_;
+              fate = `Applied;
             }
           in
           let tr = Obs.trace t.obs in
@@ -2125,19 +2539,21 @@ let eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span =
               | Some () -> `Done (Ok final_ts)
               | None -> `Done (Error "proposal lost (leader gone)")))
 
-let write_and_commit t ?span ?(phases = Phase.nil) ~gateway ~txn ~key ~value
-    ~ts () =
+let write_and_commit t ?span ?(phases = Phase.nil) ?pri ?(fate = live_fate)
+    ~gateway ~txn ~key ~value ~ts () =
   with_leaseholder t ~gateway ?span ~phases ~op:"kv.write_1pc" ~key
     ~on_fail:(fun msg -> Error msg)
     (fun r sp ->
-      eval_write_and_commit t r ~gateway ~phases ~txn ~key ~value ~ts ~span:sp)
+      eval_write_and_commit t r ~gateway ~phases ~txn ~pri ~fate ~key ~value
+        ~ts ~span:sp)
 
-let write t ?applied ?span ?(phases = Phase.nil) ~gateway ~txn ~key ~value ~ts
-    () =
+let write t ?applied ?span ?(phases = Phase.nil) ?pri ?(anchor = "")
+    ?(fate = live_fate) ~gateway ~txn ~key ~value ~ts () =
   with_leaseholder t ~gateway ?span ~phases ~op:"kv.write" ~key
     ~on_fail:(fun msg -> Write_err msg)
     (fun r sp ->
-      eval_write t r ~applied ~phases ~gateway ~txn ~key ~value ~ts ~span:sp)
+      eval_write t r ~applied ~phases ~gateway ~txn ~pri ~anchor ~fate ~key
+        ~value ~ts ~span:sp)
 
 (* Resolve the subset of [keys] this replica's range owns; the rest — keys
    stranded on the wrong leaseholder by a split racing the resolution — are
@@ -2161,6 +2577,7 @@ let eval_resolve t r ~phases ~txn ~keys ~commit ~span =
               proposer = r.r_node;
               op = Op_resolve { txn; keys = mine; commit };
               done_;
+              fate = `Applied;
             }
           in
           let tr = Obs.trace t.obs in
@@ -2386,15 +2803,48 @@ let negotiate t ~at ~keys =
     groups Ts.max_value
 
 (* ------------------------------------------------------------------ *)
-(* Transaction records (wound-wait)                                    *)
+(* Transaction record RPCs (coordinator side)                          *)
 
-let register_txn t ~txn ~priority =
-  Txnrec.register t.txns ~txn ~priority ~now:(Sim.now t.sim)
+(* Every record operation is an ordinary routed RPC against the anchor
+   key's leaseholder; the record lives in that range's replicated state and
+   every transition returns the *applied* record status, which may differ
+   from the requested transition when a racing decision won the log. *)
 
-let heartbeat_txn t ~txn = Txnrec.heartbeat t.txns ~txn ~now:(Sim.now t.sim)
-let commit_txn t ~txn ~ts = Txnrec.try_commit t.txns ~txn ~ts
-let abort_txn t ~txn ~reason = Txnrec.abort t.txns ~txn ~reason
-let txn_status t ~txn = Txnrec.status t.txns ~txn
+let heartbeat_txn t ?span ?phases ~gateway ~txn ~key () =
+  txn_update t ~gateway ?span ?phases ~op:"kv.txn_heartbeat" ~txn ~key
+    (Txnrec.U_heartbeat { hb = Sim.now t.sim })
+
+let stage_txn t ?span ?phases ~gateway ~txn ~key ~pri ~ts ~inflight () =
+  let st =
+    txn_update t ~gateway ?span ?phases ~op:"kv.txn_stage" ~txn ~key
+      (Txnrec.U_stage { pri; ts; inflight; hb = Sim.now t.sim })
+  in
+  (match st with
+  | Some (Txnrec.Staging _) ->
+      Obs.log_event t.obs ~node:gateway ~txn
+        ~attrs:[ ("inflight", string_of_int (List.length inflight)) ]
+        Events.Txn_staged
+  | Some _ | None -> ());
+  st
+
+let commit_txn t ?span ?phases ~gateway ~txn ~key ~ts () =
+  txn_update t ~gateway ?span ?phases ~op:"kv.txn_commit" ~txn ~key
+    (Txnrec.U_commit { ts })
+
+let abort_txn t ?span ?phases ~gateway ~txn ~key ~reason () =
+  txn_update t ~gateway ?span ?phases ~op:"kv.txn_abort" ~txn ~key
+    (Txnrec.U_coord_abort { reason })
+
+let txn_status t ?span ?phases ~gateway ~txn ~key () =
+  with_leaseholder t ~gateway ?span
+    ~phases:(Option.value phases ~default:Phase.nil)
+    ~op:"kv.txn_status" ~key
+    ~on_fail:(fun _ -> None)
+    (fun r _sp ->
+      if r.r_range.rg_dropped || not (in_span r.r_range key) then
+        `Range_mismatch
+      else if not (is_leader_now r) then `Not_leader
+      else `Done (Txnrec.status r.r_txns ~txn))
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

@@ -69,6 +69,13 @@ type config = {
   autopilot_min_improvement : float;
       (** fraction by which a lease move must reduce the losing store's
           leaseholder load before the rebalance queue acts *)
+  unsafe_no_recovery : bool;
+      (** deliberately broken mode for checker validation: pushes treat
+          every STAGING record as immediately recoverable (no liveness
+          grace) and recovery aborts without verifying the declared
+          in-flight writes, so an implicitly committed transaction can have
+          its acked writes vanish. The serializability checker must catch
+          the fallout. *)
 }
 
 val default : config
@@ -191,7 +198,15 @@ val run : t -> (unit -> 'a) -> 'a
 (** [run t f] executes [f] as a process and steps the simulation until it
     completes (the cluster's periodic publishers keep the event queue
     non-empty forever, so draining the queue is not a termination
-    condition). @raise Failure on deadlock. *)
+    condition) and all {!spawn_background} tasks have drained — so raw
+    replica state inspected between [run] calls is quiescent even when
+    clients are acked before post-commit work (intent resolution under
+    parallel commits) finishes. @raise Failure on deadlock. *)
+
+val spawn_background : t -> (unit -> unit) -> unit
+(** Spawn a task that runs concurrently but is drained by {!run} before it
+    returns: post-client-ack work whose completion tests must be able to
+    rely on without polling. *)
 
 val run_for : t -> int -> unit
 (** Advance the simulation by the given number of microseconds. *)
@@ -254,6 +269,23 @@ val closed_lead_duration : t -> range_id -> int
     [kv.range.write_bytes] / [kv.range.latency] timeseries in the cluster's
     {!Crdb_obs.Timeseries} store. *)
 
+type fate = [ `Live | `Wounded of string | `Aborted ]
+(** How the requesting transaction itself has fared, as known to its own
+    gateway: the coordinator learns of a wound from heartbeat RPC responses
+    and cancels its in-flight requests by answering [`Wounded]/[`Aborted]
+    from the [fate] closure it threads into its operations. Checked at the
+    head of every evaluation and on every conflict-wait tick. *)
+
+val live_fate : unit -> fate
+(** The default: the requester considers itself alive. *)
+
+type write_ack = [ `Applied | `Prevented | `Dropped ]
+(** Resolution of a pipelined write, delivered through the [applied] ivar:
+    the intent applied on the leaseholder; commit-status recovery barred it
+    from ever applying (the transaction's commit must fail); or its
+    proposal was discarded from the log without committing (indeterminate —
+    the transaction must restart with an ambiguous outcome). *)
+
 type read_result =
   | Read_value of { value : string option; ts : Ts.t }
   | Read_uncertain of { value_ts : Ts.t }
@@ -269,6 +301,8 @@ val read :
   ?inline_bump:bool ->
   ?span:Crdb_obs.Trace.span ->
   ?phases:Crdb_obs.Phase.ctx ->
+  ?pri:Ts.t ->
+  ?fate:(unit -> fate) ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   key:string ->
@@ -309,6 +343,8 @@ val scan :
   t ->
   ?span:Crdb_obs.Trace.span ->
   ?phases:Crdb_obs.Phase.ctx ->
+  ?pri:Ts.t ->
+  ?fate:(unit -> fate) ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int option ->
   start_key:string ->
@@ -350,9 +386,12 @@ type write_result =
 
 val write :
   t ->
-  ?applied:unit Crdb_sim.Ivar.t ->
+  ?applied:write_ack Crdb_sim.Ivar.t ->
   ?span:Crdb_obs.Trace.span ->
   ?phases:Crdb_obs.Phase.ctx ->
+  ?pri:Ts.t ->
+  ?anchor:string ->
+  ?fate:(unit -> fate) ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -364,15 +403,24 @@ val write :
     must commit at or above [ts] (for [Lead] ranges it lands in the future),
     and must hold all its locks until {!resolve}.
 
+    [pri] and [anchor] stamp the writer's wound-wait priority and record
+    location onto the lock and intent so pushers can find its record; when
+    [key = anchor] the apply also registers the transaction record —
+    registration rides the first write instead of costing a consensus round
+    of its own. Omitting [anchor] marks a raw (recordless) writer.
+
     With [applied] (write pipelining), the call returns once the intent is
-    proposed; [applied] fills at the gateway when the intent has been
-    applied on the leaseholder. A transaction must await every outstanding
-    [applied] before (or concurrently with) committing. *)
+    proposed; [applied] fills at the gateway once the intent's fate is
+    known on the leaseholder. A transaction must await every outstanding
+    [applied] — and check it is [`Applied] — before (or concurrently with)
+    committing. *)
 
 val write_and_commit :
   t ->
   ?span:Crdb_obs.Trace.span ->
   ?phases:Crdb_obs.Phase.ctx ->
+  ?pri:Ts.t ->
+  ?fate:(unit -> fate) ->
   gateway:Crdb_net.Topology.node_id ->
   txn:int ->
   key:string ->
@@ -445,33 +493,140 @@ val local_closed : t -> at:Crdb_net.Topology.node_id -> range_id -> Ts.t
 (** The closed timestamp of the replica of this range at node [at]
     ([Ts.zero] if the node holds no replica). *)
 
-(** {2 Transaction records (wound-wait conflict resolution)}
+(** {2 Transaction records (wound-wait + parallel commits)}
 
-    Every transaction that wants deadlock-free conflict handling registers a
-    record carrying its wound-wait priority (its first-attempt start
-    timestamp; ties broken by txn id, lower = older = wins) and heartbeats
-    it while running. Waiters blocked on the transaction's locks or intents
-    push the record every [push_delay]: an older pusher wounds (aborts) it,
-    a younger pusher queues behind it, and once the record goes silent for
-    3x [txn_heartbeat_interval] anyone may abort it as abandoned and clean
-    up its intents. {!commit_txn} is the commit arbiter: the atomic
-    Pending→Committed transition that a wound can never race past.
-    Unregistered writers (raw {!write} users, {!write_and_commit}) are
-    treated as oldest-possible and are only ever cleaned up by
-    abandonment. *)
+    A transaction's record lives in the range holding its {e anchor key}
+    (its first write) — replicated state of that range, not a cluster-global
+    table — and every record operation below is an ordinary routed RPC
+    against the anchor leaseholder, proposing a transition through the
+    range's Raft log. Transitions are first-decision-wins, and the log's
+    apply order is the total order that decides commit-vs-wound races; each
+    call returns the {e applied} status, which may reflect a racing
+    decision rather than the requested one.
 
-val register_txn : t -> txn:int -> priority:Ts.t -> unit
-val heartbeat_txn : t -> txn:int -> unit
+    Registration piggybacks on the first write ({!write} with
+    [key = anchor]); the coordinator heartbeats the record every
+    [txn_heartbeat_interval]. Waiters blocked on the transaction's locks or
+    intents push the record every [push_delay] at its anchor range: an
+    older pusher wounds a Pending record, a younger pusher queues, a record
+    silent for 3x [txn_heartbeat_interval] is aborted as abandoned, and a
+    stale STAGING record triggers commit-status recovery ({!recover_txn}).
+    Raw writers ({!write} without [anchor], {!write_and_commit}) have no
+    record and are only ever reclaimed by abandonment of the pusher-created
+    stub. *)
 
-val commit_txn : t -> txn:int -> ts:Ts.t -> (unit, string) result
-(** [Error reason] iff the record was already aborted (wounded or declared
-    abandoned): the transaction must restart and must not resolve its
-    intents as committed. *)
+val heartbeat_txn :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  unit ->
+  Txnrec.status option
+(** Ratchet the record's heartbeat; the applied status tells the
+    coordinator when it has been wounded or aborted while running. [None]
+    when the record does not exist (first write not yet applied) or the
+    anchor range is unreachable. *)
 
-val abort_txn : t -> txn:int -> reason:string -> unit
+val stage_txn :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  pri:Ts.t ->
+  ts:Ts.t ->
+  inflight:string list ->
+  unit ->
+  Txnrec.status option
+(** Parallel commit: move the record to [Staging] with the commit
+    timestamp and the keys of still-unacknowledged intent writes,
+    concurrently with those writes' replication. The transaction is
+    implicitly committed once this returns [Staging] {e and} every declared
+    write acked [`Applied]; the coordinator then acks its client and
+    finalizes the record asynchronously with {!commit_txn}. Creates the
+    record if the registering write has not applied yet. *)
 
-val txn_status : t -> txn:int -> Txnrec.status option
-(** [None] when the transaction never registered and was never pushed. *)
+val commit_txn :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  ts:Ts.t ->
+  unit ->
+  Txnrec.status option
+(** Explicit commit (the non-parallel path, and the asynchronous
+    finalization after an implicit parallel commit). The transaction is
+    committed iff the applied status comes back [Committed]; [Aborted]
+    means a wound or recovery won the race and the transaction must
+    restart. *)
+
+val abort_txn :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  reason:string ->
+  unit ->
+  Txnrec.status option
+(** Coordinator rollback; creates an aborted stub if no record exists, so
+    late writes stay rejected. *)
+
+val txn_status :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  unit ->
+  Txnrec.status option
+(** Read the applied record at the anchor leaseholder. [None] when the
+    transaction never registered (and was never pushed) or the range is
+    unreachable. *)
+
+val query_intent :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  txn:int ->
+  key:string ->
+  ts:Ts.t ->
+  unit ->
+  [ `Found | `Missing | `Unknown ]
+(** QueryIntent with prevention (parallel-commit recovery): did [txn]'s
+    declared write on [key] at [ts] replicate? The probe is proposed
+    through the key's own Raft log, totally ordering it against the write
+    it races: [`Missing] additionally bars the write from ever applying.
+    Routing or proposal failures answer [`Unknown] — recovery must treat
+    them as inconclusive, never as evidence of a missing write. *)
+
+val recover_txn :
+  t ->
+  gateway:Crdb_net.Topology.node_id ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  txn:int ->
+  anchor_key:string ->
+  ts:Ts.t ->
+  inflight:string list ->
+  unit ->
+  Ts.t option option
+(** Commit-status recovery against a STAGING record: verify every declared
+    in-flight write with {!query_intent}, then finalize the record —
+    [Committed] when all landed (the implicit commit had succeeded),
+    [Aborted] when one is proven missing. [Some commit] means the record is
+    now finalized and the caller may resolve the transaction's intents with
+    [commit]; [None] means recovery was inconclusive and the caller should
+    keep waiting. Runs automatically from conflict waits; exposed for
+    tests. *)
 
 (** {2 Introspection for tests and benchmarks} *)
 

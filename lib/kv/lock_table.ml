@@ -3,10 +3,17 @@ module Ts = Crdb_hlc.Timestamp
 
 type outcome = Acquired | Wounded of string | Pusher_aborted | Timed_out
 
-type lock = { lk_txn : int; mutable lk_ts : Ts.t }
+type lock = {
+  lk_txn : int;
+  mutable lk_ts : Ts.t;
+  lk_pri : Ts.t;
+  lk_anchor : string;
+}
 
 let holder l = l.lk_txn
 let lock_ts l = l.lk_ts
+let lock_pri l = l.lk_pri
+let lock_anchor l = l.lk_anchor
 
 type t = {
   locks : (string, lock) Hashtbl.t;
@@ -35,14 +42,15 @@ let foreign_in_span t ~start_key ~end_key ~txn ~max_ts =
           else None)
     t.locks None
 
-let acquire t ~key ~txn ~ts =
+let acquire t ?(pri = Ts.zero) ?(anchor = "") ~key ~txn ~ts () =
   match Hashtbl.find_opt t.locks key with
   | Some l ->
       assert (l.lk_txn = txn);
       l.lk_ts <- Ts.max l.lk_ts ts;
       false
   | None ->
-      Hashtbl.replace t.locks key { lk_txn = txn; lk_ts = ts };
+      Hashtbl.replace t.locks key
+        { lk_txn = txn; lk_ts = ts; lk_pri = pri; lk_anchor = anchor };
       true
 
 let wake t ~key =
@@ -52,7 +60,11 @@ let wake t ~key =
       let ws = !q in
       Hashtbl.remove t.queues key;
       t.nwaiters <- t.nwaiters - List.length ws;
-      List.iter (fun iv -> Ivar.fill iv ()) ws
+      (* Parking prepends, so [ws] is newest-first: wake oldest-first or a
+         sustained stream of fresh writers starves the earliest waiter
+         forever (its re-acquire always loses to a younger one woken
+         ahead of it). *)
+      List.iter (fun iv -> Ivar.fill iv ()) (List.rev ws)
 
 let release t ~key ~txn =
   (match Hashtbl.find_opt t.locks key with

@@ -31,6 +31,14 @@ type lock
 val holder : lock -> int
 val lock_ts : lock -> Ts.t
 
+val lock_pri : lock -> Ts.t
+(** The holder's wound-wait priority timestamp, stamped at {!acquire} so a
+    pusher can address the holder's record without a global registry. *)
+
+val lock_anchor : lock -> string
+(** The holder's anchor key (where its transaction record lives); [""] for
+    recordless writers. *)
+
 type t
 
 val create : unit -> t
@@ -48,7 +56,9 @@ val foreign_in_span :
 (** Any foreign lock on a key in [[start_key, end_key)], for scans and span
     refreshes; the key identifies where to park. *)
 
-val acquire : t -> key:string -> txn:int -> ts:Ts.t -> bool
+val acquire :
+  t -> ?pri:Ts.t -> ?anchor:string -> key:string -> txn:int -> ts:Ts.t ->
+  unit -> bool
 (** Take or ratchet the lock. Returns [true] if the lock was newly created
     (the caller must [release] it if its proposal fails), [false] if the
     transaction already held it and only the timestamp was ratcheted.

@@ -1,74 +1,111 @@
-(** Transaction record registry: the commit arbiter for wound-wait.
+(** Per-range transaction record table: the replicated commit arbiter.
 
-    One registry per cluster models CRDB's replicated transaction records in
-    simplified form: a record per transaction holding its status, wound-wait
-    priority and last coordinator heartbeat. Status transitions are
-    synchronous in simulated time (no yield between read and write), so the
-    [try_commit] Pending→Committed transition is atomic with respect to every
-    concurrent [push]: a transaction that has been wounded can never commit
-    afterwards, and a committed transaction can never be wounded.
+    One [Txnrec.t] lives on every replica of every Range, holding the
+    transaction records anchored in that range's span — a record is keyed to
+    the transaction's {e anchor key} (its first write), so it lives exactly
+    where that key lives and follows it through splits, merges, snapshots
+    and restarts, like the MVCC store itself.
 
-    Priorities order transactions for wound-wait: the pair
-    [(priority timestamp, txn id)] compared lexicographically, lower = older =
-    wins. A pusher strictly older than a Pending blocker wounds it; a younger
-    pusher waits. Transactions that never registered (raw [Cluster.write]
-    users, 1PC blind puts) get a stub record on first push with priority
-    [Ts.zero] — effectively oldest, so they are never wounded and are only
-    cleaned up once abandoned (no heartbeat within the liveness threshold). *)
+    Records are {e replicated state}: every transition is proposed into the
+    range's Raft log (as an [Op_txn] command) and applied here, on every
+    replica, through {!apply}. Transitions are first-decision-wins — once a
+    record is [Committed] or [Aborted] no later update moves it — and the
+    apply order of the anchor range's log is the total order that decides
+    commit-vs-wound races. Callers (the anchor leaseholder's push/commit
+    RPCs) propose an update, await its local apply, then re-read the record
+    to learn which decision actually won.
+
+    The [Staging] status implements parallel commits (§3 of the paper, after
+    CRDB): the coordinator writes the record as [Staging] with its commit
+    timestamp and the keys of still-in-flight intent writes, concurrently
+    with those writes' replication. The transaction is {e implicitly
+    committed} once the staging record and every declared write have
+    replicated; an explicit [Committed] record is written asynchronously
+    afterwards. A pusher finding a [Staging] record past its liveness
+    threshold runs status recovery: verify every declared key (preventing
+    unreplicated ones from ever applying), then finalize the record. *)
 
 module Ts = Crdb_hlc.Timestamp
 
 type status =
   | Pending
+  | Staging of { ts : Ts.t; inflight : string list }
+      (** parallel commit in progress: commit timestamp plus the keys whose
+          intent writes were still unacknowledged when staging began *)
   | Committed of Ts.t  (** commit timestamp, for resolving leftover intents *)
   | Aborted of { reason : string; wound : bool }
       (** [wound] distinguishes a wound-wait abort (restartable, surfaced as
           [Wounded]) from other aborts (abandonment, explicit rollback). *)
 
+type record = {
+  tr_id : int;
+  tr_key : string;  (** anchor key: the record lives where this key lives *)
+  tr_pri : Ts.t;  (** wound-wait priority (first-attempt start timestamp) *)
+  mutable tr_status : status;
+  mutable tr_hb : int;  (** last coordinator heartbeat, simulated micros *)
+}
+
+(** One record transition, carried inside the anchor range's Raft log and
+    applied deterministically on every replica. *)
+type update =
+  | U_register of { pri : Ts.t; hb : int }
+      (** create a Pending record (first write / first push); no-op if the
+          record already exists *)
+  | U_heartbeat of { hb : int }  (** Pending/Staging only; ratchets [tr_hb] *)
+  | U_stage of { pri : Ts.t; ts : Ts.t; inflight : string list; hb : int }
+      (** Pending→Staging (or refresh an existing Staging); no-op once the
+          record is Committed or Aborted *)
+  | U_commit of { ts : Ts.t }  (** Pending/Staging→Committed *)
+  | U_wound of { reason : string }
+      (** Pending→Aborted[wound]; a Staging record can no longer be wounded
+          — its fate belongs to status recovery *)
+  | U_abandon of { reason : string; if_hb_before : int }
+      (** Pending→Aborted iff [tr_hb <= if_hb_before]: the staleness check
+          re-runs at apply time so a heartbeat that raced ahead of the
+          abandonment in the log wins *)
+  | U_recover_abort of { reason : string }
+      (** Staging→Aborted[wound]: status recovery proved a declared write
+          never replicated (and prevented it from ever applying) *)
+  | U_coord_abort of { reason : string }
+      (** coordinator rollback: Pending/Staging→Aborted; creates an aborted
+          stub if no record exists, so late writes stay rejected *)
+
 type t
 
 val create : unit -> t
 
-val register : t -> txn:int -> priority:Ts.t -> now:int -> unit
-(** Create a Pending record with the given wound-wait priority timestamp.
-    No-op if the transaction already has a record (retried registration). *)
+val apply : t -> txn:int -> key:string -> update -> unit
+(** Apply one replicated transition for [txn] anchored at [key]. Must be
+    called from the state-machine apply path only. *)
 
-val heartbeat : t -> txn:int -> now:int -> unit
-(** Refresh the coordinator heartbeat; no-op unless the record is Pending. *)
-
+val find : t -> txn:int -> record option
 val status : t -> txn:int -> status option
-(** [None] means the transaction never registered and was never pushed. *)
-
 val priority : t -> txn:int -> (Ts.t * int) option
-(** The wound-wait priority pair [(priority_ts, txn id)], if registered. *)
+(** The wound-wait priority pair [(priority_ts, txn id)], if recorded. *)
 
-val try_commit : t -> txn:int -> ts:Ts.t -> (unit, string) result
-(** Atomically move Pending→Committed at [ts]. [Error reason] if the record
-    was already Aborted (the caller must restart and must not resolve its
-    intents as committed). Idempotent on Committed; [Ok] when no record
-    exists (unregistered transactions commit unchecked, as before). *)
-
-val abort : t -> txn:int -> reason:string -> unit
-(** Move the record to [Aborted { wound = false }]. No-op on Committed, and
-    on an existing abort (the first abort's reason wins). Creates an aborted
-    record if none exists, so late writes by the transaction are rejected. *)
-
-type verdict =
-  | Wait  (** blocker is live and not younger than the pusher: queue behind *)
-  | Wound of string
-      (** pusher was strictly older: blocker is now Aborted; clean up its
-          intent with [commit = None] *)
-  | Cleanup of Ts.t option
-      (** blocker already finished (or was abandoned and has now been
-          aborted): resolve its intent, committed at [Some ts] or removed *)
-
-val push : t -> blocker:int -> pusher:(Ts.t * int) option -> now:int -> liveness:int -> verdict
-(** One push of [blocker] by [pusher] (None for non-transactional waiters,
-    which never wound). An unknown blocker gets a stub record (see above)
-    whose abandonment grace starts at this first push. A Pending blocker
-    whose last heartbeat is older than [liveness] microseconds is declared
-    abandoned and aborted. Pushing is idempotent — waiters re-push every
-    [push_delay] until the conflict clears. *)
+val older : Ts.t * int -> Ts.t * int -> bool
+(** [older a b]: does priority pair [a] beat (predate) [b]? Lexicographic on
+    (timestamp, txn id); lower = older = wins. *)
 
 val pending : t -> int
-(** Number of Pending records (diagnostics). *)
+(** Number of Pending or Staging records (diagnostics). *)
+
+val records : t -> record list
+(** All records, unordered (introspection for tests). *)
+
+(** {1 Range lifecycle} — mirrors [Mvcc]/[Lock_table] so records travel with
+    their anchor key. *)
+
+val copy : t -> t
+(** Deep copy (Raft snapshot transfer). *)
+
+val replace_with : t -> t -> unit
+(** Snapshot install: make [t]'s contents a deep copy of the source. *)
+
+val split_move : t -> into:t -> at:string -> unit
+(** Move records anchored at keys [>= at] into the right-hand table. *)
+
+val absorb : t -> from:t -> unit
+(** Merge: deep-copy the subsumed right-hand table's records into [t]. *)
+
+val clear : t -> unit

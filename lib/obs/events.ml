@@ -12,6 +12,8 @@ type kind =
   | Merge_queued
   | Lease_moved
   | Queue_skipped
+  | Txn_staged
+  | Txn_recovered
 
 let kind_to_string = function
   | Split -> "split"
@@ -27,6 +29,8 @@ let kind_to_string = function
   | Merge_queued -> "merge_queued"
   | Lease_moved -> "lease_moved"
   | Queue_skipped -> "queue_skipped"
+  | Txn_staged -> "txn_staged"
+  | Txn_recovered -> "txn_recovered"
 
 type event = {
   ts : int;

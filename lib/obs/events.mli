@@ -25,6 +25,12 @@ type kind =
   | Queue_skipped
       (** autopilot suppressed an otherwise-eligible action ([reason] attr,
           e.g. [cooldown]) — the hysteresis that prevents ping-pong thrash *)
+  | Txn_staged
+      (** a parallel commit wrote its STAGING record at the anchor range
+          ([inflight] attr counts the declared in-flight writes) *)
+  | Txn_recovered
+      (** commit-status recovery finalized someone's STAGING record
+          ([result] attr: [committed] or [aborted]) *)
 
 val kind_to_string : kind -> string
 

@@ -32,6 +32,8 @@ let trace_name = function
   | Events.Lease_acquired -> "kv.lease_acquired"
   | Events.Wound -> "kv.wound"
   | Events.Abandoned_cleanup -> "kv.abandoned_cleanup"
+  | Events.Txn_staged -> "kv.txn_staged"
+  | Events.Txn_recovered -> "kv.txn_recovered"
   | Events.Fault -> "chaos.inject"
   | Events.Heal -> "chaos.heal"
   | Events.Split_queued -> "autopilot.split_queued"

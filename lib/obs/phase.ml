@@ -6,10 +6,12 @@ type phase =
   | Commit_wait
   | Refresh
   | Retry_backoff
+  | Staging
+  | Recovery
 
 let all_phases =
   [ Routing; Lease_wait; Lock_wait; Replication; Commit_wait; Refresh;
-    Retry_backoff ]
+    Retry_backoff; Staging; Recovery ]
 
 let index = function
   | Routing -> 0
@@ -19,6 +21,8 @@ let index = function
   | Commit_wait -> 4
   | Refresh -> 5
   | Retry_backoff -> 6
+  | Staging -> 7
+  | Recovery -> 8
 
 let name = function
   | Routing -> "routing"
@@ -28,6 +32,8 @@ let name = function
   | Commit_wait -> "commit_wait"
   | Refresh -> "refresh"
   | Retry_backoff -> "retry_backoff"
+  | Staging -> "staging"
+  | Recovery -> "recovery"
 
 let num_phases = List.length all_phases
 

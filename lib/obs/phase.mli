@@ -23,6 +23,14 @@ type phase =
   | Commit_wait  (** waiting out a future commit timestamp (§6.2.2) *)
   | Refresh  (** read refreshes after a timestamp push (§5.1) *)
   | Retry_backoff  (** sleeping between transaction restart attempts *)
+  | Staging
+      (** writing the STAGING record of a parallel commit (overlaps the
+          final intents' replication, so it prices the commit's single
+          effective consensus round) *)
+  | Recovery
+      (** running parallel-commit status recovery against someone else's
+          STAGING record: querying declared in-flight writes and finalizing
+          the record *)
 
 val all_phases : phase list
 val name : phase -> string

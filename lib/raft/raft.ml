@@ -45,6 +45,7 @@ type ('cmd, 'snap) callbacks = {
   install_snapshot : 'snap -> unit;
   is_node_live : int -> bool;
   node_epoch : int -> int;
+  on_discard : 'cmd -> unit;
 }
 
 type ('cmd, 'snap) t = {
@@ -68,10 +69,19 @@ type ('cmd, 'snap) t = {
   mutable leader : int option;
   next_index : (int, int) Hashtbl.t;
   match_index : (int, int) Hashtbl.t;
-  (* Per-peer flow control: at most one append/snapshot in flight. Without
-     it, every proposal would start another self-sustaining append/reply
-     chain to each follower. Heartbeats clear stuck flags (lost replies). *)
-  inflight : (int, unit) Hashtbl.t;
+  (* Per-peer flow control: a bounded window of appends/snapshots in
+     flight (append pipelining). One-at-a-time would serialize every
+     proposal behind the previous append's full round trip — a WAN RTT per
+     entry on geo-replicated ranges; unbounded would let every proposal
+     start another self-sustaining append/reply chain to each follower.
+     Heartbeats clear stuck counts (lost replies). *)
+  inflight : (int, int) Hashtbl.t;
+  (* Followers whose log diverged from ours (a rejected append): while
+     probing for the common prefix, sends do not optimistically advance
+     next_index — each rejection must regress it monotonically, which the
+     re-advance would undo, probing the same index forever. A success
+     reply returns the peer to pipelined replication. *)
+  probing : (int, unit) Hashtbl.t;
   (* Last commit index communicated to each peer, to close the window where
      a fully caught-up follower still lacks the final commit index. *)
   sent_commit : (int, int) Hashtbl.t;
@@ -131,6 +141,7 @@ let create ~sim ~rng ~id ~peers ~callbacks ?(obs = Obs.null) ?range
     next_index = Hashtbl.create 8;
     match_index = Hashtbl.create 8;
     inflight = Hashtbl.create 8;
+    probing = Hashtbl.create 8;
     sent_commit = Hashtbl.create 8;
     votes = [];
     prevotes = [];
@@ -203,6 +214,12 @@ let quiesced_leader_live t =
   | Some l ->
       l <> t.id && t.cb.is_node_live l && t.cb.node_epoch l = t.quiesce_epoch
   | None -> false
+
+(* Append-pipelining window per follower. Large enough that a burst of
+   proposals (a pipelined transaction's intents plus its STAGING record,
+   commit-index pushes) never waits out a WAN round trip; small enough to
+   bound retransmission work after a lost reply. *)
+let max_inflight_appends = 8
 
 let rec arm_election_timer t =
   cancel_timer t.election_timer;
@@ -298,6 +315,8 @@ and become_leader t =
   t.quiesced <- false;
   Hashtbl.reset t.next_index;
   Hashtbl.reset t.match_index;
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.probing;
   List.iter
     (fun (p, _) ->
       if p <> t.id then begin
@@ -362,9 +381,12 @@ and append_local t payload =
 and broadcast t = List.iter (fun (p, _) -> replicate_to t p) (other_peers t)
 
 and replicate_to t peer =
-  if Hashtbl.mem t.inflight peer then ()
+  let inflight =
+    match Hashtbl.find_opt t.inflight peer with Some n -> n | None -> 0
+  in
+  if inflight >= max_inflight_appends then ()
   else begin
-    Hashtbl.replace t.inflight peer ();
+    Hashtbl.replace t.inflight peer (inflight + 1);
     replicate_to_now t peer
   end
 
@@ -405,6 +427,13 @@ and replicate_to_now t peer =
     let entries = Vec.sub_list t.log ~pos:(next - first_index t) in
     Metrics.inc t.c_appends_sent;
     Hashtbl.replace t.sent_commit peer t.commit;
+    (* Optimistically advance next_index past the entries just sent, so a
+       pipelined follow-up append carries only newer entries. A rejection
+       (gap from a lost or reordered message) regresses it via the
+       follower's hint and retransmits. Not while probing a diverged log:
+       the regression must stick until a success reply. *)
+    if entries <> [] && not (Hashtbl.mem t.probing peer) then
+      Hashtbl.replace t.next_index peer (last_index t + 1);
     t.cb.send peer
       (Append { term = t.term; prev_index; prev_term; entries; commit = t.commit })
   end
@@ -556,9 +585,21 @@ let handle_vote t ~from ~vterm ~granted =
         maybe_win t
     | Candidate | Leader | Follower -> ()
 
+let discard_entries t ~from_index =
+  (* Notify the state machine of every uncommitted command copy being
+     dropped, so pipelined proposers can fail their completion promptly
+     instead of waiting out a timeout. Entries at or below the commit index
+     are never passed here (committed entries are never overwritten). *)
+  for i = max from_index (first_index t) to last_index t do
+    match entry_at t i with
+    | Some { payload = Command c; _ } -> t.cb.on_discard c
+    | Some { payload = Config _ | Noop; _ } | None -> ()
+  done
+
 let truncate_from t index =
   (* Drop local entries at [index] and beyond. *)
   if index <= last_index t then begin
+    discard_entries t ~from_index:index;
     Vec.truncate t.log (index - first_index t)
   end
 
@@ -611,7 +652,9 @@ let handle_append t ~from ~aterm ~prev_index ~prev_term ~entries ~commit =
   end
 
 let handle_append_reply t ~from ~rterm ~success ~match_index =
-  Hashtbl.remove t.inflight from;
+  (match Hashtbl.find_opt t.inflight from with
+  | Some n when n > 1 -> Hashtbl.replace t.inflight from (n - 1)
+  | Some _ | None -> Hashtbl.remove t.inflight from);
   if rterm > t.term then step_down t rterm
   else
     match t.role with
@@ -619,10 +662,17 @@ let handle_append_reply t ~from ~rterm ~success ~match_index =
     | Leader when rterm <> t.term -> ()
     | Leader ->
         if success then begin
+          Hashtbl.remove t.probing from;
           t.last_quorum_contact <- Sim.now t.sim;
           let old = match Hashtbl.find_opt t.match_index from with Some m -> m | None -> 0 in
           if match_index > old then Hashtbl.replace t.match_index from match_index;
-          Hashtbl.replace t.next_index from (max (match_index + 1) 1);
+          (* A success reply for an older pipelined append must not regress
+             the optimistically advanced next_index (which would retransmit
+             the still-in-flight newer entries). *)
+          let cur =
+            match Hashtbl.find_opt t.next_index from with Some n -> n | None -> 1
+          in
+          Hashtbl.replace t.next_index from (max (match_index + 1) cur);
           maybe_advance_commit t;
           (* Keep pushing until this follower has all entries and knows the
              final commit index. *)
@@ -640,6 +690,7 @@ let handle_append_reply t ~from ~rterm ~success ~match_index =
           end
         end
         else begin
+          Hashtbl.replace t.probing from ();
           let next =
             match Hashtbl.find_opt t.next_index from with Some n -> n | None -> last_index t + 1
           in
@@ -660,6 +711,9 @@ let handle_install_snapshot t ~from ~sterm ~slast_index ~slast_term ~speers ~sna
     arm_election_timer t;
     if slast_index > t.snap_index then begin
       t.cb.install_snapshot snap;
+      (* Tail entries beyond both the snapshot boundary and the local
+         commit index die uncommitted with the log. *)
+      discard_entries t ~from_index:(max slast_index t.commit + 1);
       Vec.clear t.log;
       t.snap_index <- slast_index;
       t.snap_term <- slast_term;
@@ -799,6 +853,7 @@ let restart t =
   Hashtbl.reset t.next_index;
   Hashtbl.reset t.match_index;
   Hashtbl.reset t.inflight;
+  Hashtbl.reset t.probing;
   Hashtbl.reset t.sent_commit;
   Trace.finish (Obs.trace t.obs) t.election_span;
   t.election_span <- Trace.nil;

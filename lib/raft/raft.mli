@@ -82,6 +82,16 @@ type ('cmd, 'snap) callbacks = {
           A quiesced follower only trusts [is_node_live] for the leader
           incarnation it quiesced under — a restarted leader is a follower
           again, and must not keep suppressing elections. *)
+  on_discard : 'cmd -> unit;
+      (** a log entry was discarded from this replica's log without having
+          been committed here — overwritten by a new leader's conflicting
+          suffix, or dropped by a snapshot install covering uncommitted
+          tail entries. Fired on every replica that drops a copy, in
+          particular the proposer's, so pipelined callers waiting on the
+          command's completion can fail fast instead of timing out. This is
+          a strong hint, not a verdict: callers must treat a discarded
+          proposal as indeterminate (it is overwhelmingly likely lost, but
+          another surviving copy can in principle still commit). *)
 }
 
 type ('cmd, 'snap) t

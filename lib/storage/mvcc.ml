@@ -2,17 +2,30 @@ module Ts = Crdb_hlc.Timestamp
 module Smap = Map.Make (String)
 
 type ts = Ts.t
-type intent = { txn_id : int; ts : ts; value : string option }
+
+type intent = {
+  txn_id : int;
+  ts : ts;
+  value : string option;
+  pri : ts;
+  anchor : string;
+}
 
 type read_outcome =
   | Value of { value : string option; ts : ts }
   | Uncertain of { value_ts : ts }
   | Intent_blocked of intent
 
-type write_outcome = Written | Write_blocked of intent
+type write_outcome = Written | Write_blocked of intent | Write_prevented
 
-(* Versions are kept newest-first. *)
-type record = { mutable versions : (ts * string option) list; mutable intent : intent option }
+(* Versions are kept newest-first. [prevented] holds transaction ids whose
+   future intent writes on this key were barred by commit-status recovery
+   (the QueryIntent "prevention" of parallel commits). *)
+type record = {
+  mutable versions : (ts * string option) list;
+  mutable intent : intent option;
+  mutable prevented : int list;
+}
 
 type t = { mutable records : record Smap.t }
 
@@ -24,7 +37,7 @@ let find_or_add t key =
   match Smap.find_opt key t.records with
   | Some r -> r
   | None ->
-      let r = { versions = []; intent = None } in
+      let r = { versions = []; intent = None; prevented = [] } in
       t.records <- Smap.add key r t.records;
       r
 
@@ -64,13 +77,35 @@ let read t ~key ~ts ~max_ts ~for_txn =
   | None -> Value { value = None; ts = Ts.zero }
   | Some record -> read_record record ~ts ~max_ts ~for_txn
 
-let put_intent t ~key ~txn_id ~ts ~value =
+let put_intent t ?(pri = Ts.zero) ?(anchor = "") ~key ~txn_id ~ts ~value () =
   let record = find_or_add t key in
-  match record.intent with
-  | Some i when i.txn_id <> txn_id -> Write_blocked i
-  | Some _ | None ->
-      record.intent <- Some { txn_id; ts; value };
-      Written
+  if List.mem txn_id record.prevented then Write_prevented
+  else
+    match record.intent with
+    | Some i when i.txn_id <> txn_id -> Write_blocked i
+    | Some _ | None ->
+        record.intent <- Some { txn_id; ts; value; pri; anchor };
+        Written
+
+let prevent t ~key ~txn_id ~ts =
+  let record = find_or_add t key in
+  let intent_present =
+    match record.intent with Some i -> i.txn_id = txn_id | None -> false
+  in
+  let committed_at_ts =
+    List.exists (fun (vts, _) -> Ts.equal vts ts) record.versions
+  in
+  if intent_present || committed_at_ts then `Found
+  else begin
+    if not (List.mem txn_id record.prevented) then
+      record.prevented <- txn_id :: record.prevented;
+    `Prevented
+  end
+
+let is_prevented t ~key ~txn_id =
+  match find t key with
+  | None -> false
+  | Some r -> List.mem txn_id r.prevented
 
 let resolve_intent t ~key ~txn_id ~commit =
   match find t key with
@@ -177,7 +212,8 @@ let copy t =
   {
     records =
       Smap.map
-        (fun r -> { versions = r.versions; intent = r.intent })
+        (fun r ->
+          { versions = r.versions; intent = r.intent; prevented = r.prevented })
         t.records;
   }
 
@@ -191,7 +227,9 @@ let absorb t src =
   Smap.iter
     (fun key r ->
       t.records <-
-        Smap.add key { versions = r.versions; intent = r.intent } t.records)
+        Smap.add key
+          { versions = r.versions; intent = r.intent; prevented = r.prevented }
+          t.records)
     src.records
 
 let replace_with t src = t.records <- (copy src).records

@@ -14,7 +14,17 @@
 
 type ts = Crdb_hlc.Timestamp.t
 
-type intent = { txn_id : int; ts : ts; value : string option }
+type intent = {
+  txn_id : int;
+  ts : ts;
+  value : string option;
+  pri : ts;
+      (** the writer's wound-wait priority timestamp, so a pusher blocked on
+          the intent can address the writer's record without a registry *)
+  anchor : string;
+      (** the writer's anchor key — where its transaction record lives;
+          [""] for raw (recordless) writers *)
+}
 
 type read_outcome =
   | Value of { value : string option; ts : ts }
@@ -30,6 +40,10 @@ type read_outcome =
 type write_outcome =
   | Written
   | Write_blocked of intent  (** A foreign intent occupies the key. *)
+  | Write_prevented
+      (** Commit-status recovery barred this transaction from ever writing
+          the key (see {!prevent}); the write must not take effect and the
+          writer's commit must fail. *)
 
 type t
 
@@ -41,8 +55,30 @@ val read : t -> key:string -> ts:ts -> max_ts:ts -> for_txn:int option -> read_o
     upper bound of the uncertainty interval ([ts] itself for stale reads,
     which have no uncertainty). *)
 
-val put_intent : t -> key:string -> txn_id:int -> ts:ts -> value:string option -> write_outcome
-(** Lay or update (same transaction, e.g. after a timestamp bump) an intent. *)
+val put_intent :
+  t ->
+  ?pri:ts ->
+  ?anchor:string ->
+  key:string ->
+  txn_id:int ->
+  ts:ts ->
+  value:string option ->
+  unit ->
+  write_outcome
+(** Lay or update (same transaction, e.g. after a timestamp bump) an intent.
+    [pri]/[anchor] stamp the writer's wound-wait priority and record
+    location onto the intent for pushers to find. *)
+
+val prevent : t -> key:string -> txn_id:int -> ts:ts -> [ `Found | `Prevented ]
+(** The QueryIntent-with-prevention step of parallel-commit status recovery
+    (applied through the key's Raft log, so it is totally ordered against
+    the write it races). [`Found] iff the transaction's intent is present or
+    a committed version exists at exactly [ts] (the intent was already
+    resolved); otherwise the transaction is barred from ever writing this
+    key ({!put_intent} returns [Write_prevented] from now on) and the
+    recovery may abort it. *)
+
+val is_prevented : t -> key:string -> txn_id:int -> bool
 
 val resolve_intent : t -> key:string -> txn_id:int -> commit:ts option -> unit
 (** [commit = Some ts] promotes the intent to a committed version at [ts];

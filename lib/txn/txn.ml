@@ -15,6 +15,10 @@ module Options = struct
     hold_locks_during_commit_wait : bool;
         (* Spanner-style ablation: resolve intents only after commit wait *)
     pipelined_writes : bool;
+    parallel_commits : bool;
+        (* stage the commit record concurrently with the in-flight intent
+           writes' replication (CRDB parallel commits); off, the commit
+           record is only written after every intent has replicated *)
     unsafe_no_refresh : bool;
         (* deliberately broken mode: timestamp pushes skip read-span
            validation, so stale reads can commit (the serializability checker
@@ -25,6 +29,7 @@ module Options = struct
     {
       hold_locks_during_commit_wait = false;
       pipelined_writes = true;
+      parallel_commits = true;
       unsafe_no_refresh = false;
     }
 end
@@ -91,6 +96,9 @@ let set_hold_locks_during_commit_wait mgr v =
 let set_pipelined_writes mgr v =
   mgr.opts <- { mgr.opts with Options.pipelined_writes = v }
 
+let set_parallel_commits mgr v =
+  mgr.opts <- { mgr.opts with Options.parallel_commits = v }
+
 let set_unsafe_no_refresh mgr v =
   mgr.opts <- { mgr.opts with Options.unsafe_no_refresh = v }
 
@@ -100,13 +108,22 @@ type t = {
   mgr : manager;
   id : int;
   gw : int;
+  pri : Ts.t; (* wound-wait priority: first-attempt birth timestamp *)
   mutable read_ts : Ts.t;
   max_ts : Ts.t; (* uncertainty upper bound; never changes (§6.1) *)
   mutable write_ts : Ts.t;
   mutable reads : read_span list;
   mutable writes : string list; (* newest first; the anchor is the oldest *)
-  mutable outstanding : (string * unit Crdb_sim.Ivar.t) list;
+  mutable anchor : string option;
+      (* first written key: where the transaction record lives; [None]
+         until the first write succeeds (read-only txns have no record) *)
+  mutable outstanding : (string * Cluster.write_ack Crdb_sim.Ivar.t) list;
       (* pipelined write acks, keyed for read-your-own-writes *)
+  mutable fate_ : Cluster.fate;
+      (* the coordinator's own view of its fate, fed by heartbeat RPC
+         responses; threaded as a closure into every KV op so a wounded
+         transaction cancels its in-flight requests *)
+  mutable finished : bool; (* stops the heartbeat loop *)
   mutable observed_future : bool;
   mutable commit_initiated : bool;
       (* the commit record may have been proposed: a failure after this
@@ -117,6 +134,8 @@ type t = {
          KV ops charge Routing/Lease_wait/Lock_wait/Replication into it,
          the coordinator charges Refresh/Commit_wait/Retry_backoff *)
 }
+
+let fate_of t () = t.fate_
 
 type error = Aborted of string | Unavailable of string
 
@@ -131,6 +150,13 @@ exception Wounded of string
    restartable like [Restart], but counted separately *)
 
 exception Fatal of string
+
+exception Indeterminate of string
+(* raised only after the commit record may have been proposed, when its
+   fate could not be learned from the record either: the attempt may have
+   committed, so neither rolling back its intents nor retrying the body is
+   sound. Internal: {!run} converts it into an [Unavailable] error and an
+   [Attempt_indeterminate] outcome without touching the intents. *)
 
 let read_ts t = t.read_ts
 let txn_id t = t.id
@@ -206,15 +232,17 @@ let get t key =
         (fun (k, ack) ->
           if String.equal k key then
             match
-              Proc.await_timeout (Cluster.sim t.mgr.cl) ack ~timeout:30_000_000
+              Proc.await_timeout (Cluster.sim t.mgr.cl) ack ~timeout:8_000_000
             with
-            | Some () -> ()
-            | None -> raise (Restart "pipelined write lost"))
+            | Some `Applied -> ()
+            | Some `Prevented ->
+                raise (Wounded ("write prevented by recovery on " ^ key))
+            | Some `Dropped | None -> raise (Restart "pipelined write lost"))
         t.outstanding;
     let leaseholder_read () =
       Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~span:t.sp
-        ~phases:t.phases ~gateway:t.gw ~txn:(Some t.id) ~key ~ts:t.read_ts
-        ~max_ts:t.max_ts ()
+        ~phases:t.phases ~pri:t.pri ~fate:(fate_of t) ~gateway:t.gw
+        ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
     in
     let result =
       if is_global t key && not own_write then
@@ -256,9 +284,9 @@ let scan t ~start_key ~end_key ?limit () =
       | exception Not_found -> raise (Fatal ("no range for key " ^ start_key))
     in
     let leaseholder_scan () =
-      Cluster.scan t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-        ~txn:(Some t.id) ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts
-        ~limit ()
+      Cluster.scan t.mgr.cl ~span:t.sp ~phases:t.phases ~pri:t.pri
+        ~fate:(fate_of t) ~gateway:t.gw ~txn:(Some t.id) ~start_key ~end_key
+        ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
     in
     let result =
       if range_is_global && t.writes = [] then
@@ -299,29 +327,35 @@ let observe_pushed t key pushed =
 
 let write_value t key value =
   let provisional = Ts.max t.read_ts t.write_ts in
+  (* The first write's key becomes the anchor: its apply registers the
+     transaction record in that key's range. *)
+  let anchor = match t.anchor with Some a -> a | None -> key in
+  let note_written pushed =
+    t.write_ts <- Ts.max t.write_ts pushed;
+    observe_pushed t key pushed;
+    if t.anchor = None then t.anchor <- Some anchor;
+    if not (List.mem key t.writes) then t.writes <- key :: t.writes
+  in
   if t.mgr.opts.Options.pipelined_writes then begin
     let applied = Crdb_sim.Ivar.create () in
     match
-      Cluster.write t.mgr.cl ~applied ~span:t.sp ~phases:t.phases ~gateway:t.gw
-        ~txn:t.id ~key ~value ~ts:provisional ()
+      Cluster.write t.mgr.cl ~applied ~span:t.sp ~phases:t.phases ~pri:t.pri
+        ~anchor ~fate:(fate_of t) ~gateway:t.gw ~txn:t.id ~key ~value
+        ~ts:provisional ()
     with
     | Cluster.Write_ok pushed ->
-        t.write_ts <- Ts.max t.write_ts pushed;
-        observe_pushed t key pushed;
-        t.outstanding <- (key, applied) :: t.outstanding;
-        if not (List.mem key t.writes) then t.writes <- key :: t.writes
+        note_written pushed;
+        t.outstanding <- (key, applied) :: t.outstanding
     | Cluster.Write_wounded reason -> raise (Wounded reason)
     | Cluster.Write_err e -> raise (Restart e)
   end
   else
     match
-      Cluster.write t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-        ~txn:t.id ~key ~value ~ts:provisional ()
+      Cluster.write t.mgr.cl ~span:t.sp ~phases:t.phases ~pri:t.pri ~anchor
+        ~fate:(fate_of t) ~gateway:t.gw ~txn:t.id ~key ~value ~ts:provisional
+        ()
     with
-    | Cluster.Write_ok pushed ->
-        t.write_ts <- Ts.max t.write_ts pushed;
-        observe_pushed t key pushed;
-        if not (List.mem key t.writes) then t.writes <- key :: t.writes
+    | Cluster.Write_ok pushed -> note_written pushed
     | Cluster.Write_wounded reason -> raise (Wounded reason)
     | Cluster.Write_err e -> raise (Restart e)
 
@@ -353,29 +387,95 @@ let commit_wait mgr ~gw ts =
   loop ();
   !waited
 
-let resolve_intents t commit_ts =
-  (* Parallel commit: the anchor-range commit record and the outstanding
-     pipelined intent confirmations proceed concurrently; the transaction is
-     committed once both complete. *)
+(* Await every outstanding pipelined write confirmation; all must have
+   applied for the commit to be valid. A prevented write means commit-status
+   recovery decided against us (restart, same priority); a dropped or silent
+   one leaves the write's fate — and hence the commit's — indeterminate. *)
+let await_acks t =
   let sim = Cluster.sim t.mgr.cl in
-  t.commit_initiated <- true;
-  let resolve_done =
-    Proc.async sim (fun () ->
-        Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-          ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
-          ~sync_all:false ())
-  in
   List.iter
-    (fun (_, ack) ->
-      match Proc.await_timeout sim ack ~timeout:30_000_000 with
-      | Some () -> ()
-      | None -> raise (Restart "pipelined write lost"))
+    (fun (key, ack) ->
+      match Proc.await_timeout sim ack ~timeout:8_000_000 with
+      | Some `Applied -> ()
+      | Some `Prevented ->
+          raise (Wounded ("write prevented by recovery on " ^ key))
+      | Some `Dropped | None -> raise (Restart "pipelined write lost"))
     t.outstanding;
+  t.outstanding <- []
+
+(* Commit-time variant of {!await_acks}: once the record may be STAGING, a
+   lost ack no longer implies a lost write — the write may have applied
+   with only its confirmation dropped, and a concurrent recovery may
+   finalize the implicit commit. Classify rather than raise, so the caller
+   can learn the fate from the record. A prevention is still decisive: the
+   write provably never applied and never will, so the commit is dead. *)
+let await_acks_classified t =
+  let sim = Cluster.sim t.mgr.cl in
+  let out =
+    List.fold_left
+      (fun acc (key, ack) ->
+        match (acc, Proc.await_timeout sim ack ~timeout:8_000_000) with
+        | (`Prevented _ as p), _ -> p
+        | _, Some `Prevented ->
+            `Prevented ("write prevented by recovery on " ^ key)
+        | `Lost, _ -> `Lost
+        | `Ok, Some `Applied -> `Ok
+        | `Ok, (Some `Dropped | None) -> `Lost)
+      `Ok t.outstanding
+  in
   t.outstanding <- [];
-  Proc.await resolve_done
+  out
+
+(* Learn the fate of an attempt whose commit became ambiguous (a staging or
+   commit reply was lost, or a pipelined write's ack was): run the same
+   commit-status recovery a pusher would, against our own record. The
+   anchor range's log totally orders our probes and finalization against
+   any concurrent recovery, so whatever decision applies first is the one
+   we report. A record stuck Pending (the stage proposal itself was lost)
+   is aborted in place — first-decision-wins bars a late stage from
+   resurrecting it. Only if the anchor range stays unreachable throughout
+   do we give up and surface indeterminacy. *)
+let determine_fate t ~akey ~commit_ts ~inflight reason =
+  let sim = Cluster.sim t.mgr.cl in
+  let rec go n =
+    if n > 6 then raise (Indeterminate reason)
+    else
+      match
+        Cluster.recover_txn t.mgr.cl ~gateway:t.gw ~span:t.sp ~phases:t.phases
+          ~txn:t.id ~anchor_key:akey ~ts:commit_ts ~inflight ()
+      with
+      | Some (Some cts) -> `Committed cts
+      | Some None -> `Aborted
+      | None -> (
+          match
+            Cluster.txn_status t.mgr.cl ~span:t.sp ~phases:t.phases
+              ~gateway:t.gw ~txn:t.id ~key:akey ()
+          with
+          | Some (Txnrec.Committed cts) -> `Committed cts
+          | Some (Txnrec.Aborted _) -> `Aborted
+          | Some Txnrec.Pending | None -> (
+              match
+                Cluster.abort_txn t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
+                  ~key:akey ~reason:"ambiguous commit" ()
+              with
+              | Some (Txnrec.Aborted _) -> `Aborted
+              | Some (Txnrec.Committed cts) -> `Committed cts
+              | Some (Txnrec.Pending | Txnrec.Staging _) | None ->
+                  Proc.sleep sim (200_000 * n);
+                  go (n + 1))
+          | Some (Txnrec.Staging _) ->
+              Proc.sleep sim (200_000 * n);
+              go (n + 1))
+  in
+  go 1
 
 let commit t =
+  let sim = Cluster.sim t.mgr.cl in
   let commit_ts = Ts.max t.read_ts t.write_ts in
+  (match t.fate_ with
+  | `Wounded reason -> raise (Wounded reason)
+  | `Aborted -> raise (Restart "transaction aborted")
+  | `Live -> ());
   if t.writes <> [] && Ts.(commit_ts > t.read_ts) then begin
     (* The provisional timestamp was pushed (timestamp cache, closed
        timestamp target, or newer committed version): validate reads at
@@ -383,18 +483,116 @@ let commit t =
     refresh_all t ~to_ts:commit_ts;
     t.read_ts <- commit_ts
   end;
-  (* Flip the transaction record to Committed before resolving anything: a
-     concurrent wound-wait push races against this transition, and whichever
-     side wins is authoritative. A [Wounded] here means an older transaction
-     got there first. *)
-  (match Cluster.commit_txn t.mgr.cl ~txn:t.id ~ts:commit_ts with
-  | Ok () -> ()
-  | Error reason -> raise (Wounded reason));
-  if t.writes <> [] && not t.mgr.opts.Options.hold_locks_during_commit_wait
-  then
-    (* CRDB releases locks concurrently with the commit wait (§6.2),
-       minimizing how long readers can observe them. *)
-    resolve_intents t commit_ts;
+  if t.writes <> [] then begin
+    let akey = match t.anchor with Some a -> a | None -> assert false in
+    (* Reach the commit point. The record transition races concurrent
+       wound-wait pushes in the anchor range's log, and whichever side
+       applies first is authoritative: [Aborted] here means an older
+       transaction (or a recovery) got there first. *)
+    let explicitly_committed =
+      if t.mgr.opts.Options.parallel_commits then begin
+        (* Parallel commit: write the record as STAGING — declaring the
+           still-unacknowledged writes — concurrently with those writes'
+           replication. Implicit commit = staging applied ∧ every declared
+           write applied; only then may the client be acked. *)
+        let tr = Obs.trace t.mgr.obs in
+        let ssp = Trace.span tr ~parent:t.sp ~node:t.gw ~txn:t.id "txn.stage" in
+        let stage_start = Sim.now sim in
+        let inflight =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (fun (k, ack) ->
+                 if Crdb_sim.Ivar.peek ack = Some `Applied then None
+                 else Some k)
+               t.outstanding)
+        in
+        t.commit_initiated <- true;
+        let staged =
+          Proc.async sim (fun () ->
+              Cluster.stage_txn t.mgr.cl ~span:ssp ~phases:t.phases
+                ~gateway:t.gw ~txn:t.id ~key:akey ~pri:t.pri ~ts:commit_ts
+                ~inflight ())
+        in
+        let acks = await_acks_classified t in
+        let st = Proc.await staged in
+        Phase.add t.phases Phase.Staging (Sim.now sim - stage_start);
+        Trace.finish tr ssp;
+        match (st, acks) with
+        | Some (Txnrec.Committed _), _ -> true (* a recovery finalized us *)
+        | Some (Txnrec.Aborted { reason; _ }), _ -> raise (Wounded reason)
+        | Some (Txnrec.Staging _), `Ok -> false (* implicitly committed *)
+        | _, `Prevented reason -> raise (Wounded reason)
+        | (Some (Txnrec.Staging _ | Txnrec.Pending) | None), (`Ok | `Lost)
+          -> (
+            (* The staging reply or a pipelined write's confirmation was
+               lost: the implicit commit may have gone through, and a
+               concurrent recovery may already have finalized — and
+               resolved — it. A blind restart here would re-run a possibly
+               committed body (a duplicate write); the fate must come from
+               the record. *)
+            match
+              determine_fate t ~akey ~commit_ts ~inflight
+                "commit status indeterminate"
+            with
+            | `Committed _ -> true
+            | `Aborted -> raise (Wounded "ambiguous commit aborted"))
+      end
+      else begin
+        (* Sequential commit: every intent replicates first, then the
+           record flips to Committed in its own consensus round. *)
+        await_acks t;
+        t.commit_initiated <- true;
+        match
+          Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases
+            ~gateway:t.gw ~txn:t.id ~key:akey ~ts:commit_ts ()
+        with
+        | Some (Txnrec.Committed _) -> true
+        | Some (Txnrec.Aborted { reason; _ }) -> raise (Wounded reason)
+        | Some (Txnrec.Pending | Txnrec.Staging _) | None -> (
+            (* The commit reply was lost; the record may have flipped to
+               Committed. With no in-flight writes declared, recovery
+               degenerates to re-issuing the (idempotent) commit decision. *)
+            match
+              determine_fate t ~akey ~commit_ts ~inflight:[]
+                "commit status indeterminate"
+            with
+            | `Committed _ -> true
+            | `Aborted -> raise (Wounded "ambiguous commit aborted"))
+      end
+    in
+    (* Post-commit bookkeeping: make the commit explicit (so pushers stop
+       running recovery against the staging record) and resolve intents.
+       [attributed] distinguishes work the client waits for — charged to
+       the attempt's span and phases — from work spawned after the ack. *)
+    let resolve_now ~attributed () =
+      t.finished <- true;
+      if not explicitly_committed then
+        ignore
+          (if attributed then
+             Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases
+               ~gateway:t.gw ~txn:t.id ~key:akey ~ts:commit_ts ()
+           else
+             Cluster.commit_txn t.mgr.cl ~gateway:t.gw ~txn:t.id ~key:akey
+               ~ts:commit_ts ()
+            : Txnrec.status option);
+      if attributed then
+        Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+          ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
+          ~sync_all:false ()
+      else
+        Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id
+          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false
+          ()
+    in
+    if not t.mgr.opts.Options.hold_locks_during_commit_wait then
+      (* The client is acked at the commit point — the implicit commit
+         under parallel commits, the record's consensus round otherwise.
+         Making the commit explicit and resolving intents is cleanup the
+         coordinator runs after the ack (§6.2 releases locks concurrently
+         with the commit wait, minimizing how long readers observe them). *)
+      Cluster.spawn_background t.mgr.cl (fun () ->
+          resolve_now ~attributed:false ())
+  end;
   let must_wait = t.writes <> [] || t.observed_future in
   if must_wait then begin
     let tr = Obs.trace t.mgr.obs in
@@ -414,37 +612,80 @@ let commit t =
       Metrics.inc t.mgr.c_reader_waits.(t.gw)
     end
   end;
-  if t.writes <> [] && t.mgr.opts.Options.hold_locks_during_commit_wait then
+  if t.writes <> [] && t.mgr.opts.Options.hold_locks_during_commit_wait then begin
     (* Spanner-style ablation: locks persist through the commit wait. *)
-    resolve_intents t commit_ts;
+    let akey = match t.anchor with Some a -> a | None -> assert false in
+    t.finished <- true;
+    ignore
+      (Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+         ~txn:t.id ~key:akey ~ts:commit_ts ()
+        : Txnrec.status option);
+    Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
+      ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
+      ~sync_all:false ()
+  end;
+  t.finished <- true;
   t.mgr.stats.commits <- t.mgr.stats.commits + 1;
   Metrics.inc t.mgr.c_commits.(t.gw)
 
 let abort t =
-  (* Finalize the record first so concurrent pushers see Aborted (and the
-     heartbeat loop exits); no-op if a wound already aborted it. *)
-  Cluster.abort_txn t.mgr.cl ~txn:t.id ~reason:"client abort";
+  t.finished <- true;
+  (* Finalize the record first so concurrent pushers see Aborted; no-op if
+     a wound already aborted it. The applied status is authoritative: a
+     racing recovery may already have committed a staged attempt
+     (first-decision-wins), in which case the intents must resolve as
+     committed — removing them would erase a commit concurrent readers may
+     have observed. Read-only transactions (no anchor) never had a
+     record. *)
+  let committed_at =
+    match t.anchor with
+    | Some key -> (
+        match
+          Cluster.abort_txn t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~key
+            ~reason:"client abort" ()
+        with
+        | Some (Txnrec.Committed cts) -> Some cts
+        | Some (Txnrec.Aborted _ | Txnrec.Pending | Txnrec.Staging _) | None
+          ->
+            None)
+    | None -> None
+  in
   if t.writes <> [] then
-    Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~commit:None
-      ~keys:(List.rev t.writes) ~sync_all:false ()
+    Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
+      ~commit:committed_at ~keys:(List.rev t.writes) ~sync_all:false ();
+  committed_at
 
 (* Keep the transaction record live while the coordinator (gateway node) is
-   up: pushers treat a record whose heartbeat is stale as abandoned and
-   clean up its intents. The loop stops heartbeating while the gateway is
-   down — exactly the abandonment signal wound-wait relies on — and exits
-   once the record is finalized. *)
-let start_heartbeat mgr ~txn ~gateway =
+   up: pushers treat a record whose heartbeat is stale as abandoned (or, for
+   STAGING records, as recoverable) and clean up its intents. Heartbeats
+   only start once the first write establishes the anchor — before that
+   there is no record to maintain. The responses double as the coordinator's
+   wound notifications: an [Aborted] status cancels the transaction's
+   in-flight requests through its [fate] closure. The loop stops
+   heartbeating while the gateway is down — exactly the abandonment signal
+   wound-wait relies on — and exits once the transaction finishes. *)
+let start_heartbeat t =
+  let mgr = t.mgr in
   let sim = Cluster.sim mgr.cl in
   let interval = (Cluster.config mgr.cl).Cluster.txn_heartbeat_interval in
   Proc.spawn sim (fun () ->
       let rec loop () =
         Proc.sleep sim interval;
-        match Cluster.txn_status mgr.cl ~txn with
-        | Some Txnrec.Pending ->
-            if Crdb_net.Transport.is_alive (Cluster.net mgr.cl) gateway then
-              Cluster.heartbeat_txn mgr.cl ~txn;
-            loop ()
-        | Some (Txnrec.Committed _ | Txnrec.Aborted _) | None -> ()
+        if t.finished then ()
+        else
+          match t.anchor with
+          | None -> loop ()
+          | Some key ->
+              if Crdb_net.Transport.is_alive (Cluster.net mgr.cl) t.gw then
+                match
+                  Cluster.heartbeat_txn mgr.cl ~gateway:t.gw ~txn:t.id ~key ()
+                with
+                | Some (Txnrec.Aborted { reason; wound = true }) ->
+                    t.fate_ <- `Wounded reason
+                | Some (Txnrec.Aborted _) -> t.fate_ <- `Aborted
+                | Some (Txnrec.Committed _) -> ()
+                | Some (Txnrec.Pending | Txnrec.Staging _) | None -> loop ()
+              else loop ()
       in
       loop ())
 
@@ -454,25 +695,33 @@ let fresh_txn ?priority ?(phases = Phase.nil) mgr ~gateway =
   Metrics.inc mgr.c_attempts.(gateway);
   let read_ts = Cluster.now_ts mgr.cl gateway in
   (* Wound-wait priority: the first attempt's birth timestamp, carried
-     across retries so a transaction only ever gets older. *)
+     across retries so a transaction only ever gets older. The record
+     itself is registered by the first write's apply at the anchor range —
+     no upfront registration RPC. *)
   let pri = match priority with Some p -> p | None -> read_ts in
-  Cluster.register_txn mgr.cl ~txn:id ~priority:pri;
-  start_heartbeat mgr ~txn:id ~gateway;
-  {
-    mgr;
-    id;
-    gw = gateway;
-    read_ts;
-    max_ts = Ts.add_wall read_ts (Cluster.config mgr.cl).Cluster.max_offset;
-    write_ts = Ts.zero;
-    reads = [];
-    writes = [];
-    outstanding = [];
-    observed_future = false;
-    commit_initiated = false;
-    sp = Trace.nil;
-    phases;
-  }
+  let t =
+    {
+      mgr;
+      id;
+      gw = gateway;
+      pri;
+      read_ts;
+      max_ts = Ts.add_wall read_ts (Cluster.config mgr.cl).Cluster.max_offset;
+      write_ts = Ts.zero;
+      reads = [];
+      writes = [];
+      anchor = None;
+      outstanding = [];
+      fate_ = `Live;
+      finished = false;
+      observed_future = false;
+      commit_initiated = false;
+      sp = Trace.nil;
+      phases;
+    }
+  in
+  start_heartbeat t;
+  t
 
 type attempt_outcome =
   | Attempt_committed of Ts.t
@@ -508,6 +757,19 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
     Proc.sleep sim d
   in
   let root = Trace.span tr ~node:gateway "txn.run" in
+  (* The rollback of a failed attempt uncovered a racing recovery that had
+     already committed it: its intents were just resolved as committed, and
+     retrying the body would write them a second time. The body's result
+     was lost with the exception, so report the commit to the attempt
+     observer and fail the call as ambiguous rather than fabricate a
+     success. *)
+  let recovered_committed t n reason cts =
+    report on_attempt t (Attempt_committed cts);
+    Trace.annotate t.sp "committed_by_recovery" (Ts.to_string cts);
+    Trace.annotate t.sp "restart" reason;
+    Trace.finish tr t.sp;
+    (n, Error (Unavailable ("committed by recovery: " ^ reason)))
+  in
   let rec attempt n ~pri =
     let t = fresh_txn ?priority:pri ~phases mgr ~gateway in
     (* Retries inherit the first attempt's birth timestamp as their
@@ -524,41 +786,59 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
         report on_attempt t (Attempt_committed (Ts.max t.read_ts t.write_ts));
         Trace.finish tr t.sp;
         (n, Ok result)
-    | exception Restart reason ->
-        abort t;
+    | exception Restart reason -> (
+        match abort t with
+        | Some cts -> recovered_committed t n reason cts
+        | None ->
+            report on_attempt t (failed_attempt_outcome t reason);
+            mgr.stats.restarts <- mgr.stats.restarts + 1;
+            Metrics.inc mgr.c_restarts.(gateway);
+            Trace.annotate t.sp "restart" reason;
+            Trace.finish tr t.sp;
+            if n >= max_attempts then (n, Error (Unavailable reason))
+            else begin
+              (* Small randomized backoff to break livelocks between
+                 retries. *)
+              backoff n;
+              attempt (n + 1) ~pri
+            end)
+    | exception Wounded reason -> (
+        match abort t with
+        | Some cts -> recovered_committed t n reason cts
+        | None ->
+            report on_attempt t (failed_attempt_outcome t reason);
+            mgr.stats.restarts <- mgr.stats.restarts + 1;
+            mgr.stats.wounds <- mgr.stats.wounds + 1;
+            Metrics.inc mgr.c_restarts.(gateway);
+            Metrics.inc mgr.c_wounds.(gateway);
+            Trace.annotate t.sp "wounded" reason;
+            Trace.finish tr t.sp;
+            if n >= max_attempts then (n, Error (Unavailable reason))
+            else begin
+              backoff n;
+              attempt (n + 1) ~pri
+            end)
+    | exception Indeterminate reason ->
+        (* The commit's fate could not be learned (the anchor range stayed
+           unreachable): the attempt may have committed, so neither
+           resolving its intents as aborted nor retrying the body is
+           sound. Leave the record and intents alone — pushers will
+           eventually recover them — and surface the ambiguity. *)
+        t.finished <- true;
         report on_attempt t (failed_attempt_outcome t reason);
-        mgr.stats.restarts <- mgr.stats.restarts + 1;
-        Metrics.inc mgr.c_restarts.(gateway);
-        Trace.annotate t.sp "restart" reason;
-        Trace.finish tr t.sp;
-        if n >= max_attempts then (n, Error (Unavailable reason))
-        else begin
-          (* Small randomized backoff to break livelocks between retries. *)
-          backoff n;
-          attempt (n + 1) ~pri
-        end
-    | exception Wounded reason ->
-        abort t;
-        report on_attempt t (failed_attempt_outcome t reason);
-        mgr.stats.restarts <- mgr.stats.restarts + 1;
-        mgr.stats.wounds <- mgr.stats.wounds + 1;
-        Metrics.inc mgr.c_restarts.(gateway);
-        Metrics.inc mgr.c_wounds.(gateway);
-        Trace.annotate t.sp "wounded" reason;
-        Trace.finish tr t.sp;
-        if n >= max_attempts then (n, Error (Unavailable reason))
-        else begin
-          backoff n;
-          attempt (n + 1) ~pri
-        end
-    | exception Fatal reason ->
-        abort t;
-        report on_attempt t (failed_attempt_outcome t reason);
-        Trace.annotate t.sp "fatal" reason;
+        Trace.annotate t.sp "indeterminate" reason;
         Trace.finish tr t.sp;
         (n, Error (Unavailable reason))
+    | exception Fatal reason -> (
+        match abort t with
+        | Some cts -> recovered_committed t n reason cts
+        | None ->
+            report on_attempt t (failed_attempt_outcome t reason);
+            Trace.annotate t.sp "fatal" reason;
+            Trace.finish tr t.sp;
+            (n, Error (Unavailable reason)))
     | exception e ->
-        abort t;
+        ignore (abort t : Ts.t option);
         Trace.finish tr t.sp;
         Trace.finish tr root;
         raise e

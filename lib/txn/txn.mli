@@ -22,10 +22,12 @@
     Restartable conditions (failed refresh after a timestamp push, wounds
     from older transactions, conflict timeouts) are retried internally with
     a fresh transaction id and timestamp, like CRDB's automatic
-    per-statement retries. Each transaction registers a record with
-    {!Cluster.register_txn} and heartbeats it while its gateway is alive;
-    wound-wait conflict resolution (see [DESIGN.md]) uses the record to
-    push, wound, or clean up after blockers. *)
+    per-statement retries. Each transaction's record lives in the range
+    holding its first written key (the {e anchor}), is created by that
+    write's replicated apply, and is heartbeated while its gateway is
+    alive; wound-wait conflict resolution (see [DESIGN.md]) pushes the
+    record through ordinary routed RPCs to wound, recover, or clean up
+    after blockers. *)
 
 module Cluster = Crdb_kv.Cluster
 module Ts = Crdb_hlc.Timestamp
@@ -46,6 +48,13 @@ module Options : sig
     pipelined_writes : bool;
         (** Disable to make every intent write await its consensus round
             (ablation of CRDB-style write pipelining). Default [true]. *)
+    parallel_commits : bool;
+        (** Commit by writing a STAGING transaction record in parallel with
+            the final batch of intent writes; the transaction is implicitly
+            committed once all have replicated (one consensus round of
+            client-visible commit latency). Disable to flip the record to
+            COMMITTED only after every intent has replicated (ablation of
+            CRDB-style parallel commits). Default [true]. *)
     unsafe_no_refresh : bool;
         (** Deliberately broken mode for checker validation: skip read-span
             refreshes when a transaction's timestamp is pushed, silently
@@ -210,6 +219,9 @@ val set_hold_locks_during_commit_wait : manager -> bool -> unit
 (** @deprecated Use {!set_options}. *)
 
 val set_pipelined_writes : manager -> bool -> unit
+(** @deprecated Use {!set_options}. *)
+
+val set_parallel_commits : manager -> bool -> unit
 (** @deprecated Use {!set_options}. *)
 
 val set_unsafe_no_refresh : manager -> bool -> unit

@@ -235,6 +235,75 @@ let test_unsafe_no_refresh_caught () =
   | Checker.Valid _ | Checker.Inconclusive _ ->
       Alcotest.fail "skipped read refreshes were not caught"
 
+(* Parallel commits racing kills: a conflict-heavy transactional workload
+   (all clients on a few hot keys, so wound-wait and staged records collide
+   constantly) with node kills and lease transfers. Coordinators die
+   between staging and resolution; pushers must finish commit-status
+   recovery — serializability clean, zero 10 s conflict timeouts. *)
+let recovery_race_setup ~seed =
+  let nemesis =
+    {
+      Nemesis.default_random with
+      Nemesis.kinds = [ Nemesis.K_kill_node; Nemesis.K_lease_transfer ];
+    }
+  in
+  {
+    (harness_setup ~survival:Zoneconfig.Region ~seed) with
+    Harness.nemesis = Some nemesis;
+    workload =
+      {
+        Workload.default with
+        Workload.seed;
+        txn_clients = 6;
+        txn_hot_keys = 4;
+      };
+  }
+
+let test_parallel_commit_recovery_races () =
+  List.iter
+    (fun seed ->
+      let o = Harness.run (recovery_race_setup ~seed) in
+      if not (Harness.passed o) then
+        Alcotest.failf "seed %d: registers %s / bank %s / txns %s\nfaults:\n%s"
+          seed
+          (Checker.verdict_to_string o.Harness.register_verdict)
+          (Checker.verdict_to_string o.Harness.bank_verdict)
+          (Checker.verdict_to_string o.Harness.txn_verdict)
+          o.Harness.fault_log;
+      check Alcotest.int
+        (Printf.sprintf "seed %d: no conflict timeouts" seed)
+        0
+        (Crdb_obs.Metrics.total
+           (Crdb_obs.Obs.metrics (Cluster.obs o.Harness.cluster))
+           "kv.conflict_timeouts"))
+    [ 701; 702 ]
+
+let test_unsafe_no_recovery_caught () =
+  (* Deliberately broken recovery: pushers abort STAGING records without
+     probing the declared in-flight writes, tearing down implicitly
+     committed transactions whose clients were already acked. The
+     serializability checker must object. Swept over seeds because the
+     torn commit needs a pusher to actually catch a staged record. *)
+  let caught =
+    List.exists
+      (fun seed ->
+        let setup = recovery_race_setup ~seed in
+        let setup =
+          {
+            setup with
+            Harness.workload =
+              {
+                setup.Harness.workload with
+                Workload.unsafe_no_recovery = true;
+              };
+          }
+        in
+        let o = Harness.run setup in
+        not (Harness.passed o))
+      [ 701; 702; 703; 704 ]
+  in
+  check Alcotest.bool "immediate STAGING aborts were caught" true caught
+
 let test_serializability_deterministic () =
   (* Same seeded run twice: byte-identical transaction histories and
      verdicts; and re-checking one recorded history is pure. *)
@@ -531,6 +600,10 @@ let suite =
     Alcotest.test_case "serializability under chaos" `Slow
       test_serializability_under_chaos;
     Alcotest.test_case "unsafe no-refresh caught" `Slow test_unsafe_no_refresh_caught;
+    Alcotest.test_case "parallel-commit recovery races kills" `Slow
+      test_parallel_commit_recovery_races;
+    Alcotest.test_case "unsafe no-recovery caught" `Slow
+      test_unsafe_no_recovery_caught;
     Alcotest.test_case "serializability determinism" `Slow
       test_serializability_deterministic;
     Alcotest.test_case "history dump round trip" `Slow test_dump_roundtrip;

@@ -48,9 +48,11 @@ let expect_ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "txn failed: %a" Txn.pp_error e
 
-let write_ok cl ~gateway ~txn ~key ~value =
+let write_ok ?pri ?anchor cl ~gateway ~txn ~key ~value =
   let ts = Cluster.now_ts cl gateway in
-  match Cluster.write cl ~gateway ~txn ~key ~value:(Some value) ~ts () with
+  match
+    Cluster.write cl ?pri ?anchor ~gateway ~txn ~key ~value:(Some value) ~ts ()
+  with
   | Cluster.Write_ok ts -> ts
   | Cluster.Write_wounded e | Cluster.Write_err e ->
       Alcotest.failf "write %s: %s" key e
@@ -83,8 +85,8 @@ let test_two_txn_deadlock () =
   no_conflict_timeouts cl
 
 (* Three-transaction cycle whose lock edges span two ranges: wounding is
-   driven by the cluster-global transaction record, so deadlocks crossing
-   range (and leaseholder) boundaries break the same way. *)
+   driven by push RPCs routed to each blocker's anchor range, so deadlocks
+   crossing range (and leaseholder) boundaries break the same way. *)
 let test_three_txn_cycle_two_ranges () =
   let cl, mgr = make ~two_ranges:true () in
   let sim = Cluster.sim cl in
@@ -123,35 +125,45 @@ let test_older_wins () =
   let gw = node_in cl home 0 in
   Cluster.run cl (fun () ->
       let pri_old = Cluster.now_ts cl gw in
-      Cluster.register_txn cl ~txn:1 ~priority:pri_old;
       Proc.sleep sim 1_000;
-      Cluster.register_txn cl ~txn:2 ~priority:(Cluster.now_ts cl gw);
-      (* The younger transaction takes the lock first... *)
-      ignore (write_ok cl ~gateway:gw ~txn:2 ~key:"k" ~value:"young");
+      let pri_young = Cluster.now_ts cl gw in
+      (* The younger transaction takes the lock first (its record anchors at
+         the written key)... *)
+      ignore
+        (write_ok cl ~pri:pri_young ~anchor:"k" ~gateway:gw ~txn:2 ~key:"k"
+           ~value:"young");
       (* ...and the older pushes straight through it. *)
       let t0 = Sim.now sim in
-      let ts = write_ok cl ~gateway:gw ~txn:1 ~key:"k" ~value:"old" in
+      let ts =
+        write_ok cl ~pri:pri_old ~anchor:"k" ~gateway:gw ~txn:1 ~key:"k"
+          ~value:"old"
+      in
       check Alcotest.bool "older waited only one push delay" true
         (Sim.now sim - t0 < 1_000_000);
-      (match Cluster.txn_status cl ~txn:2 with
+      (match Cluster.txn_status cl ~gateway:gw ~txn:2 ~key:"k" () with
       | Some (Txnrec.Aborted { wound = true; _ }) -> ()
       | _ -> Alcotest.fail "younger must be wounded");
       Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some ts) ~keys:[ "k" ]
         ~sync_all:true ();
       (* The mirror image: a younger waiter queues behind an older holder
          instead of wounding it. *)
-      Cluster.register_txn cl ~txn:3 ~priority:(Cluster.now_ts cl gw);
-      let held = write_ok cl ~gateway:gw ~txn:1 ~key:"k2" ~value:"old2" in
+      let pri_young2 = Cluster.now_ts cl gw in
+      let held =
+        write_ok cl ~pri:pri_old ~anchor:"k2" ~gateway:gw ~txn:4 ~key:"k2"
+          ~value:"old2"
+      in
       let young_done = ref false in
       Proc.spawn sim (fun () ->
-          ignore (write_ok cl ~gateway:gw ~txn:3 ~key:"k2" ~value:"young2");
+          ignore
+            (write_ok cl ~pri:pri_young2 ~anchor:"k2" ~gateway:gw ~txn:3
+               ~key:"k2" ~value:"young2");
           young_done := true);
       Proc.sleep sim 1_000_000;
       check Alcotest.bool "younger still queued" false !young_done;
-      (match Cluster.txn_status cl ~txn:1 with
+      (match Cluster.txn_status cl ~gateway:gw ~txn:4 ~key:"k2" () with
       | Some Txnrec.Pending -> ()
       | _ -> Alcotest.fail "older must stay pending");
-      Cluster.resolve cl ~gateway:gw ~txn:1 ~commit:(Some held) ~keys:[ "k2" ]
+      Cluster.resolve cl ~gateway:gw ~txn:4 ~commit:(Some held) ~keys:[ "k2" ]
         ~sync_all:true ();
       Proc.sleep sim 500_000;
       check Alcotest.bool "younger proceeded after release" true !young_done);
@@ -160,7 +172,7 @@ let test_older_wins () =
 (* ------------------------------------------------------------------ *)
 (* Abandoned transactions                                              *)
 
-(* A registered transaction that stops heartbeating is declared abandoned
+(* A transaction with a record that stops heartbeating is declared abandoned
    after the liveness window (3 heartbeat intervals) and its intents are
    cleaned up by whoever pushes it — far sooner than the 10 s timeout. *)
 let test_abandoned_registered_txn () =
@@ -169,18 +181,22 @@ let test_abandoned_registered_txn () =
   let gw = node_in cl home 0 in
   let liveness = 3 * (Cluster.config cl).Cluster.txn_heartbeat_interval in
   Cluster.run cl (fun () ->
-      Cluster.register_txn cl ~txn:6 ~priority:(Cluster.now_ts cl gw);
-      ignore (write_ok cl ~gateway:gw ~txn:6 ~key:"k" ~value:"zombie");
+      let pri6 = Cluster.now_ts cl gw in
+      ignore
+        (write_ok cl ~pri:pri6 ~anchor:"k" ~gateway:gw ~txn:6 ~key:"k"
+           ~value:"zombie");
       Proc.sleep sim 1_000;
-      Cluster.register_txn cl ~txn:7 ~priority:(Cluster.now_ts cl gw);
+      let pri7 = Cluster.now_ts cl gw in
       let t0 = Sim.now sim in
-      ignore (write_ok cl ~gateway:gw ~txn:7 ~key:"k" ~value:"live");
+      ignore
+        (write_ok cl ~pri:pri7 ~anchor:"k" ~gateway:gw ~txn:7 ~key:"k"
+           ~value:"live");
       let elapsed = Sim.now sim - t0 in
       check Alcotest.bool
         (Printf.sprintf "cleanup near liveness window (took %dus)" elapsed)
         true
         (elapsed < liveness + 2_000_000);
-      match Cluster.txn_status cl ~txn:6 with
+      match Cluster.txn_status cl ~gateway:gw ~txn:6 ~key:"k" () with
       | Some (Txnrec.Aborted { wound = false; _ }) -> ()
       | _ -> Alcotest.fail "zombie must be aborted as abandoned");
   no_conflict_timeouts cl
@@ -195,9 +211,11 @@ let test_abandoned_recordless_txn () =
   let liveness = 3 * (Cluster.config cl).Cluster.txn_heartbeat_interval in
   Cluster.run cl (fun () ->
       ignore (write_ok cl ~gateway:gw ~txn:8 ~key:"k" ~value:"raw");
-      Cluster.register_txn cl ~txn:9 ~priority:(Cluster.now_ts cl gw);
+      let pri9 = Cluster.now_ts cl gw in
       let t0 = Sim.now sim in
-      ignore (write_ok cl ~gateway:gw ~txn:9 ~key:"k" ~value:"live");
+      ignore
+        (write_ok cl ~pri:pri9 ~anchor:"k" ~gateway:gw ~txn:9 ~key:"k"
+           ~value:"live");
       let elapsed = Sim.now sim - t0 in
       check Alcotest.bool
         (Printf.sprintf "stub cleaned up after grace (took %dus)" elapsed)
@@ -213,11 +231,14 @@ let test_committed_record_resolves_intent () =
   let sim = Cluster.sim cl in
   let gw = node_in cl home 0 in
   Cluster.run cl (fun () ->
-      Cluster.register_txn cl ~txn:10 ~priority:(Cluster.now_ts cl gw);
-      let ts = write_ok cl ~gateway:gw ~txn:10 ~key:"k" ~value:"orphan" in
-      (match Cluster.commit_txn cl ~txn:10 ~ts with
-      | Ok () -> ()
-      | Error e -> Alcotest.failf "commit_txn: %s" e);
+      let pri10 = Cluster.now_ts cl gw in
+      let ts =
+        write_ok cl ~pri:pri10 ~anchor:"k" ~gateway:gw ~txn:10 ~key:"k"
+          ~value:"orphan"
+      in
+      (match Cluster.commit_txn cl ~gateway:gw ~txn:10 ~key:"k" ~ts () with
+      | Some (Txnrec.Committed _) -> ()
+      | _ -> Alcotest.fail "commit_txn must land Committed");
       (* No resolve: a non-transactional reader hits the intent, pushes,
          learns the record committed, and finishes the resolution itself. *)
       Proc.sleep sim 10_000;

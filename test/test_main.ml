@@ -11,6 +11,7 @@ let () =
       ("obs", Test_obs.suite);
       ("timeseries", Test_timeseries.suite);
       ("kv", Test_kv.suite);
+      ("txnrec", Test_txnrec.suite);
       ("locks", Test_locks.suite);
       ("lifecycle", Test_lifecycle.suite);
       ("autopilot", Test_autopilot.suite);

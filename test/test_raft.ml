@@ -43,6 +43,7 @@ let node_callbacks h node =
     install_snapshot = (fun apps -> node.applied <- apps);
     is_node_live = (fun peer -> h.nodes.(peer).alive);
     node_epoch = (fun _ -> 0);
+    on_discard = (fun _ -> ());
   }
 
 let make_harness ?(delay = 1_000) ?(seed = 7) ?boundary ?(spare_nodes = [])

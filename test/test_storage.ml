@@ -9,9 +9,9 @@ let qcheck = QCheck_alcotest.to_alcotest
 let ts w = Ts.of_wall w
 
 let commit_put store ~key ~txn ~at ~value =
-  (match Mvcc.put_intent store ~key ~txn_id:txn ~ts:(ts at) ~value:(Some value) with
+  (match Mvcc.put_intent store ~key ~txn_id:txn ~ts:(ts at) ~value:(Some value) () with
   | Mvcc.Written -> ()
-  | Mvcc.Write_blocked _ -> Alcotest.fail "unexpected write block");
+  | Mvcc.Write_blocked _ | Mvcc.Write_prevented -> Alcotest.fail "unexpected write block");
   Mvcc.resolve_intent store ~key ~txn_id:txn ~commit:(Some (ts at))
 
 let read_value store ~key ~at =
@@ -33,9 +33,9 @@ let test_basic_versions () =
 let test_tombstone () =
   let s = Mvcc.create () in
   commit_put s ~key:"k" ~txn:1 ~at:10 ~value:"v1";
-  (match Mvcc.put_intent s ~key:"k" ~txn_id:2 ~ts:(ts 20) ~value:None with
+  (match Mvcc.put_intent s ~key:"k" ~txn_id:2 ~ts:(ts 20) ~value:None () with
   | Mvcc.Written -> ()
-  | Mvcc.Write_blocked _ -> Alcotest.fail "blocked");
+  | Mvcc.Write_blocked _ | Mvcc.Write_prevented -> Alcotest.fail "blocked");
   Mvcc.resolve_intent s ~key:"k" ~txn_id:2 ~commit:(Some (ts 20));
   check Alcotest.(option string) "deleted" None (read_value s ~key:"k" ~at:25);
   check Alcotest.(option string) "old still visible" (Some "v1")
@@ -57,9 +57,9 @@ let test_uncertainty () =
 
 let test_intent_blocking () =
   let s = Mvcc.create () in
-  (match Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 10) ~value:(Some "w") with
+  (match Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 10) ~value:(Some "w") () with
   | Mvcc.Written -> ()
-  | Mvcc.Write_blocked _ -> Alcotest.fail "blocked");
+  | Mvcc.Write_blocked _ | Mvcc.Write_prevented -> Alcotest.fail "blocked");
   (* Foreign reader above the intent ts blocks. *)
   (match Mvcc.read s ~key:"k" ~ts:(ts 20) ~max_ts:(ts 20) ~for_txn:(Some 2) with
   | Mvcc.Intent_blocked i -> check Alcotest.int "owner" 1 i.Mvcc.txn_id
@@ -75,17 +75,17 @@ let test_intent_blocking () =
   | Mvcc.Value _ | Mvcc.Uncertain _ | Mvcc.Intent_blocked _ ->
       Alcotest.fail "expected own intent");
   (* A second writer blocks. *)
-  (match Mvcc.put_intent s ~key:"k" ~txn_id:2 ~ts:(ts 30) ~value:(Some "x") with
+  (match Mvcc.put_intent s ~key:"k" ~txn_id:2 ~ts:(ts 30) ~value:(Some "x") () with
   | Mvcc.Write_blocked i -> check Alcotest.int "blocker" 1 i.Mvcc.txn_id
-  | Mvcc.Written -> Alcotest.fail "expected write block");
+  | Mvcc.Written | Mvcc.Write_prevented -> Alcotest.fail "expected write block");
   (* The same txn may bump its own intent. *)
-  match Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 40) ~value:(Some "w2") with
+  match Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 40) ~value:(Some "w2") () with
   | Mvcc.Written -> ()
-  | Mvcc.Write_blocked _ -> Alcotest.fail "own intent rewrite blocked"
+  | Mvcc.Write_blocked _ | Mvcc.Write_prevented -> Alcotest.fail "own intent rewrite blocked"
 
 let test_abort_discards () =
   let s = Mvcc.create () in
-  ignore (Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 10) ~value:(Some "w"));
+  ignore (Mvcc.put_intent s ~key:"k" ~txn_id:1 ~ts:(ts 10) ~value:(Some "w") ());
   Mvcc.resolve_intent s ~key:"k" ~txn_id:1 ~commit:None;
   check Alcotest.(option string) "aborted write invisible" None
     (read_value s ~key:"k" ~at:20);
