@@ -202,6 +202,16 @@ let checker_conv =
           | `Linearizability -> "linearizability"
           | `Serializability -> "serializability") )
 
+let cc_mode_conv =
+  Arg.conv
+    ( (function
+      | "wound-wait" | "ww" -> Ok `Wound_wait
+      | "epoch" | "epoch-occ" -> Ok `Epoch_occ
+      | s -> Error (`Msg (Printf.sprintf "unknown concurrency-control mode %S" s))),
+      fun ppf c ->
+        Format.pp_print_string ppf
+          (match c with `Wound_wait -> "wound-wait" | `Epoch_occ -> "epoch") )
+
 let fault_kind_of_string = function
   | "kill-node" -> Ok Nemesis.K_kill_node
   | "kill-zone" -> Ok Nemesis.K_kill_zone
@@ -241,14 +251,16 @@ let survival_conv =
 
 let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
     ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
-    ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
-    ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-    ~unsafe_no_recovery ~max_conflict_timeouts ~autopilot ~min_auto_splits
-    ~dump_history ~show_history ~report ~trace ~metrics =
+    ~write_ratio ~accounts ~unsafe_stale ~checker ~cc_mode ~txn
+    ~unsafe_no_refresh ~unsafe_no_recovery ~max_conflict_timeouts ~autopilot
+    ~min_auto_splits ~dump_history ~show_history ~report ~trace ~metrics =
   (* [--checker serializability] implies the transactional workload. *)
-  let txn_clients =
-    if checker = `Serializability && txn_clients = 0 then 2 else txn_clients
+  let txn =
+    if checker = `Serializability && txn.Chaos_workload.Txn_config.clients = 0
+    then { txn with Chaos_workload.Txn_config.clients = 2 }
+    else txn
   in
+  let txn_clients = txn.Chaos_workload.Txn_config.clients in
   let workload =
     {
       Chaos_workload.default with
@@ -259,11 +271,7 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
       write_ratio;
       accounts;
       unsafe_stale_reads = unsafe_stale;
-      txn_clients;
-      txn_ops_per_client = txn_ops;
-      txn_keys;
-      txn_ranges;
-      txn_hot_keys;
+      txn;
       unsafe_no_refresh;
       unsafe_no_recovery;
     }
@@ -288,8 +296,7 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
           };
       workload;
       cluster_config =
-        (if autopilot then Some { Cluster.default with Cluster.autopilot = true }
-         else None);
+        Some { Cluster.default with Cluster.autopilot; cc_mode };
     }
   in
   (* The autopilot races its background queues against the nemesis for the
@@ -415,9 +422,19 @@ let run_chaos_one ~seed ~nregions ~survival ~global ~duration ~faults
 
 let run_chaos seed seeds nregions survival global duration faults fault_interval
     fault_duration no_quorum_guard clients ops keys write_ratio accounts
-    unsafe_stale checker txn_clients txn_ops txn_keys txn_ranges txn_hot_keys
-    unsafe_no_refresh unsafe_no_recovery max_conflict_timeouts autopilot
-    min_auto_splits dump_history show_history report trace metrics =
+    unsafe_stale checker cc_mode txn_clients txn_ops txn_keys txn_ranges
+    txn_hot_keys unsafe_no_refresh unsafe_no_recovery max_conflict_timeouts
+    autopilot min_auto_splits dump_history show_history report trace metrics =
+  (* The five --txn-* flags assemble the one workload record. *)
+  let txn =
+    {
+      Chaos_workload.Txn_config.clients = txn_clients;
+      ops_per_client = txn_ops;
+      keys = txn_keys;
+      ranges = txn_ranges;
+      hot_keys = txn_hot_keys;
+    }
+  in
   let all_ok = ref true in
   for s = seed to seed + seeds - 1 do
     let dump_history =
@@ -429,11 +446,10 @@ let run_chaos seed seeds nregions survival global duration faults fault_interval
       not
         (run_chaos_one ~seed:s ~nregions ~survival ~global ~duration ~faults
            ~fault_interval ~fault_duration ~no_quorum_guard ~clients ~ops ~keys
-           ~write_ratio ~accounts ~unsafe_stale ~checker ~txn_clients ~txn_ops
-           ~txn_keys ~txn_ranges ~txn_hot_keys ~unsafe_no_refresh
-           ~unsafe_no_recovery ~max_conflict_timeouts ~autopilot
-           ~min_auto_splits ~dump_history ~show_history ~report ~trace
-           ~metrics)
+           ~write_ratio ~accounts ~unsafe_stale ~checker ~cc_mode ~txn
+           ~unsafe_no_refresh ~unsafe_no_recovery ~max_conflict_timeouts
+           ~autopilot ~min_auto_splits ~dump_history ~show_history ~report
+           ~trace ~metrics)
     then all_ok := false
   done;
   if not !all_ok then begin
@@ -490,6 +506,15 @@ let chaos_cmd =
                 history, the default) or serializability (enables the \
                 multi-key transactional workload and the dependency-graph \
                 cycle checker)")
+  in
+  let cc_mode =
+    Arg.(value & opt cc_mode_conv `Wound_wait
+         & info [ "cc-mode" ]
+             ~doc:
+               "Concurrency-control backend: wound-wait (pessimistic lock \
+                tables, the default) or epoch (epoch-grouped optimistic \
+                concurrency control: lock-free bodies, commit-time \
+                validation at epoch boundaries)")
   in
   let txn_clients =
     Arg.(value & opt int 0
@@ -571,7 +596,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ seed $ seeds $ nregions $ survival $ global $ duration
       $ faults $ fault_interval $ fault_duration $ no_quorum_guard $ clients
-      $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker
+      $ ops $ keys $ write_ratio $ accounts $ unsafe_stale $ checker $ cc_mode
       $ txn_clients $ txn_ops $ txn_keys $ txn_ranges $ txn_hot_keys
       $ unsafe_no_refresh $ unsafe_no_recovery $ max_conflict_timeouts
       $ autopilot $ min_auto_splits $ dump_history $ show_history $ report

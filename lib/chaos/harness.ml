@@ -101,7 +101,7 @@ let run ?(arm = fun (_ : Cluster.t) -> ()) s =
     else Checker.Valid { ops = 0 }
   in
   let txn_verdict =
-    if s.workload.Workload.txn_clients > 0 then
+    if s.workload.Workload.txn.Workload.Txn_config.clients > 0 then
       Checker.check_serializable result.Workload.txns
     else Checker.Valid { ops = 0 }
   in

@@ -37,7 +37,7 @@ type outcome = {
   bank_verdict : Checker.verdict;
   txn_verdict : Checker.verdict;
       (** {!Checker.check_serializable} over the multi-key transactional
-          history; trivially valid when [txn_clients = 0] *)
+          history; trivially valid when [txn.clients = 0] *)
 }
 
 val passed : outcome -> bool

@@ -8,6 +8,18 @@ module Zoneconfig = Crdb_kv.Zoneconfig
 module Txn = Crdb_txn.Txn
 module History = Crdb_check.History
 
+module Txn_config = struct
+  type t = {
+    clients : int;
+    ops_per_client : int;
+    keys : int;
+    ranges : int;
+    hot_keys : int;
+  }
+
+  let default = { clients = 0; ops_per_client = 12; keys = 12; ranges = 3; hot_keys = 0 }
+end
+
 type config = {
   seed : int;
   clients_per_region : int;
@@ -21,11 +33,7 @@ type config = {
   bank_ops_per_client : int;
   initial_balance : int;
   unsafe_stale_reads : bool;
-  txn_clients : int;
-  txn_ops_per_client : int;
-  txn_keys : int;
-  txn_ranges : int;
-  txn_hot_keys : int;
+  txn : Txn_config.t;
   unsafe_no_refresh : bool;
   unsafe_no_recovery : bool;
 }
@@ -44,11 +52,7 @@ let default =
     bank_ops_per_client = 12;
     initial_balance = 100;
     unsafe_stale_reads = false;
-    txn_clients = 0;
-    txn_ops_per_client = 12;
-    txn_keys = 12;
-    txn_ranges = 3;
-    txn_hot_keys = 0;
+    txn = Txn_config.default;
     unsafe_no_refresh = false;
     unsafe_no_recovery = false;
   }
@@ -72,9 +76,10 @@ let setup ?(policy = Cluster.Lag 3_000_000) cl ~survival cfg =
      every multi-key transaction crosses range (and thus leaseholder)
      boundaries; only materialized when transactional clients are enabled so
      existing seeded histories stay byte-identical. *)
-  if cfg.txn_clients > 0 then begin
-    let nranges = max 1 (min cfg.txn_ranges cfg.txn_keys) in
-    let per = max 1 (cfg.txn_keys / nranges) in
+  if cfg.txn.Txn_config.clients > 0 then begin
+    let tc = cfg.txn in
+    let nranges = max 1 (min tc.Txn_config.ranges tc.Txn_config.keys) in
+    let per = max 1 (tc.Txn_config.keys / nranges) in
     for r = 0 to nranges - 1 do
       let start_key = if r = 0 then "tk" else txn_key_of (r * per) in
       let end_key = if r = nranges - 1 then "tk~" else txn_key_of ((r + 1) * per) in
@@ -236,19 +241,22 @@ let txn_status_of_outcome = function
 let txn_client cl mgr cfg r ~client ~region rng =
   let sim = Cluster.sim cl in
   let h = r.txns in
-  let nranges = max 1 (min cfg.txn_ranges cfg.txn_keys) in
-  let per = max 1 (cfg.txn_keys / nranges) in
+  let tc = cfg.txn in
+  let nranges = max 1 (min tc.Txn_config.ranges tc.Txn_config.keys) in
+  let per = max 1 (tc.Txn_config.keys / nranges) in
   let in_bucket b =
     let lo = b * per in
-    let hi = if b = nranges - 1 then cfg.txn_keys else min cfg.txn_keys (lo + per) in
+    let hi =
+      if b = nranges - 1 then tc.Txn_config.keys else min tc.Txn_config.keys (lo + per)
+    in
     lo + Rng.int rng (max 1 (hi - lo))
   in
   (* Conflict-heavy mode: confine every transaction to the first
-     [txn_hot_keys] keys so writers pile onto the same locks (wound-wait
+     [hot_keys] keys so writers pile onto the same locks (wound-wait
      exercise). Off ([= 0]) by default, leaving the code path — and thus
      seeded histories — untouched. *)
   let pick_hot_keys () =
-    let hot = min cfg.txn_hot_keys cfg.txn_keys in
+    let hot = min tc.Txn_config.hot_keys tc.Txn_config.keys in
     let nkeys = min hot (2 + Rng.int rng 3) in
     let rec fill acc n =
       if n <= 0 then List.rev acc
@@ -259,7 +267,7 @@ let txn_client cl mgr cfg r ~client ~region rng =
     List.map txn_key_of (fill [] nkeys)
   in
   let pick_keys () =
-    let nkeys = min cfg.txn_keys (2 + Rng.int rng 3) in
+    let nkeys = min tc.Txn_config.keys (2 + Rng.int rng 3) in
     let b1 = Rng.int rng nranges in
     let b2 =
       if nranges > 1 then (b1 + 1 + Rng.int rng (nranges - 1)) mod nranges else b1
@@ -267,21 +275,21 @@ let txn_client cl mgr cfg r ~client ~region rng =
     let first = in_bucket b1 in
     let second =
       let k = in_bucket b2 in
-      if k = first then (k + 1) mod cfg.txn_keys else k
+      if k = first then (k + 1) mod tc.Txn_config.keys else k
     in
     let rec fill acc n =
       if n <= 0 then List.rev acc
       else
-        let k = Rng.int rng cfg.txn_keys in
+        let k = Rng.int rng tc.Txn_config.keys in
         if List.mem k acc then fill acc n else fill (k :: acc) (n - 1)
     in
     List.map txn_key_of (fill [ second; first ] (nkeys - 2))
   in
-  for _ = 0 to cfg.txn_ops_per_client - 1 do
+  for _ = 0 to tc.Txn_config.ops_per_client - 1 do
     Proc.sleep sim ((cfg.think_time / 2) + Rng.int rng (max 1 cfg.think_time));
     let gateway = pick_gateway cl rng region in
     let keys =
-      if cfg.txn_hot_keys >= 2 then pick_hot_keys () else pick_keys ()
+      if tc.Txn_config.hot_keys >= 2 then pick_hot_keys () else pick_keys ()
     in
     (* Strictly fewer writes than reads: every transaction carries at least
        one read-only key, the source of pure anti-dependencies. *)
@@ -357,7 +365,7 @@ let run cl mgr cfg =
   done;
   (* Transactional clients are split off the base stream last, so enabling
      them leaves every pre-existing client's stream untouched. *)
-  for tcl = 0 to (if cfg.txn_keys > 1 then cfg.txn_clients else 0) - 1 do
+  for tcl = 0 to (if cfg.txn.Txn_config.keys > 1 then cfg.txn.Txn_config.clients else 0) - 1 do
     let client = 2000 + tcl in
     let region = List.nth regions (tcl mod List.length regions) in
     let rng = Rng.split base in
@@ -391,11 +399,11 @@ let finale cl mgr cfg r =
     record r outcome;
     History.complete e ~now:(Sim.now sim) outcome
   done;
-  if cfg.txn_clients > 0 then begin
+  if cfg.txn.Txn_config.clients > 0 then begin
     (* One final read of every transactional key, recorded as a transaction:
        it anchors the serialization graph on the converged state, giving the
        checker anti-dependency edges out of the last committed writers. *)
-    let keys = List.init cfg.txn_keys txn_key_of in
+    let keys = List.init cfg.txn.Txn_config.keys txn_key_of in
     let ops = ref [] in
     let began = ref 0 in
     ignore

@@ -14,6 +14,33 @@
 module Cluster = Crdb_kv.Cluster
 module History = Crdb_check.History
 
+(** Configuration of the multi-key transactional workload, the one the
+    serializability checker consumes. One record instead of five loose
+    fields so harnesses and CLIs thread it around as a unit. *)
+module Txn_config : sig
+  type t = {
+    clients : int;
+        (** multi-key transactional clients; 0 (the default) disables the
+            workload and leaves all pre-existing seeded histories
+            unchanged *)
+    ops_per_client : int;
+    keys : int;  (** transactional keyspace ([tk00] ...) *)
+    ranges : int;
+        (** ranges the transactional keyspace is carved into, so every
+            transaction spans range boundaries *)
+    hot_keys : int;
+        (** when [>= 2], transactional clients pick all their keys from the
+            first [hot_keys] keys, forcing write-write conflicts that
+            exercise the conflict-resolution machinery; 0 (the default)
+            keeps the uniform key picker and leaves seeded histories
+            unchanged *)
+  }
+
+  val default : t
+  (** [{ clients = 0; ops_per_client = 12; keys = 12; ranges = 3;
+      hot_keys = 0 }] *)
+end
+
 type config = {
   seed : int;
   clients_per_region : int;
@@ -30,19 +57,7 @@ type config = {
       (** deliberately broken mode: serve register reads at a bounded-stale
           timestamp but record them as fresh — the linearizability checker
           must catch this *)
-  txn_clients : int;
-      (** multi-key transactional clients; 0 (the default) disables the
-          workload and leaves all pre-existing seeded histories unchanged *)
-  txn_ops_per_client : int;
-  txn_keys : int;  (** transactional keyspace ([tk00] ...) *)
-  txn_ranges : int;
-      (** ranges the transactional keyspace is carved into, so every
-          transaction spans range boundaries *)
-  txn_hot_keys : int;
-      (** when [>= 2], transactional clients pick all their keys from the
-          first [txn_hot_keys] keys, forcing write-write conflicts that
-          exercise wound-wait; 0 (the default) keeps the uniform key picker
-          and leaves seeded histories unchanged *)
+  txn : Txn_config.t;  (** the multi-key transactional workload *)
   unsafe_no_refresh : bool;
       (** deliberately broken mode: transactions skip read-span refreshes on
           timestamp pushes (see {!Crdb_txn.Txn.Options}) — the

@@ -42,6 +42,15 @@ type config = {
   autopilot_merge_bytes : int;
   autopilot_cooldown : int;
   autopilot_min_improvement : float;
+  cc_mode : [ `Wound_wait | `Epoch_occ ];
+      (* which concurrency-control backend Txn.create_manager wires up: the
+         pessimistic lock-table/wound-wait protocol (default) or
+         epoch-grouped OCC (writes buffered at the gateway, validated and
+         flushed at an epoch boundary). The KV layer itself is mode-agnostic;
+         the knob lives here so one config value describes the cluster. *)
+  epoch_interval : int;
+      (* Epoch_occ only: period of the cluster-wide epoch ticker that
+         advances the commit boundary (default 25 ms) *)
   unsafe_no_recovery : bool;
       (* deliberately broken mode: pushes treat every STAGING record as
          recoverable immediately (no liveness grace) and recovery aborts
@@ -75,6 +84,8 @@ let default =
     autopilot_merge_bytes = 128_000;
     autopilot_cooldown = 3_000_000;
     autopilot_min_improvement = 0.25;
+    cc_mode = `Wound_wait;
+    epoch_interval = 25_000;
     unsafe_no_recovery = false;
   }
 
@@ -2387,12 +2398,15 @@ let rec eval_write t r ~applied ~phases ~gateway ~txn ~pri ~anchor ~fate ~key
           | Lock_table.Pusher_aborted -> `Done (Write_err "transaction aborted")
           | Lock_table.Timed_out -> `Done (Write_err "conflict timeout")
         in
-        match Lock_table.find r.r_lt ~key with
-        | Some l when Lock_table.holder l <> txn ->
+        match
+          Lock_table.foreign_for r.r_lt ~key ~txn
+            ~strength:Lock_table.Exclusive
+        with
+        | Some l ->
             wait ~kind:`Lock ~blocker:(Lock_table.holder l)
               ~blocker_pri:(Lock_table.lock_pri l)
               ~blocker_anchor:(Lock_table.lock_anchor l)
-        | _ -> (
+        | None -> (
             match Mvcc.intent_on r.r_store ~key with
             | Some i when i.Mvcc.txn_id <> txn ->
                 wait ~kind:`Intent ~blocker:i.Mvcc.txn_id
@@ -2554,6 +2568,58 @@ let write t ?applied ?span ?(phases = Phase.nil) ?pri ?(anchor = "")
     (fun r sp ->
       eval_write t r ~applied ~phases ~gateway ~txn ~pri ~anchor ~fate ~key
         ~value ~ts ~span:sp)
+
+(* SELECT FOR UPDATE / FOR SHARE: take an unreplicated lock on [key] without
+   laying an intent. Like CRDB's unreplicated lock table, the lock is
+   leaseholder-local state — dropped on lease transfer or node restart — so
+   it is a contention-avoidance hint, not a correctness anchor:
+   serializability stays guaranteed by the commit-time read refresh.
+   Conflicts resolve through the same wound-wait push protocol as
+   write-write conflicts (the waiter pushes the holder's record at its
+   anchor). *)
+let rec eval_lock t r ~phases ~txn ~pri ~anchor ~fate ~strength ~key ~ts =
+  if r.r_range.rg_dropped || not (in_span r.r_range key) then `Range_mismatch
+  else if not (is_leader_now r) then `Not_leader
+  else
+    match (fate () : fate) with
+    | `Wounded reason -> `Done (Write_wounded reason)
+    | `Aborted -> `Done (Write_err "transaction aborted")
+    | `Live -> (
+        let wait ~kind ~blocker ~blocker_pri ~blocker_anchor =
+          match
+            timed_wait t ~phases (fun () ->
+                wait_on_conflict t r ~phases ~key ~kind ~blocker ~blocker_pri
+                  ~blocker_anchor ~waiter:(Some txn) ~waiter_pri:pri ~fate)
+          with
+          | Lock_table.Acquired ->
+              eval_lock t r ~phases ~txn ~pri ~anchor ~fate ~strength ~key ~ts
+          | Lock_table.Wounded reason -> `Done (Write_wounded reason)
+          | Lock_table.Pusher_aborted -> `Done (Write_err "transaction aborted")
+          | Lock_table.Timed_out -> `Done (Write_err "conflict timeout")
+        in
+        match Lock_table.foreign_for r.r_lt ~key ~txn ~strength with
+        | Some l ->
+            wait ~kind:`Lock ~blocker:(Lock_table.holder l)
+              ~blocker_pri:(Lock_table.lock_pri l)
+              ~blocker_anchor:(Lock_table.lock_anchor l)
+        | None -> (
+            match Mvcc.intent_on r.r_store ~key with
+            | Some i when i.Mvcc.txn_id <> txn ->
+                wait ~kind:`Intent ~blocker:i.Mvcc.txn_id ~blocker_pri:i.Mvcc.pri
+                  ~blocker_anchor:i.Mvcc.anchor
+            | Some _ | None ->
+                let wpri = Option.value pri ~default:Ts.zero in
+                ignore
+                  (Lock_table.acquire r.r_lt ~pri:wpri ~anchor ~strength ~key
+                     ~txn ~ts ()
+                    : bool);
+                `Done (Write_ok ts)))
+
+let lock_key t ?span ?(phases = Phase.nil) ?pri ?(anchor = "")
+    ?(fate = live_fate) ~gateway ~txn ~key ~ts ~strength () =
+  with_leaseholder t ~gateway ?span ~phases ~op:"kv.lock" ~key
+    ~on_fail:(fun msg -> Write_err msg)
+    (fun r _sp -> eval_lock t r ~phases ~txn ~pri ~anchor ~fate ~strength ~key ~ts)
 
 (* Resolve the subset of [keys] this replica's range owns; the rest — keys
    stranded on the wrong leaseholder by a split racing the resolution — are

@@ -69,6 +69,16 @@ type config = {
   autopilot_min_improvement : float;
       (** fraction by which a lease move must reduce the losing store's
           leaseholder load before the rebalance queue acts *)
+  cc_mode : [ `Wound_wait | `Epoch_occ ];
+      (** which concurrency-control backend [Txn.create_manager] wires up:
+          the pessimistic lock-table/wound-wait protocol (the default) or
+          epoch-grouped OCC, where writes are buffered at the gateway and
+          validated/flushed at an epoch boundary. The KV layer itself is
+          mode-agnostic; the knob lives here so one config value describes
+          the whole cluster. *)
+  epoch_interval : int;
+      (** [`Epoch_occ] only: period of the cluster-wide epoch ticker that
+          advances the commit boundary (default 25 ms) *)
   unsafe_no_recovery : bool;
       (** deliberately broken mode for checker validation: pushes treat
           every STAGING record as immediately recoverable (no liveness
@@ -414,6 +424,31 @@ val write :
     known on the leaseholder. A transaction must await every outstanding
     [applied] — and check it is [`Applied] — before (or concurrently with)
     committing. *)
+
+val lock_key :
+  t ->
+  ?span:Crdb_obs.Trace.span ->
+  ?phases:Crdb_obs.Phase.ctx ->
+  ?pri:Ts.t ->
+  ?anchor:string ->
+  ?fate:(unit -> fate) ->
+  gateway:Crdb_net.Topology.node_id ->
+  txn:int ->
+  key:string ->
+  ts:Ts.t ->
+  strength:Lock_table.strength ->
+  unit ->
+  write_result
+(** SELECT FOR UPDATE / FOR SHARE: take an unreplicated
+    [Lock_table.strength] lock on [key] at the leaseholder without laying an
+    intent. Blocks (through the same wound-wait push protocol as writes)
+    while a conflicting holder or intent exists; a [Shared] request only
+    conflicts with [Exclusive] holders, and an [Exclusive] request over the
+    caller's own [Shared] grip upgrades it once other holders are pushed
+    away. The lock is leaseholder-local (dropped on lease transfer or node
+    restart) — a contention-avoidance hint; serializability remains
+    guaranteed by commit-time read refreshes. Released by {!resolve} along
+    with the transaction's write intents. *)
 
 val write_and_commit :
   t ->

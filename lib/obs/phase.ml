@@ -8,10 +8,11 @@ type phase =
   | Retry_backoff
   | Staging
   | Recovery
+  | Epoch_wait
 
 let all_phases =
   [ Routing; Lease_wait; Lock_wait; Replication; Commit_wait; Refresh;
-    Retry_backoff; Staging; Recovery ]
+    Retry_backoff; Staging; Recovery; Epoch_wait ]
 
 let index = function
   | Routing -> 0
@@ -23,6 +24,7 @@ let index = function
   | Retry_backoff -> 6
   | Staging -> 7
   | Recovery -> 8
+  | Epoch_wait -> 9
 
 let name = function
   | Routing -> "routing"
@@ -34,6 +36,7 @@ let name = function
   | Retry_backoff -> "retry_backoff"
   | Staging -> "staging"
   | Recovery -> "recovery"
+  | Epoch_wait -> "epoch_wait"
 
 let num_phases = List.length all_phases
 

@@ -31,6 +31,9 @@ type phase =
       (** running parallel-commit status recovery against someone else's
           STAGING record: querying declared in-flight writes and finalizing
           the record *)
+  | Epoch_wait
+      (** [`Epoch_occ] only: a committing transaction waiting for the next
+          epoch boundary before validating and flushing its write buffer *)
 
 val all_phases : phase list
 val name : phase -> string

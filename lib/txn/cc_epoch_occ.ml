@@ -1,0 +1,135 @@
+(* Epoch-grouped optimistic concurrency control (PAPERS.md: epoch-based OCC
+   in geo-replicated databases, GeoGauss): the transaction body runs
+   without taking locks or laying intents — writes buffer locally at the
+   gateway — and commits are grouped at epoch boundaries advanced by a
+   recurring per-cluster ticker. At its boundary a transaction flushes its
+   write buffer as ordinary intents through the existing Raft/parallel
+   commit path with a commit timestamp forced to (or above) the boundary,
+   which makes [Cc_base.commit]'s read refresh unconditional for writers:
+   that refresh IS the OCC validation. Conflicting transactions inside one
+   epoch serialize by validation order — whoever flushes first wins the
+   timestamp race; the loser's refresh fails and it restarts ([Restart],
+   counted in [txn.epoch_validation_failures]).
+
+   Recovery is unchanged from wound-wait: once the buffer is flushed the
+   transaction has an ordinary record and intents, so an ambiguous commit
+   runs the same record-based commit-status recovery, and crashed
+   validators are cleaned up by abandonment like any other writer. *)
+
+open Cc
+module Cluster = Crdb_kv.Cluster
+module Clock = Crdb_hlc.Clock
+module Ts = Crdb_hlc.Timestamp
+module Proc = Crdb_sim.Proc
+module Sim = Crdb_sim.Sim
+module Metrics = Crdb_obs.Metrics
+module Phase = Crdb_obs.Phase
+module Ivar = Crdb_sim.Ivar
+
+let mode : mode = `Epoch_occ
+let begin_attempt = Cc_base.fresh_txn
+
+(* The epoch ticker: one recurring scheduled tick per cluster, started
+   lazily by the first committer of an epoch and stopped by an idle tick
+   (no waiters), so a quiet cluster leaves the simulator's queue alone.
+   The boundary is the simulator's wall clock at the tick; every waiter of
+   the epoch receives the same boundary, batching their commit replication
+   into the same window. *)
+let rec tick mgr =
+  let sim = Cluster.sim mgr.cl in
+  match mgr.epoch_waiters with
+  | [] -> mgr.epoch_running <- false
+  | ws ->
+      mgr.epoch_waiters <- [];
+      Metrics.inc mgr.c_epoch_ticks;
+      let boundary = Ts.of_wall (Sim.now sim) in
+      (* Parking prepends, so release oldest-first: within an epoch,
+         earlier arrivals validate first. *)
+      List.iter (fun iv -> Ivar.fill iv boundary) (List.rev ws);
+      Sim.schedule sim ~after:mgr.epoch_interval (fun () -> tick mgr)
+
+let await_epoch t =
+  let mgr = t.mgr in
+  let sim = Cluster.sim mgr.cl in
+  let iv = Ivar.create () in
+  mgr.epoch_waiters <- iv :: mgr.epoch_waiters;
+  if not mgr.epoch_running then begin
+    mgr.epoch_running <- true;
+    Sim.schedule sim ~after:mgr.epoch_interval (fun () -> tick mgr)
+  end;
+  let start = Sim.now sim in
+  let boundary = Proc.await iv in
+  Phase.add t.phases Phase.Epoch_wait (Sim.now sim - start);
+  boundary
+
+(* Reads never block on the transaction's own buffered writes — they are
+   served from the buffer — and see the cluster through the ordinary MVCC
+   read path otherwise (foreign *flushed* intents of validating
+   transactions still conflict; that window is the epoch commit itself). *)
+let get t key =
+  match List.assoc_opt key t.wbuf with
+  | Some v -> v (* newest buffered write, [None] = buffered delete *)
+  | None -> Cc_base.get t key
+
+let scan t ~start_key ~end_key ?limit () =
+  (* Fetch unbounded, overlay the buffer, then re-apply the limit: a
+     buffered delete may drop a fetched row (opening a slot) and a buffered
+     insert may displace one. *)
+  let rows = Cc_base.scan t ~start_key ~end_key () in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) rows;
+  List.iter
+    (fun (k, v) ->
+      if k >= start_key && k < end_key then
+        match v with
+        | Some v -> Hashtbl.replace tbl k v
+        | None -> Hashtbl.remove tbl k)
+    (List.rev t.wbuf) (* oldest-first, so the newest write wins *);
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  match limit with
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+  | None -> rows
+
+(* OCC takes no locks: a FOR UPDATE/FOR SHARE read is an ordinary read, and
+   the protection the caller asked for is delivered by commit-time
+   validation instead (any conflicting write moves the key's timestamp and
+   fails this transaction's refresh). *)
+let get_locked t _strength key = get t key
+
+let write t key value = t.wbuf <- (key, value) :: t.wbuf
+
+(* The buffer, deduplicated to the newest value per key, in first-write
+   order (so the anchor — the first flushed key — is stable). *)
+let flush_order t =
+  let newest = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem newest k) then Hashtbl.add newest k v)
+    t.wbuf;
+  let keys =
+    List.rev
+      (List.fold_left
+         (fun acc (k, _) -> if List.mem k acc then acc else k :: acc)
+         [] (List.rev t.wbuf))
+  in
+  List.map (fun k -> (k, Hashtbl.find newest k)) keys
+
+let commit t =
+  if t.wbuf = [] then Cc_base.commit t
+    (* read-only: valid at its snapshot, no epoch coordination needed *)
+  else begin
+    let boundary = await_epoch t in
+    (* HLC receive rule on the tick: fold the boundary into the gateway
+       clock so the commit wait on a present-time boundary is a no-op. *)
+    Clock.update (Cluster.clock t.mgr.cl t.gw) boundary;
+    Metrics.inc t.mgr.c_epoch_commits.(t.gw);
+    (* Flush: lay every buffered write as an intent through the ordinary
+       (pipelined) write path, then run the standard parallel-commit with
+       the commit timestamp pinned at or above the boundary. commit_ts >
+       read_ts always holds here, so the read refresh — the OCC validation
+       of every read against the epoch boundary — is unconditional. *)
+    List.iter (fun (k, v) -> Cc_base.write_value t k v) (flush_order t);
+    Cc_base.commit ~min_commit_ts:boundary t
+  end
+
+let abort = Cc_base.abort

@@ -1,0 +1,17 @@
+(* The paper's protocol: pessimistic per-range lock tables with wound-wait
+   deadlock resolution, pipelined intent writes and parallel commits. All
+   machinery lives in [Cc_base]; this backend only adds the locking read
+   (a lock-table acquisition ahead of the ordinary read). *)
+
+let mode : Cc.mode = `Wound_wait
+let begin_attempt = Cc_base.fresh_txn
+let get = Cc_base.get
+let scan = Cc_base.scan
+let write = Cc_base.write_value
+
+let get_locked t strength key =
+  Cc_base.acquire_lock t strength key;
+  Cc_base.get t key
+
+let commit t = Cc_base.commit t
+let abort = Cc_base.abort

@@ -1,40 +1,25 @@
+open Cc
 module Cluster = Crdb_kv.Cluster
-module Txnrec = Crdb_kv.Txnrec
 module Ts = Crdb_hlc.Timestamp
-module Clock = Crdb_hlc.Clock
 module Proc = Crdb_sim.Proc
 module Obs = Crdb_obs.Obs
 module Trace = Crdb_obs.Trace
 module Metrics = Crdb_obs.Metrics
 module Phase = Crdb_obs.Phase
 module Hist = Crdb_stats.Hist
-module Sim = Crdb_sim.Sim
 
-module Options = struct
-  type t = {
-    hold_locks_during_commit_wait : bool;
-        (* Spanner-style ablation: resolve intents only after commit wait *)
-    pipelined_writes : bool;
-    parallel_commits : bool;
-        (* stage the commit record concurrently with the in-flight intent
-           writes' replication (CRDB parallel commits); off, the commit
-           record is only written after every intent has replicated *)
-    unsafe_no_refresh : bool;
-        (* deliberately broken mode: timestamp pushes skip read-span
-           validation, so stale reads can commit (the serializability checker
-           must catch the resulting anti-dependency cycles) *)
-  }
+(* The public transaction API is a thin dispatcher over the
+   concurrency-control interface ({!Cc.S}): the backend is chosen
+   per-cluster by [Cluster.config.cc_mode] at manager creation, and every
+   per-transaction operation routes through it. [run]'s retry loop, the
+   read-only transaction paths and the statistics are protocol-independent
+   and live here. *)
 
-  let default =
-    {
-      hold_locks_during_commit_wait = false;
-      pipelined_writes = true;
-      parallel_commits = true;
-      unsafe_no_refresh = false;
-    }
-end
+module Options = Cc.Options
 
-type stats = {
+type manager = Cc.manager
+
+type stats = Cc.stats = {
   mutable commits : int;
   mutable restarts : int;
   mutable wounds : int;
@@ -42,28 +27,15 @@ type stats = {
   mutable writer_commit_wait_micros : int;
 }
 
-type manager = {
-  cl : Cluster.t;
-  mutable next_txn_id : int;
-  stats : stats;
-  mutable opts : Options.t;
-  obs : Obs.t;
-  c_attempts : Metrics.counter array;
-  c_commits : Metrics.counter array;
-  c_restarts : Metrics.counter array;
-  c_wounds : Metrics.counter array;
-  c_refreshes : Metrics.counter array;
-  c_reader_waits : Metrics.counter array;
-  h_commit_wait : Hist.t;
-}
-
 let create_manager cl =
   let obs = Cluster.obs cl in
   let m = Obs.metrics obs in
   let n = Crdb_net.Topology.num_nodes (Cluster.topology cl) in
   let per_node name = Array.init n (fun node -> Metrics.counter m ~node name) in
+  let cfg = Cluster.config cl in
   {
     cl;
+    mode = cfg.Cluster.cc_mode;
     next_txn_id = 1;
     opts = Options.default;
     stats =
@@ -82,60 +54,29 @@ let create_manager cl =
     c_refreshes = per_node "txn.refreshes";
     c_reader_waits = per_node "txn.reader_waits";
     h_commit_wait = Metrics.histogram m "txn.commit_wait";
+    epoch_interval = cfg.Cluster.epoch_interval;
+    epoch_waiters = [];
+    epoch_running = false;
+    c_epoch_ticks = Metrics.counter m "txn.epoch_ticks";
+    c_epoch_commits = per_node "txn.epoch_commits";
+    c_epoch_validation_failures = per_node "txn.epoch_validation_failures";
   }
 
 let cluster mgr = mgr.cl
+let cc_mode mgr = mgr.mode
 let stats mgr = mgr.stats
 let set_options mgr opts = mgr.opts <- opts
 let options mgr = mgr.opts
 
-(* Deprecated shims over {!set_options}; kept so existing callers compile. *)
-let set_hold_locks_during_commit_wait mgr v =
-  mgr.opts <- { mgr.opts with Options.hold_locks_during_commit_wait = v }
+(* Backend dispatch: both backends share all [Cc.attempt] state, so
+   resolving the first-class module per call is pure control flow — no
+   allocation of per-transaction closures, no simulated time. *)
+let backend mgr : (module Cc.S) =
+  match mgr.mode with
+  | `Wound_wait -> (module Cc_wound_wait)
+  | `Epoch_occ -> (module Cc_epoch_occ)
 
-let set_pipelined_writes mgr v =
-  mgr.opts <- { mgr.opts with Options.pipelined_writes = v }
-
-let set_parallel_commits mgr v =
-  mgr.opts <- { mgr.opts with Options.parallel_commits = v }
-
-let set_unsafe_no_refresh mgr v =
-  mgr.opts <- { mgr.opts with Options.unsafe_no_refresh = v }
-
-type read_span = Point of string | Span of string * string
-
-type t = {
-  mgr : manager;
-  id : int;
-  gw : int;
-  pri : Ts.t; (* wound-wait priority: first-attempt birth timestamp *)
-  mutable read_ts : Ts.t;
-  max_ts : Ts.t; (* uncertainty upper bound; never changes (§6.1) *)
-  mutable write_ts : Ts.t;
-  mutable reads : read_span list;
-  mutable writes : string list; (* newest first; the anchor is the oldest *)
-  mutable anchor : string option;
-      (* first written key: where the transaction record lives; [None]
-         until the first write succeeds (read-only txns have no record) *)
-  mutable outstanding : (string * Cluster.write_ack Crdb_sim.Ivar.t) list;
-      (* pipelined write acks, keyed for read-your-own-writes *)
-  mutable fate_ : Cluster.fate;
-      (* the coordinator's own view of its fate, fed by heartbeat RPC
-         responses; threaded as a closure into every KV op so a wounded
-         transaction cancels its in-flight requests *)
-  mutable finished : bool; (* stops the heartbeat loop *)
-  mutable observed_future : bool;
-  mutable commit_initiated : bool;
-      (* the commit record may have been proposed: a failure after this
-         point leaves the outcome indeterminate, not aborted *)
-  mutable sp : Trace.span;  (* this attempt's span; KV ops parent under it *)
-  phases : Phase.ctx;
-      (* phase-latency accumulator shared by every attempt of one [run];
-         KV ops charge Routing/Lease_wait/Lock_wait/Replication into it,
-         the coordinator charges Refresh/Commit_wait/Retry_backoff *)
-}
-
-let fate_of t () = t.fate_
+type t = Cc.attempt
 
 type error = Aborted of string | Unavailable of string
 
@@ -143,585 +84,38 @@ let pp_error ppf = function
   | Aborted m -> Format.fprintf ppf "aborted: %s" m
   | Unavailable m -> Format.fprintf ppf "unavailable: %s" m
 
-exception Restart of string
+exception Restart = Cc.Restart
+exception Wounded = Cc.Wounded
+exception Fatal = Cc.Fatal
+exception Indeterminate = Cc.Indeterminate
 
-exception Wounded of string
-(* wound-wait: an older transaction aborted this one to break a deadlock;
-   restartable like [Restart], but counted separately *)
+let read_ts (t : t) = t.read_ts
+let txn_id (t : t) = t.id
+let gateway (t : t) = t.gw
 
-exception Fatal of string
+let get (t : t) key =
+  let (module B : Cc.S) = backend t.mgr in
+  B.get t key
 
-exception Indeterminate of string
-(* raised only after the commit record may have been proposed, when its
-   fate could not be learned from the record either: the attempt may have
-   committed, so neither rolling back its intents nor retrying the body is
-   sound. Internal: {!run} converts it into an [Unavailable] error and an
-   [Attempt_indeterminate] outcome without touching the intents. *)
+let scan (t : t) ~start_key ~end_key ?limit () =
+  let (module B : Cc.S) = backend t.mgr in
+  B.scan t ~start_key ~end_key ?limit ()
 
-let read_ts t = t.read_ts
-let txn_id t = t.id
-let gateway t = t.gw
+let put (t : t) key value =
+  let (module B : Cc.S) = backend t.mgr in
+  B.write t key (Some value)
 
-(* ------------------------------------------------------------------ *)
-(* Read refresh (§5.1)                                                 *)
+let delete (t : t) key =
+  let (module B : Cc.S) = backend t.mgr in
+  B.write t key None
 
-let refresh_all t ~to_ts =
-  if t.mgr.opts.Options.unsafe_no_refresh then ()
-  else begin
-  (* Validate every read span in parallel (CRDB batches the refresh). *)
-  let sim = Cluster.sim t.mgr.cl in
-  Metrics.inc t.mgr.c_refreshes.(t.gw);
-  let start = Sim.now sim in
-  let results =
-    List.map
-      (fun span ->
-        Proc.async_catch sim (fun () ->
-            match span with
-            | Point key ->
-                Cluster.refresh t.mgr.cl ~span:t.sp ~phases:t.phases
-                  ~gateway:t.gw ~txn:t.id ~key ~from_ts:t.read_ts ~to_ts ()
-            | Span (start_key, end_key) ->
-                Cluster.refresh_span t.mgr.cl ~span:t.sp ~phases:t.phases
-                  ~gateway:t.gw ~txn:t.id ~start_key ~end_key
-                  ~from_ts:t.read_ts ~to_ts ()))
-      t.reads
-  in
-  let ok = List.for_all Proc.await_catch results in
-  Phase.add t.phases Phase.Refresh (Sim.now sim - start);
-  if not ok then raise (Restart "read refresh failed")
-  end
+let get_for_update (t : t) key =
+  let (module B : Cc.S) = backend t.mgr in
+  B.get_locked t Exclusive key
 
-let bump_and_refresh t new_ts =
-  if Ts.(new_ts > t.read_ts) then begin
-    if t.reads <> [] then refresh_all t ~to_ts:new_ts;
-    t.read_ts <- new_ts;
-    (* A value above the local hybrid clock is a future-time (synthetic)
-       write: the reader must commit-wait before completing (§6.2).
-       Present-time (Lag) values were already folded into the clock by the
-       HLC receive rule at the call site, so they never trip this. *)
-    let clock = Cluster.clock t.mgr.cl t.gw in
-    if
-      Ts.(new_ts > Clock.last clock)
-      && Ts.wall new_ts > Clock.physical_now clock
-    then t.observed_future <- true
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Reads                                                               *)
-
-let is_global t key =
-  match Cluster.range_of_key t.mgr.cl key with
-  | rid -> (
-      match Cluster.policy_of t.mgr.cl rid with
-      | Cluster.Lead -> true
-      | Cluster.Lag _ -> false)
-  | exception Not_found -> raise (Fatal ("no range for key " ^ key))
-
-let restartable_read_error e =
-  (* Conflict timeouts and unavailability are worth a fresh attempt. *)
-  raise (Restart e)
-
-let get t key =
-  let rec go attempts =
-    if attempts > 20 then raise (Restart "uncertainty loop");
-    let own_write = List.mem key t.writes in
-    (* Read-your-own-writes under pipelining: wait for in-flight intents on
-       this key to apply before reading it. *)
-    if own_write then
-      List.iter
-        (fun (k, ack) ->
-          if String.equal k key then
-            match
-              Proc.await_timeout (Cluster.sim t.mgr.cl) ack ~timeout:8_000_000
-            with
-            | Some `Applied -> ()
-            | Some `Prevented ->
-                raise (Wounded ("write prevented by recovery on " ^ key))
-            | Some `Dropped | None -> raise (Restart "pipelined write lost"))
-        t.outstanding;
-    let leaseholder_read () =
-      Cluster.read t.mgr.cl ~inline_bump:(t.reads = []) ~span:t.sp
-        ~phases:t.phases ~pri:t.pri ~fate:(fate_of t) ~gateway:t.gw
-        ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
-    in
-    let result =
-      if is_global t key && not own_write then
-        match
-          Cluster.read_follower t.mgr.cl ~span:t.sp ~phases:t.phases ~at:t.gw
-            ~txn:(Some t.id) ~key ~ts:t.read_ts ~max_ts:t.max_ts ()
-        with
-        | Cluster.Read_redirect -> leaseholder_read ()
-        | r -> r
-      else leaseholder_read ()
-    in
-    match result with
-    | Cluster.Read_value { value; _ } ->
-        t.reads <- Point key :: t.reads;
-        value
-    | Cluster.Read_uncertain { value_ts } ->
-        (* HLC receive rule on the response: a present-time uncertain value
-           ratchets the gateway clock. Synthetic (future-time) timestamps
-           from global tables must not — they force a real commit-wait. *)
-        if not (is_global t key) then
-          Clock.update (Cluster.clock t.mgr.cl t.gw) value_ts;
-        bump_and_refresh t value_ts;
-        go (attempts + 1)
-    | Cluster.Read_redirect -> go (attempts + 1)
-    | Cluster.Read_wounded reason -> raise (Wounded reason)
-    | Cluster.Read_err e -> restartable_read_error e
-  in
-  go 0
-
-let scan t ~start_key ~end_key ?limit () =
-  let rec go attempts =
-    if attempts > 20 then raise (Restart "uncertainty loop");
-    let range_is_global =
-      match Cluster.range_of_key t.mgr.cl start_key with
-      | rid -> (
-          match Cluster.policy_of t.mgr.cl rid with
-          | Cluster.Lead -> true
-          | Cluster.Lag _ -> false)
-      | exception Not_found -> raise (Fatal ("no range for key " ^ start_key))
-    in
-    let leaseholder_scan () =
-      Cluster.scan t.mgr.cl ~span:t.sp ~phases:t.phases ~pri:t.pri
-        ~fate:(fate_of t) ~gateway:t.gw ~txn:(Some t.id) ~start_key ~end_key
-        ~ts:t.read_ts ~max_ts:t.max_ts ~limit ()
-    in
-    let result =
-      if range_is_global && t.writes = [] then
-        match
-          Cluster.scan_follower t.mgr.cl ~span:t.sp ~phases:t.phases ~at:t.gw
-            ~txn:(Some t.id) ~start_key ~end_key ~ts:t.read_ts ~max_ts:t.max_ts
-            ~limit ()
-        with
-        | Cluster.Scan_redirect -> leaseholder_scan ()
-        | r -> r
-      else leaseholder_scan ()
-    in
-    match result with
-    | Cluster.Scan_rows rows ->
-        t.reads <- Span (start_key, end_key) :: t.reads;
-        rows
-    | Cluster.Scan_uncertain { value_ts } ->
-        if not range_is_global then
-          Clock.update (Cluster.clock t.mgr.cl t.gw) value_ts;
-        bump_and_refresh t value_ts;
-        go (attempts + 1)
-    | Cluster.Scan_redirect -> go (attempts + 1)
-    | Cluster.Scan_wounded reason -> raise (Wounded reason)
-    | Cluster.Scan_err e -> restartable_read_error e
-  in
-  go 0
-
-(* ------------------------------------------------------------------ *)
-(* Writes                                                              *)
-
-(* HLC receive rule on the write response: the gateway folds a present-time
-   pushed timestamp into its clock, so commit-wait (which waits on the
-   hybrid clock) is a no-op for it. Future-time (Lead) writes stay
-   synthetic and commit-wait for real. *)
-let observe_pushed t key pushed =
-  if not (is_global t key) then
-    Clock.update (Cluster.clock t.mgr.cl t.gw) pushed
-
-let write_value t key value =
-  let provisional = Ts.max t.read_ts t.write_ts in
-  (* The first write's key becomes the anchor: its apply registers the
-     transaction record in that key's range. *)
-  let anchor = match t.anchor with Some a -> a | None -> key in
-  let note_written pushed =
-    t.write_ts <- Ts.max t.write_ts pushed;
-    observe_pushed t key pushed;
-    if t.anchor = None then t.anchor <- Some anchor;
-    if not (List.mem key t.writes) then t.writes <- key :: t.writes
-  in
-  if t.mgr.opts.Options.pipelined_writes then begin
-    let applied = Crdb_sim.Ivar.create () in
-    match
-      Cluster.write t.mgr.cl ~applied ~span:t.sp ~phases:t.phases ~pri:t.pri
-        ~anchor ~fate:(fate_of t) ~gateway:t.gw ~txn:t.id ~key ~value
-        ~ts:provisional ()
-    with
-    | Cluster.Write_ok pushed ->
-        note_written pushed;
-        t.outstanding <- (key, applied) :: t.outstanding
-    | Cluster.Write_wounded reason -> raise (Wounded reason)
-    | Cluster.Write_err e -> raise (Restart e)
-  end
-  else
-    match
-      Cluster.write t.mgr.cl ~span:t.sp ~phases:t.phases ~pri:t.pri ~anchor
-        ~fate:(fate_of t) ~gateway:t.gw ~txn:t.id ~key ~value ~ts:provisional
-        ()
-    with
-    | Cluster.Write_ok pushed -> note_written pushed
-    | Cluster.Write_wounded reason -> raise (Wounded reason)
-    | Cluster.Write_err e -> raise (Restart e)
-
-let put t key value = write_value t key (Some value)
-let delete t key = write_value t key None
-
-(* ------------------------------------------------------------------ *)
-(* Commit protocol                                                     *)
-
-let commit_wait mgr ~gw ts =
-  let clock = Cluster.clock mgr.cl gw in
-  let sim = Cluster.sim mgr.cl in
-  let waited = ref 0 in
-  let rec loop () =
-    (* CRDB waits on the hybrid clock, not the physical one: a timestamp
-       the gateway has already observed (HLC receive rule, e.g. from a
-       write response) needs no physical wait. Only synthetic future-time
-       timestamps — which never ratchet clocks — force a real wait. *)
-    if Ts.(Clock.last clock >= ts) then ()
-    else
-      let now = Clock.physical_now clock in
-      if now < Ts.wall ts then begin
-        let d = Ts.wall ts - now + 1 in
-        waited := !waited + d;
-        Proc.sleep sim d;
-        loop ()
-      end
-  in
-  loop ();
-  !waited
-
-(* Await every outstanding pipelined write confirmation; all must have
-   applied for the commit to be valid. A prevented write means commit-status
-   recovery decided against us (restart, same priority); a dropped or silent
-   one leaves the write's fate — and hence the commit's — indeterminate. *)
-let await_acks t =
-  let sim = Cluster.sim t.mgr.cl in
-  List.iter
-    (fun (key, ack) ->
-      match Proc.await_timeout sim ack ~timeout:8_000_000 with
-      | Some `Applied -> ()
-      | Some `Prevented ->
-          raise (Wounded ("write prevented by recovery on " ^ key))
-      | Some `Dropped | None -> raise (Restart "pipelined write lost"))
-    t.outstanding;
-  t.outstanding <- []
-
-(* Commit-time variant of {!await_acks}: once the record may be STAGING, a
-   lost ack no longer implies a lost write — the write may have applied
-   with only its confirmation dropped, and a concurrent recovery may
-   finalize the implicit commit. Classify rather than raise, so the caller
-   can learn the fate from the record. A prevention is still decisive: the
-   write provably never applied and never will, so the commit is dead. *)
-let await_acks_classified t =
-  let sim = Cluster.sim t.mgr.cl in
-  let out =
-    List.fold_left
-      (fun acc (key, ack) ->
-        match (acc, Proc.await_timeout sim ack ~timeout:8_000_000) with
-        | (`Prevented _ as p), _ -> p
-        | _, Some `Prevented ->
-            `Prevented ("write prevented by recovery on " ^ key)
-        | `Lost, _ -> `Lost
-        | `Ok, Some `Applied -> `Ok
-        | `Ok, (Some `Dropped | None) -> `Lost)
-      `Ok t.outstanding
-  in
-  t.outstanding <- [];
-  out
-
-(* Learn the fate of an attempt whose commit became ambiguous (a staging or
-   commit reply was lost, or a pipelined write's ack was): run the same
-   commit-status recovery a pusher would, against our own record. The
-   anchor range's log totally orders our probes and finalization against
-   any concurrent recovery, so whatever decision applies first is the one
-   we report. A record stuck Pending (the stage proposal itself was lost)
-   is aborted in place — first-decision-wins bars a late stage from
-   resurrecting it. Only if the anchor range stays unreachable throughout
-   do we give up and surface indeterminacy. *)
-let determine_fate t ~akey ~commit_ts ~inflight reason =
-  let sim = Cluster.sim t.mgr.cl in
-  let rec go n =
-    if n > 6 then raise (Indeterminate reason)
-    else
-      match
-        Cluster.recover_txn t.mgr.cl ~gateway:t.gw ~span:t.sp ~phases:t.phases
-          ~txn:t.id ~anchor_key:akey ~ts:commit_ts ~inflight ()
-      with
-      | Some (Some cts) -> `Committed cts
-      | Some None -> `Aborted
-      | None -> (
-          match
-            Cluster.txn_status t.mgr.cl ~span:t.sp ~phases:t.phases
-              ~gateway:t.gw ~txn:t.id ~key:akey ()
-          with
-          | Some (Txnrec.Committed cts) -> `Committed cts
-          | Some (Txnrec.Aborted _) -> `Aborted
-          | Some Txnrec.Pending | None -> (
-              match
-                Cluster.abort_txn t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
-                  ~key:akey ~reason:"ambiguous commit" ()
-              with
-              | Some (Txnrec.Aborted _) -> `Aborted
-              | Some (Txnrec.Committed cts) -> `Committed cts
-              | Some (Txnrec.Pending | Txnrec.Staging _) | None ->
-                  Proc.sleep sim (200_000 * n);
-                  go (n + 1))
-          | Some (Txnrec.Staging _) ->
-              Proc.sleep sim (200_000 * n);
-              go (n + 1))
-  in
-  go 1
-
-let commit t =
-  let sim = Cluster.sim t.mgr.cl in
-  let commit_ts = Ts.max t.read_ts t.write_ts in
-  (match t.fate_ with
-  | `Wounded reason -> raise (Wounded reason)
-  | `Aborted -> raise (Restart "transaction aborted")
-  | `Live -> ());
-  if t.writes <> [] && Ts.(commit_ts > t.read_ts) then begin
-    (* The provisional timestamp was pushed (timestamp cache, closed
-       timestamp target, or newer committed version): validate reads at
-       the commit timestamp before committing. *)
-    refresh_all t ~to_ts:commit_ts;
-    t.read_ts <- commit_ts
-  end;
-  if t.writes <> [] then begin
-    let akey = match t.anchor with Some a -> a | None -> assert false in
-    (* Reach the commit point. The record transition races concurrent
-       wound-wait pushes in the anchor range's log, and whichever side
-       applies first is authoritative: [Aborted] here means an older
-       transaction (or a recovery) got there first. *)
-    let explicitly_committed =
-      if t.mgr.opts.Options.parallel_commits then begin
-        (* Parallel commit: write the record as STAGING — declaring the
-           still-unacknowledged writes — concurrently with those writes'
-           replication. Implicit commit = staging applied ∧ every declared
-           write applied; only then may the client be acked. *)
-        let tr = Obs.trace t.mgr.obs in
-        let ssp = Trace.span tr ~parent:t.sp ~node:t.gw ~txn:t.id "txn.stage" in
-        let stage_start = Sim.now sim in
-        let inflight =
-          List.sort_uniq String.compare
-            (List.filter_map
-               (fun (k, ack) ->
-                 if Crdb_sim.Ivar.peek ack = Some `Applied then None
-                 else Some k)
-               t.outstanding)
-        in
-        t.commit_initiated <- true;
-        let staged =
-          Proc.async sim (fun () ->
-              Cluster.stage_txn t.mgr.cl ~span:ssp ~phases:t.phases
-                ~gateway:t.gw ~txn:t.id ~key:akey ~pri:t.pri ~ts:commit_ts
-                ~inflight ())
-        in
-        let acks = await_acks_classified t in
-        let st = Proc.await staged in
-        Phase.add t.phases Phase.Staging (Sim.now sim - stage_start);
-        Trace.finish tr ssp;
-        match (st, acks) with
-        | Some (Txnrec.Committed _), _ -> true (* a recovery finalized us *)
-        | Some (Txnrec.Aborted { reason; _ }), _ -> raise (Wounded reason)
-        | Some (Txnrec.Staging _), `Ok -> false (* implicitly committed *)
-        | _, `Prevented reason -> raise (Wounded reason)
-        | (Some (Txnrec.Staging _ | Txnrec.Pending) | None), (`Ok | `Lost)
-          -> (
-            (* The staging reply or a pipelined write's confirmation was
-               lost: the implicit commit may have gone through, and a
-               concurrent recovery may already have finalized — and
-               resolved — it. A blind restart here would re-run a possibly
-               committed body (a duplicate write); the fate must come from
-               the record. *)
-            match
-              determine_fate t ~akey ~commit_ts ~inflight
-                "commit status indeterminate"
-            with
-            | `Committed _ -> true
-            | `Aborted -> raise (Wounded "ambiguous commit aborted"))
-      end
-      else begin
-        (* Sequential commit: every intent replicates first, then the
-           record flips to Committed in its own consensus round. *)
-        await_acks t;
-        t.commit_initiated <- true;
-        match
-          Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases
-            ~gateway:t.gw ~txn:t.id ~key:akey ~ts:commit_ts ()
-        with
-        | Some (Txnrec.Committed _) -> true
-        | Some (Txnrec.Aborted { reason; _ }) -> raise (Wounded reason)
-        | Some (Txnrec.Pending | Txnrec.Staging _) | None -> (
-            (* The commit reply was lost; the record may have flipped to
-               Committed. With no in-flight writes declared, recovery
-               degenerates to re-issuing the (idempotent) commit decision. *)
-            match
-              determine_fate t ~akey ~commit_ts ~inflight:[]
-                "commit status indeterminate"
-            with
-            | `Committed _ -> true
-            | `Aborted -> raise (Wounded "ambiguous commit aborted"))
-      end
-    in
-    (* Post-commit bookkeeping: make the commit explicit (so pushers stop
-       running recovery against the staging record) and resolve intents.
-       [attributed] distinguishes work the client waits for — charged to
-       the attempt's span and phases — from work spawned after the ack. *)
-    let resolve_now ~attributed () =
-      t.finished <- true;
-      if not explicitly_committed then
-        ignore
-          (if attributed then
-             Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases
-               ~gateway:t.gw ~txn:t.id ~key:akey ~ts:commit_ts ()
-           else
-             Cluster.commit_txn t.mgr.cl ~gateway:t.gw ~txn:t.id ~key:akey
-               ~ts:commit_ts ()
-            : Txnrec.status option);
-      if attributed then
-        Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-          ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
-          ~sync_all:false ()
-      else
-        Cluster.resolve t.mgr.cl ~gateway:t.gw ~txn:t.id
-          ~commit:(Some commit_ts) ~keys:(List.rev t.writes) ~sync_all:false
-          ()
-    in
-    if not t.mgr.opts.Options.hold_locks_during_commit_wait then
-      (* The client is acked at the commit point — the implicit commit
-         under parallel commits, the record's consensus round otherwise.
-         Making the commit explicit and resolving intents is cleanup the
-         coordinator runs after the ack (§6.2 releases locks concurrently
-         with the commit wait, minimizing how long readers observe them). *)
-      Cluster.spawn_background t.mgr.cl (fun () ->
-          resolve_now ~attributed:false ())
-  end;
-  let must_wait = t.writes <> [] || t.observed_future in
-  if must_wait then begin
-    let tr = Obs.trace t.mgr.obs in
-    let wsp =
-      Trace.span tr ~parent:t.sp ~node:t.gw ~txn:t.id "txn.commit_wait"
-    in
-    let waited = commit_wait t.mgr ~gw:t.gw commit_ts in
-    Trace.annotate wsp "waited_us" (string_of_int waited);
-    Trace.finish tr wsp;
-    Phase.add t.phases Phase.Commit_wait waited;
-    Hist.add t.mgr.h_commit_wait waited;
-    if t.writes <> [] then
-      t.mgr.stats.writer_commit_wait_micros <-
-        t.mgr.stats.writer_commit_wait_micros + waited
-    else if waited > 0 then begin
-      t.mgr.stats.reader_commit_waits <- t.mgr.stats.reader_commit_waits + 1;
-      Metrics.inc t.mgr.c_reader_waits.(t.gw)
-    end
-  end;
-  if t.writes <> [] && t.mgr.opts.Options.hold_locks_during_commit_wait then begin
-    (* Spanner-style ablation: locks persist through the commit wait. *)
-    let akey = match t.anchor with Some a -> a | None -> assert false in
-    t.finished <- true;
-    ignore
-      (Cluster.commit_txn t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-         ~txn:t.id ~key:akey ~ts:commit_ts ()
-        : Txnrec.status option);
-    Cluster.resolve t.mgr.cl ~span:t.sp ~phases:t.phases ~gateway:t.gw
-      ~txn:t.id ~commit:(Some commit_ts) ~keys:(List.rev t.writes)
-      ~sync_all:false ()
-  end;
-  t.finished <- true;
-  t.mgr.stats.commits <- t.mgr.stats.commits + 1;
-  Metrics.inc t.mgr.c_commits.(t.gw)
-
-let abort t =
-  t.finished <- true;
-  (* Finalize the record first so concurrent pushers see Aborted; no-op if
-     a wound already aborted it. The applied status is authoritative: a
-     racing recovery may already have committed a staged attempt
-     (first-decision-wins), in which case the intents must resolve as
-     committed — removing them would erase a commit concurrent readers may
-     have observed. Read-only transactions (no anchor) never had a
-     record. *)
-  let committed_at =
-    match t.anchor with
-    | Some key -> (
-        match
-          Cluster.abort_txn t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id ~key
-            ~reason:"client abort" ()
-        with
-        | Some (Txnrec.Committed cts) -> Some cts
-        | Some (Txnrec.Aborted _ | Txnrec.Pending | Txnrec.Staging _) | None
-          ->
-            None)
-    | None -> None
-  in
-  if t.writes <> [] then
-    Cluster.resolve t.mgr.cl ~span:t.sp ~gateway:t.gw ~txn:t.id
-      ~commit:committed_at ~keys:(List.rev t.writes) ~sync_all:false ();
-  committed_at
-
-(* Keep the transaction record live while the coordinator (gateway node) is
-   up: pushers treat a record whose heartbeat is stale as abandoned (or, for
-   STAGING records, as recoverable) and clean up its intents. Heartbeats
-   only start once the first write establishes the anchor — before that
-   there is no record to maintain. The responses double as the coordinator's
-   wound notifications: an [Aborted] status cancels the transaction's
-   in-flight requests through its [fate] closure. The loop stops
-   heartbeating while the gateway is down — exactly the abandonment signal
-   wound-wait relies on — and exits once the transaction finishes. *)
-let start_heartbeat t =
-  let mgr = t.mgr in
-  let sim = Cluster.sim mgr.cl in
-  let interval = (Cluster.config mgr.cl).Cluster.txn_heartbeat_interval in
-  Proc.spawn sim (fun () ->
-      let rec loop () =
-        Proc.sleep sim interval;
-        if t.finished then ()
-        else
-          match t.anchor with
-          | None -> loop ()
-          | Some key ->
-              if Crdb_net.Transport.is_alive (Cluster.net mgr.cl) t.gw then
-                match
-                  Cluster.heartbeat_txn mgr.cl ~gateway:t.gw ~txn:t.id ~key ()
-                with
-                | Some (Txnrec.Aborted { reason; wound = true }) ->
-                    t.fate_ <- `Wounded reason
-                | Some (Txnrec.Aborted _) -> t.fate_ <- `Aborted
-                | Some (Txnrec.Committed _) -> ()
-                | Some (Txnrec.Pending | Txnrec.Staging _) | None -> loop ()
-              else loop ()
-      in
-      loop ())
-
-let fresh_txn ?priority ?(phases = Phase.nil) mgr ~gateway =
-  let id = mgr.next_txn_id in
-  mgr.next_txn_id <- id + 1;
-  Metrics.inc mgr.c_attempts.(gateway);
-  let read_ts = Cluster.now_ts mgr.cl gateway in
-  (* Wound-wait priority: the first attempt's birth timestamp, carried
-     across retries so a transaction only ever gets older. The record
-     itself is registered by the first write's apply at the anchor range —
-     no upfront registration RPC. *)
-  let pri = match priority with Some p -> p | None -> read_ts in
-  let t =
-    {
-      mgr;
-      id;
-      gw = gateway;
-      pri;
-      read_ts;
-      max_ts = Ts.add_wall read_ts (Cluster.config mgr.cl).Cluster.max_offset;
-      write_ts = Ts.zero;
-      reads = [];
-      writes = [];
-      anchor = None;
-      outstanding = [];
-      fate_ = `Live;
-      finished = false;
-      observed_future = false;
-      commit_initiated = false;
-      sp = Trace.nil;
-      phases;
-    }
-  in
-  start_heartbeat t;
-  t
+let get_for_share (t : t) key =
+  let (module B : Cc.S) = backend t.mgr in
+  B.get_locked t Shared key
 
 type attempt_outcome =
   | Attempt_committed of Ts.t
@@ -732,7 +126,7 @@ type attempt_outcome =
    record could have been proposed the abort is authoritative; after, the
    transaction may have committed at the timestamp the commit was initiated
    with. *)
-let failed_attempt_outcome t reason =
+let failed_attempt_outcome (t : t) reason =
   if t.commit_initiated then
     Attempt_indeterminate (reason, Ts.max t.read_ts t.write_ts)
   else Attempt_aborted reason
@@ -741,6 +135,7 @@ let report on_attempt t outcome =
   match on_attempt with None -> () | Some f -> f t outcome
 
 let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
+  let (module B : Cc.S) = backend mgr in
   let sim = Cluster.sim mgr.cl in
   let tr = Obs.trace mgr.obs in
   (* A caller-supplied phase context is accumulated into but never flushed
@@ -763,7 +158,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
      was lost with the exception, so report the commit to the attempt
      observer and fail the call as ambiguous rather than fabricate a
      success. *)
-  let recovered_committed t n reason cts =
+  let recovered_committed (t : t) n reason cts =
     report on_attempt t (Attempt_committed cts);
     Trace.annotate t.sp "committed_by_recovery" (Ts.to_string cts);
     Trace.annotate t.sp "restart" reason;
@@ -771,7 +166,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
     (n, Error (Unavailable ("committed by recovery: " ^ reason)))
   in
   let rec attempt n ~pri =
-    let t = fresh_txn ?priority:pri ~phases mgr ~gateway in
+    let t = B.begin_attempt ?priority:pri ~phases mgr ~gateway in
     (* Retries inherit the first attempt's birth timestamp as their
        wound-wait priority, so a restarted transaction keeps aging instead
        of being reborn young and re-wounded (starvation freedom). *)
@@ -779,7 +174,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
     t.sp <- Trace.span tr ~parent:root ~node:gateway ~txn:t.id "txn.attempt";
     match
       let result = body t in
-      commit t;
+      B.commit t;
       result
     with
     | result ->
@@ -787,7 +182,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
         Trace.finish tr t.sp;
         (n, Ok result)
     | exception Restart reason -> (
-        match abort t with
+        match B.abort t with
         | Some cts -> recovered_committed t n reason cts
         | None ->
             report on_attempt t (failed_attempt_outcome t reason);
@@ -803,7 +198,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
               attempt (n + 1) ~pri
             end)
     | exception Wounded reason -> (
-        match abort t with
+        match B.abort t with
         | Some cts -> recovered_committed t n reason cts
         | None ->
             report on_attempt t (failed_attempt_outcome t reason);
@@ -830,7 +225,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
         Trace.finish tr t.sp;
         (n, Error (Unavailable reason))
     | exception Fatal reason -> (
-        match abort t with
+        match B.abort t with
         | Some cts -> recovered_committed t n reason cts
         | None ->
             report on_attempt t (failed_attempt_outcome t reason);
@@ -838,7 +233,7 @@ let run mgr ~gateway ?(max_attempts = 25) ?phases ?on_attempt body =
             Trace.finish tr t.sp;
             (n, Error (Unavailable reason)))
     | exception e ->
-        ignore (abort t : Ts.t option);
+        ignore (B.abort t : Ts.t option);
         Trace.finish tr t.sp;
         Trace.finish tr root;
         raise e
@@ -871,7 +266,7 @@ let run_blind_put mgr ~gateway ?(max_attempts = 25) ?phases key value =
         let wsp =
           Trace.span tr ~parent:asp ~node:gateway ~txn:id "txn.commit_wait"
         in
-        let waited = commit_wait mgr ~gw:gateway commit_ts in
+        let waited = Cc_base.commit_wait mgr ~gw:gateway commit_ts in
         Trace.annotate wsp "waited_us" (string_of_int waited);
         Trace.finish tr wsp;
         Phase.add phases Phase.Commit_wait waited;
@@ -909,7 +304,7 @@ type ro =
 
 let ro_ts = function Ro_stale { ts; _ } -> ts | Ro_fresh t -> t.read_ts
 
-let stale_get mgr ~gw ~ts key =
+let stale_get (mgr : manager) ~gw ~ts key =
   match
     Cluster.read_follower mgr.cl ~at:gw ~txn:None ~key ~ts ~max_ts:ts ()
   with
@@ -927,7 +322,7 @@ let stale_get mgr ~gw ~ts key =
   | Cluster.Read_uncertain _ -> assert false
   | Cluster.Read_wounded e | Cluster.Read_err e -> raise (Fatal e)
 
-let stale_scan mgr ~gw ~ts ~start_key ~end_key ~limit =
+let stale_scan (mgr : manager) ~gw ~ts ~start_key ~end_key ~limit =
   match
     Cluster.scan_follower mgr.cl ~at:gw ~txn:None ~start_key ~end_key ~ts
       ~max_ts:ts ~limit ()

@@ -1,6 +1,20 @@
 (** Transaction coordination.
 
-    Implements CRDB's transaction model on top of {!Crdb_kv.Cluster}:
+    The public transaction API. Everything here programs against the
+    concurrency-control interface {!Cc.S}; the backend is selected
+    per-cluster by [Cluster.config.cc_mode] at {!create_manager} time:
+
+    - [`Wound_wait] ({!Cc_wound_wait}) — the paper's protocol, described
+      below: pessimistic lock tables, pipelined intents, wound-wait;
+    - [`Epoch_occ] ({!Cc_epoch_occ}) — epoch-grouped optimistic concurrency
+      control: the body buffers writes locally and takes no locks; commit
+      waits for the next epoch boundary (a recurring per-cluster ticker),
+      flushes the buffer as intents and validates every read against the
+      boundary via the ordinary read-refresh machinery. Conflicting
+      transactions within an epoch are resolved by validation order.
+
+    Under [`Wound_wait], implements CRDB's transaction model on top of
+    {!Crdb_kv.Cluster}:
 
     - {b Serializable read-write transactions} with uncertainty intervals and
       read refreshes (§6.1, [60 §3]). Reads go to leaseholders; reads of
@@ -35,7 +49,14 @@ module Ts = Crdb_hlc.Timestamp
 type manager
 
 val create_manager : Cluster.t -> manager
+(** Reads the cluster's [cc_mode] (and, for [`Epoch_occ], the
+    [epoch_interval]) once; all transactions of this manager run under that
+    backend. *)
+
 val cluster : manager -> Cluster.t
+
+val cc_mode : manager -> Cc.mode
+(** The concurrency-control backend this manager dispatches to. *)
 
 (** {2 Options} *)
 
@@ -137,6 +158,18 @@ val get : t -> string -> string option
 val put : t -> string -> string -> unit
 val delete : t -> string -> unit
 
+val get_for_update : t -> string -> string option
+(** SELECT FOR UPDATE: read the key and protect it against concurrent
+    writers until commit. Under [`Wound_wait] this takes an [Exclusive]
+    lock-table lock (conflicts with readers' locks and other writers
+    resolve by wound-wait; upgrading an own [Shared] grip is supported);
+    under [`Epoch_occ] it is an ordinary optimistic read — commit-time
+    validation provides the protection instead. *)
+
+val get_for_share : t -> string -> string option
+(** SELECT FOR SHARE: like {!get_for_update} with a [Shared] lock, which
+    coexists with other [Shared] holders and blocks only writers. *)
+
 val scan : t -> start_key:string -> end_key:string -> ?limit:int -> unit -> (string * string) list
 (** Range scan (single range per call; the SQL layer stitches ranges). *)
 
@@ -209,20 +242,3 @@ type stats = {
 }
 
 val stats : manager -> stats
-
-(** {2 Deprecated option setters}
-
-    Thin wrappers over {!set_options}, kept for existing callers; each
-    replaces one field of the current {!Options.t}. *)
-
-val set_hold_locks_during_commit_wait : manager -> bool -> unit
-(** @deprecated Use {!set_options}. *)
-
-val set_pipelined_writes : manager -> bool -> unit
-(** @deprecated Use {!set_options}. *)
-
-val set_parallel_commits : manager -> bool -> unit
-(** @deprecated Use {!set_options}. *)
-
-val set_unsafe_no_refresh : manager -> bool -> unit
-(** @deprecated Use {!set_options}. *)

@@ -196,7 +196,11 @@ let serializability_setup ~seed =
   let setup = lifecycle_setup ~survival:Zoneconfig.Region ~seed in
   {
     setup with
-    Harness.workload = { setup.Harness.workload with Workload.txn_clients = 2 };
+    Harness.workload =
+      {
+        setup.Harness.workload with
+        Workload.txn = { Workload.Txn_config.default with Workload.Txn_config.clients = 2 };
+      };
   }
 
 let test_serializability_under_chaos () =
@@ -254,8 +258,12 @@ let recovery_race_setup ~seed =
       {
         Workload.default with
         Workload.seed;
-        txn_clients = 6;
-        txn_hot_keys = 4;
+        txn =
+          {
+            Workload.Txn_config.default with
+            Workload.Txn_config.clients = 6;
+            hot_keys = 4;
+          };
       };
   }
 

@@ -257,6 +257,113 @@ let test_committed_record_resolves_intent () =
   no_conflict_timeouts cl
 
 (* ------------------------------------------------------------------ *)
+(* Lock strength: SELECT FOR SHARE / FOR UPDATE                        *)
+
+(* Shared locks are compatible with each other: the second FOR SHARE reader
+   acquires immediately even while the first still holds, and both block
+   nobody but writers. *)
+let test_shared_shared_compatible () =
+  let cl, mgr = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      expect_ok (Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "v0"));
+      let t0 = Sim.now sim in
+      let acquired = ref [] in
+      let holder name =
+        Proc.async sim (fun () ->
+            Txn.run mgr ~gateway:gw (fun t ->
+                ignore (Txn.get_for_share t "k");
+                acquired := (name, Sim.now sim) :: !acquired;
+                (* Hold the shared lock well past the other's acquire. *)
+                Proc.sleep sim 400_000))
+      in
+      let a = holder "a" in
+      Proc.sleep sim 50_000;
+      let b = holder "b" in
+      List.iter (fun r -> expect_ok (Proc.await r)) [ a; b ];
+      List.iter
+        (fun (name, at) ->
+          check Alcotest.bool
+            (Printf.sprintf "holder %s acquired without queueing" name)
+            true
+            (at - t0 < 300_000))
+        !acquired);
+  check Alcotest.int "no wounds between shared holders" 0
+    (Txn.stats mgr).Txn.wounds;
+  no_conflict_timeouts cl
+
+(* The classic upgrade deadlock: both transactions take the shared lock,
+   then both try to write the same key. Neither upgrade can proceed while
+   the other's shared grip exists, so wound-wait must break the cycle —
+   the older upgrades in place, the wounded younger retries and commits. *)
+let test_upgrade_deadlock_wound_wait () =
+  let cl, mgr = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      expect_ok (Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "0"));
+      let t0 = Sim.now sim in
+      let upgrader name =
+        Proc.async sim (fun () ->
+            Txn.run mgr ~gateway:gw (fun t ->
+                ignore (Txn.get_for_share t "k");
+                Proc.sleep sim 200_000;
+                Txn.put t "k" name))
+      in
+      let a = upgrader "a" in
+      Proc.sleep sim 1_000;
+      let b = upgrader "b" in
+      List.iter (fun r -> expect_ok (Proc.await r)) [ a; b ];
+      let elapsed = Sim.now sim - t0 in
+      check Alcotest.bool
+        (Printf.sprintf "upgrade deadlock broken fast (took %dus)" elapsed)
+        true
+        (elapsed < 8_000_000);
+      (* Both writes committed: the final value is whichever upgraded last. *)
+      match expect_ok (Txn.run mgr ~gateway:gw (fun t -> Txn.get t "k")) with
+      | Some ("a" | "b") -> ()
+      | v ->
+          Alcotest.failf "unexpected final value %s"
+            (Option.value v ~default:"<none>"));
+  (* The wound lands at the KV layer (the pusher wounds the younger's
+     record and cleans its shared grip); the younger's attempt then dies on
+     the commit-time refresh, so the coordinator counts a restart. *)
+  check Alcotest.bool "the younger was wounded" true
+    (Metrics.total (Obs.metrics (Cluster.obs cl)) "kv.txn_wounds" >= 1);
+  check Alcotest.bool "the loser restarted and recommitted" true
+    ((Txn.stats mgr).Txn.restarts >= 1);
+  no_conflict_timeouts cl
+
+(* A FOR UPDATE lock is exclusive: a concurrent writer queues behind it for
+   the whole hold instead of sneaking its intent in. *)
+let test_for_update_blocks_writer () =
+  let cl, mgr = make () in
+  let sim = Cluster.sim cl in
+  let gw = node_in cl home 0 in
+  Cluster.run cl (fun () ->
+      expect_ok (Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "v0"));
+      let writer_done = ref false in
+      let holder =
+        Proc.async sim (fun () ->
+            Txn.run mgr ~gateway:gw (fun t ->
+                ignore (Txn.get_for_update t "k");
+                Proc.sleep sim 500_000;
+                check Alcotest.bool "writer still queued behind FOR UPDATE"
+                  false !writer_done))
+      in
+      Proc.sleep sim 50_000;
+      let writer =
+        Proc.async sim (fun () ->
+            let r = Txn.run mgr ~gateway:gw (fun t -> Txn.put t "k" "w") in
+            writer_done := true;
+            r)
+      in
+      List.iter (fun r -> expect_ok (Proc.await r)) [ holder; writer ];
+      check Alcotest.bool "writer finished after release" true !writer_done);
+  no_conflict_timeouts cl
+
+(* ------------------------------------------------------------------ *)
 (* API surface                                                         *)
 
 let test_options_roundtrip () =
@@ -266,16 +373,19 @@ let test_options_roundtrip () =
     { Txn.Options.default with Txn.Options.pipelined_writes = false };
   check Alcotest.bool "set_options applied" false
     (Txn.options mgr).Txn.Options.pipelined_writes;
-  (* Deprecated wrappers replace one field and preserve the rest. *)
-  Txn.set_unsafe_no_refresh mgr true;
+  (* Single-field tweaks go through read-modify-write record updates. *)
+  Txn.set_options mgr
+    { (Txn.options mgr) with Txn.Options.unsafe_no_refresh = true };
   let o = Txn.options mgr in
-  check Alcotest.bool "wrapper set its field" true o.Txn.Options.unsafe_no_refresh;
-  check Alcotest.bool "wrapper preserved others" false
+  check Alcotest.bool "update set its field" true o.Txn.Options.unsafe_no_refresh;
+  check Alcotest.bool "update preserved others" false
     o.Txn.Options.pipelined_writes;
-  Txn.set_pipelined_writes mgr true;
-  Txn.set_hold_locks_during_commit_wait mgr true;
+  Txn.set_options mgr
+    { (Txn.options mgr) with Txn.Options.pipelined_writes = true };
+  Txn.set_options mgr
+    { (Txn.options mgr) with Txn.Options.hold_locks_during_commit_wait = true };
   let o = Txn.options mgr in
-  check Alcotest.bool "all wrappers compose" true
+  check Alcotest.bool "updates compose" true
     (o.Txn.Options.pipelined_writes
     && o.Txn.Options.hold_locks_during_commit_wait
     && o.Txn.Options.unsafe_no_refresh)
@@ -323,6 +433,12 @@ let suite =
       test_abandoned_recordless_txn;
     Alcotest.test_case "committed record resolves orphan intent" `Quick
       test_committed_record_resolves_intent;
+    Alcotest.test_case "shared locks are mutually compatible" `Quick
+      test_shared_shared_compatible;
+    Alcotest.test_case "upgrade deadlock resolved by wound-wait" `Quick
+      test_upgrade_deadlock_wound_wait;
+    Alcotest.test_case "FOR UPDATE blocks concurrent writers" `Quick
+      test_for_update_blocks_writer;
     Alcotest.test_case "Txn.Options round trip" `Quick test_options_roundtrip;
     Alcotest.test_case "Cluster.default with-idiom" `Quick
       test_config_default_idiom;

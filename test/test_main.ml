@@ -13,6 +13,7 @@ let () =
       ("kv", Test_kv.suite);
       ("txnrec", Test_txnrec.suite);
       ("locks", Test_locks.suite);
+      ("cc", Test_cc.suite);
       ("lifecycle", Test_lifecycle.suite);
       ("autopilot", Test_autopilot.suite);
       ("txn", Test_txn.suite);
